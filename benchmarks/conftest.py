@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through
+:func:`repro.experiments.run_experiment` in quick mode and prints the
+rendered result, so a ``pytest benchmarks/ --benchmark-only`` run doubles
+as a smoke reproduction of the whole evaluation section.
+
+The experiments are Monte-Carlo simulations (seconds each), so each
+benchmark runs a single round — the timing is a tracked cost figure, not
+a micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_quick(benchmark):
+    """Benchmark one experiment in quick mode and echo its table."""
+
+    def runner(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": True},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Ablation (error-source decomposition at 1375 Kbps)."""
+
+from __future__ import annotations
+
+
+def test_bench_ablation_errors(run_quick):
+    """Ablation: error-source decomposition at 1375 Kbps."""
+    result = run_quick("ablation_errors")
+    clean = float(result.rows[-1][1].rstrip("%"))
+    assert clean == 0.0  # all sources removed -> error-free

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Ablation (replacement-set size design rule)."""
+
+from __future__ import annotations
+
+
+def test_bench_ablation_replacement_set(run_quick):
+    """Ablation: replacement-set size design rule."""
+    result = run_quick("ablation_replacement_set")
+    assert [row[0] for row in result.rows] == [8, 9, 10, 12]

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Section 8 (defense mitigation strengths and overheads)."""
+
+from __future__ import annotations
+
+
+def test_bench_defenses(run_quick):
+    """Section 8: defense mitigation strengths and overheads."""
+    result = run_quick("defenses")
+    verdicts = {row[0]: row[3] for row in result.rows}
+    assert verdicts["plcache"] == "mitigated"
+    assert verdicts["random-fill"] == "ALIVE"

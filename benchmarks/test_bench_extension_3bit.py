@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Extension (2-bit vs 3-bit symbol encoding)."""
+
+from __future__ import annotations
+
+
+def test_bench_extension_3bit(run_quick):
+    """Extension: 2-bit vs 3-bit symbol encoding."""
+    result = run_quick("extension_3bit")
+    assert len(result.rows) == 6

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Extension (WB channel on the L2 cache)."""
+
+from __future__ import annotations
+
+
+def test_bench_extension_l2(run_quick):
+    """Extension: the WB channel deployed on the L2 cache."""
+    result = run_quick("extension_l2")
+    levels = [row[0] for row in result.rows]
+    assert levels == ["L1", "L1", "L2", "L2"]

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 (latency CDFs for d = 0..8)."""
+
+from __future__ import annotations
+
+
+def test_bench_fig4(run_quick):
+    """Figure 4: latency CDFs for d = 0..8."""
+    result = run_quick("fig4")
+    medians = [row[2] for row in result.rows]
+    assert medians == sorted(medians)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (binary receiver traces at 400 Kbps)."""
+
+from __future__ import annotations
+
+
+def test_bench_fig5(run_quick):
+    """Figure 5: binary receiver traces at 400 Kbps."""
+    result = run_quick("fig5")
+    assert [row[0] for row in result.rows] == [1, 4, 8]

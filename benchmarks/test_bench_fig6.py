@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 6 (BER vs rate for binary encodings)."""
+
+from __future__ import annotations
+
+
+def test_bench_fig6(run_quick):
+    """Figure 6: BER vs rate for binary encodings."""
+    result = run_quick("fig6")
+    assert result.rows[0][0] == 800 and result.rows[-1][0] == 11000

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (multi-bit receiver trace at 1100 Kbps)."""
+
+from __future__ import annotations
+
+
+def test_bench_fig7(run_quick):
+    """Figure 7: multi-bit receiver trace at 1100 Kbps."""
+    result = run_quick("fig7")
+    assert [row[1] for row in result.rows] == [0, 3, 5, 8]

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 8 (BER vs rate for 2-bit symbols)."""
+
+from __future__ import annotations
+
+
+def test_bench_fig8(run_quick):
+    """Figure 8: BER vs rate for 2-bit symbols."""
+    result = run_quick("fig8")
+    rates = [float(row[1]) for row in result.rows]
+    assert max(rates) >= 4400.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6.1 (the channel under random replacement)."""
+
+from __future__ import annotations
+
+
+def test_bench_random_policy(run_quick):
+    """Section 6.1: the channel under random replacement."""
+    result = run_quick("random_policy")
+    bers = [float(row[3].rstrip("%")) for row in result.rows]
+    assert bers[-1] <= bers[0] + 3.0  # more dirty lines help

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 9 (secret recovery through the three scenarios)."""
+
+from __future__ import annotations
+
+
+def test_bench_sidechannel(run_quick):
+    """Section 9: secret recovery through the three scenarios."""
+    result = run_quick("sidechannel")
+    for row in result.rows:
+        assert float(row[1].rstrip("%")) >= 90.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Section 6 / Figure 9 (noise robustness vs LRU and Prime+Probe)."""
+
+from __future__ import annotations
+
+
+def test_bench_stability(run_quick):
+    """Section 6 / Figure 9: noise robustness vs LRU and Prime+Probe."""
+    result = run_quick("stability")
+    noise_row = next(r for r in result.rows if r[0] == "noise loads")
+    assert float(noise_row[1].rstrip("%")) < float(noise_row[2].rstrip("%"))

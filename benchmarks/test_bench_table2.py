@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 2 (eviction probability vs replacement-set size)."""
+
+from __future__ import annotations
+
+
+def test_bench_table2(run_quick):
+    """Table 2: eviction probability vs replacement-set size."""
+    result = run_quick("table2")
+    rows = result.row_dict("N")
+    assert rows[10][1] == "100.0%"  # LRU certain at N=10
+    assert float(rows[10][3].rstrip("%")) == 100.0  # E5 surrogate certain at 10

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 4 (the three access-latency classes)."""
+
+from __future__ import annotations
+
+
+def test_bench_table4(run_quick):
+    """Table 4: the three access-latency classes."""
+    result = run_quick("table4")
+    _, l1, clean, dirty = result.rows[0]
+    assert l1 == "4-5"
+    assert int(dirty.split("-")[0]) >= 2 * int(clean.split("-")[0]) - 2

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 5 (random-replacement eviction probabilities)."""
+
+from __future__ import annotations
+
+
+def test_bench_table5(run_quick):
+    """Table 5: random-replacement eviction probabilities."""
+    result = run_quick("table5")
+    assert len(result.rows) == 6  # 2 dirty counts x 3 variants

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 6 (sender miss-rate stealthiness)."""
+
+from __future__ import annotations
+
+
+def test_bench_table6(run_quick):
+    """Table 6: sender miss-rate stealthiness."""
+    result = run_quick("table6")
+    assert len(result.rows) == 6  # 2 encodings x 3 scenarios

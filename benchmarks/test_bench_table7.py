@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 7 (sender loads per millisecond, WB vs LRU)."""
+
+from __future__ import annotations
+
+
+def test_bench_table7(run_quick):
+    """Table 7: sender loads per millisecond, WB vs LRU."""
+    result = run_quick("table7")
+    ratio = result.params["wb_to_lru_ratio"]
+    assert ratio < 1.0  # WB sender is the quieter one

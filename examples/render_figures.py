@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as SVG files (no plotting stack needed).
+
+Regenerates Figure 4 (latency CDFs), Figure 5 (binary traces), Figure 7
+(multi-bit trace) and Figures 6/8 (BER vs rate) from the experiment
+modules and writes them as SVGs under ``figures/``.
+
+Usage::
+
+    python examples/render_figures.py [--outdir figures] [--full]
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis.svg import ber_chart, cdf_chart, trace_chart
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="figures")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale repetition counts (slower)")
+    args = parser.parse_args()
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    quick = not args.full
+
+    # Figure 4 — CDF of replacement latency per dirty-line count.
+    fig4 = run_experiment("fig4", quick=quick)
+    chart = cdf_chart(
+        "Figure 4: replacement latency CDF vs dirty lines",
+        {
+            f"d={d}": fig4.series[f"latencies_d{d}"]
+            for d in range(9)
+        },
+    )
+    chart.save(outdir / "fig4_latency_cdfs.svg")
+
+    # Figure 5 — binary traces at 400 Kbps.
+    fig5 = run_experiment("fig5", quick=quick)
+    for d in (1, 4, 8):
+        threshold = fig5.series[f"threshold_d{d}"][0]
+        chart = trace_chart(
+            f"Figure 5 (d={d}): receiver trace at 400 Kbps",
+            fig5.series[f"trace_d{d}"],
+            thresholds=[threshold],
+        )
+        chart.save(outdir / f"fig5_trace_d{d}.svg")
+
+    # Figure 7 — multi-bit trace at 1100 Kbps.
+    fig7 = run_experiment("fig7", quick=quick)
+    chart = trace_chart(
+        "Figure 7: 2-bit symbol trace at 1100 Kbps (d=0/3/5/8)",
+        fig7.series["trace"],
+        thresholds=fig7.series["thresholds"],
+    )
+    chart.save(outdir / "fig7_multibit_trace.svg")
+
+    # Figure 6 — BER vs rate, binary encodings.
+    fig6 = run_experiment("fig6", quick=quick)
+    rates = [float(row[1]) for row in fig6.rows]
+    curves = {}
+    for column, header in enumerate(fig6.columns[2:], start=2):
+        bers = [float(row[column].rstrip("%")) / 100 for row in fig6.rows]
+        curves[header] = list(zip(rates, bers))
+    chart = ber_chart("Figure 6: BER vs rate (binary symbols)", curves)
+    chart.save(outdir / "fig6_ber_binary.svg")
+
+    # Figure 8 — BER vs rate, 2-bit symbols.
+    fig8 = run_experiment("fig8", quick=quick)
+    points = [
+        (float(row[1]), float(row[2].rstrip("%")) / 100) for row in fig8.rows
+    ]
+    chart = ber_chart(
+        "Figure 8: BER vs rate (2-bit symbols, d=0/3/5/8)",
+        {"2-bit symbols": points},
+    )
+    chart.save(outdir / "fig8_ber_multibit.svg")
+
+    for path in sorted(outdir.glob("*.svg")):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

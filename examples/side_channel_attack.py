@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Side channel: steal a secret key from a victim gadget (Section 9).
+
+The victim branches on each bit of its secret (Listing 2 of the paper);
+the attacker never sees the secret, only the replacement latency of the
+cache set the victim's store lands in.  All three of the paper's attack
+scenarios run against the same 128-bit secret.
+
+Usage::
+
+    python examples/side_channel_attack.py
+"""
+
+import random
+
+from repro.common.bits import bits_to_string, random_bits
+from repro.sidechannel import (
+    dirty_eviction_attack,
+    dirty_state_attack,
+    execution_time_attack,
+)
+
+
+def show(result) -> None:
+    print(f"  scenario:   {result.scenario}")
+    print(f"  secret:     {bits_to_string(result.secret[:48])}...")
+    print(f"  recovered:  {bits_to_string(result.recovered[:48])}...")
+    low, high = result.calibration_means
+    print(f"  calibrated medians: secret=0 -> {low:.0f} cy, secret=1 -> {high:.0f} cy")
+    print(f"  accuracy:   {result.accuracy:.1%}")
+    print()
+
+
+def main() -> None:
+    secret = random_bits(128, random.Random(0xBEEF))
+    print("WB side-channel attacks against the Listing 2 victim gadgets")
+    print("=" * 64)
+
+    print("Scenario 1 — dirty-state attack (gadget a, lines in ONE set).")
+    print("Prime+Probe and the LRU channel cannot decode this placement;")
+    print("the WB attack keys on the dirty bit, not the line identity:")
+    show(dirty_state_attack(secret, seed=1))
+
+    print("Scenario 2 — dirty-eviction attack (gadget b, loads only).")
+    print("The attacker pre-fills the set with dirty lines and detects the")
+    print("victim's load by the *missing* write-back:")
+    show(dirty_eviction_attack(secret, seed=2))
+
+    print("Scenario 3 — execution-time attack (timing the victim call).")
+    print("A dirty victim line slows the victim's own fill:")
+    show(execution_time_attack(secret, seed=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Steal an RSA-style private exponent through the WB side channel.
+
+A concrete instance of the paper's Section 9: the victim runs
+left-to-right square-and-multiply modular exponentiation, whose multiply
+step — executed only for 1-bits of the secret exponent — *writes* its
+working buffer.  That store is exactly Listing 2(a)'s gadget, and the
+attacker reads each exponent bit from the replacement latency of the
+multiply buffer's cache set.
+
+Usage::
+
+    python examples/steal_rsa_key.py [--bits 64]
+"""
+
+import argparse
+import random
+
+from repro.common.bits import bits_to_string
+from repro.sidechannel.rsa_victim import recover_exponent
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bits", type=int, default=64, help="exponent width")
+    args = parser.parse_args()
+
+    secret = random.Random(0xC0FFEE).getrandbits(args.bits)
+    print(f"victim's secret exponent ({args.bits} bits): {secret:#x}")
+    print("attacker sees only cache replacement latencies...\n")
+
+    result = recover_exponent(secret, bit_width=args.bits, seed=7)
+
+    print(f"true bits:      {bits_to_string(result.true_exponent_bits)}")
+    print(f"recovered bits: {bits_to_string(result.recovered_bits)}")
+    print(f"accuracy:       {result.accuracy:.1%}")
+    recovered_value = int(bits_to_string(result.recovered_bits), 2)
+    print(f"recovered key:  {recovered_value:#x}")
+    print(f"key match:      {recovered_value == secret}")
+    print()
+    print("(the victim's exponentiation result was verified against pow():")
+    print(f" {result.modexp_result:#x})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md by running every experiment at full scale.
+
+Usage::
+
+    python scripts/generate_experiments_md.py [--quick] [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import time
+
+from repro.experiments import available_experiments, run_experiment
+
+#: Paper-vs-measured commentary per experiment, maintained alongside the
+#: experiment code.  The measured tables below each entry are regenerated
+#: by this script; the commentary states what the paper reported and
+#: whether the reproduction preserves the shape.
+PAPER_CONTEXT = {
+    "table2": (
+        "Paper: LRU 100/100/100, Tree-PLRU 94.3/100/100, E5-2650 "
+        "68.8/81.7/100 (percent, N=8/9/10). Reproduced: LRU exact; "
+        "Tree-PLRU certain from N=9 as in the paper but already certain at "
+        "N=8 here (our miss-victim walk provably covers all ways; gem5's "
+        "implementation evidently differs in a tail case); the E5-2650 "
+        "column is matched by the calibrated DirtyProtectingLRU surrogate "
+        "(bounded dirty-victim protection, see DESIGN.md)."
+    ),
+    "table4": (
+        "Paper: L1 hit 4-5, L2-hit+clean-replace 10-12, L2-hit+dirty-"
+        "replace 22-23 cycles. These are the model's calibration anchors; "
+        "the experiment confirms the assembled hierarchy reproduces them "
+        "end to end, including the ~2x dirty-vs-clean gap that is the "
+        "channel's signal."
+    ),
+    "table5": (
+        "Paper (gem5 pseudo-random): d=2 row 63.6-95.0%, d=3 row "
+        "89.5-99.5% across L=8..13, plus the analytic bound "
+        "p=1-((W-d)/W)^L (99.1% at d=3,L=10). Reproduced: the uniform "
+        "policy tracks the analytic bound; the LFSR pseudo-random variant "
+        "sits below it at small L exactly as gem5's generator does "
+        "(without matching gem5's PRNG point-for-point); monotone in d "
+        "and L throughout."
+    ),
+    "table6": (
+        "Paper: sender L1D miss 0.04%(WB) vs 0.16%(g++) vs 0.003%(alone); "
+        "L2 miss 3.59 vs 26.84 vs 35.16; LLC 34.38 vs 2.23 vs 34.42 "
+        "(binary; multi-bit analogous). Absolute rates depend on the "
+        "process's non-channel traffic, which we model explicitly; the "
+        "reproduced content is the ordering pattern: attack L1-miss "
+        "profile indistinguishable from benign co-running, WB run has the "
+        "lowest L2 miss rate, LLC miss rate collapses only in the g++ "
+        "scenario, and multi-bit > binary on L1 misses. One deviation: "
+        "our compiler model pressures the shared L2 harder than the "
+        "paper's g++, so its L2 column lands above sender-only."
+    ),
+    "table7": (
+        "Paper: WB sender generates 59.8% of the LRU sender's cache loads "
+        "at Ts=11000 (3.15e8 vs 5.27e8 total). Reproduced ratio is within "
+        "a few points of the paper's (see wb_to_lru_ratio in the params); "
+        "the structural cause is identical - one posted store per bit vs "
+        "continuous LRU-state refreshing."
+    ),
+    "fig4": (
+        "Paper: nine narrow latency bands, ~10 cycles apart, for d=0..8 "
+        "with a 10-line replacement set (1000 measurements each). "
+        "Reproduced: median step ~11 cycles per dirty line (the L1 "
+        "write-back penalty), bands a few cycles wide, all nine states "
+        "distinguishable."
+    ),
+    "fig5": (
+        "Paper: received traces at 400 Kbps for d=1/4/8 with the 16-bit "
+        "alignment preamble; higher d widens the gap between the 0- and "
+        "1-bands. Reproduced: separation grows ~11 cycles per extra dirty "
+        "line and the preamble decodes cleanly at this rate for all three "
+        "encodings."
+    ),
+    "fig6": (
+        "Paper: BER grows with rate; all d below 5% at 1375 Kbps; d=1 the "
+        "worst curve; d=8 usable at 2700 Kbps (4.5%). Reproduced: same "
+        "orderings and crossovers; our absolute BER at the highest rates "
+        "is milder than the paper's because the simulated ambient noise "
+        "is cleaner than a live Xeon's."
+    ),
+    "fig7": (
+        "Paper: four latency bands for d=0/3/5/8 carrying two bits per "
+        "symbol at 1100 Kbps. Reproduced: the four bands sit at the "
+        "calibrated medians with >=2 write-back penalties between "
+        "adjacent levels, and the trace decodes with low error."
+    ),
+    "fig8": (
+        "Paper: two-bit symbols reach 4400 Kbps at 3.5% BER. Reproduced: "
+        "the 4400 Kbps point lands in single-digit BER and the curve "
+        "rises with rate, doubling binary throughput at every period."
+    ),
+    "random_policy": (
+        "Paper (Section 6.1): random replacement does not defeat the "
+        "channel; the analytic eviction probability is 99.1% at d=3,L=10 "
+        "and a stable channel needs d,L around (3,12). Reproduced: BER "
+        "falls monotonically in d and L; d=8,L=12 is solid. Residual "
+        "errors come from dirty lines that survive one traversal and "
+        "leak into the next symbol."
+    ),
+    "stability": (
+        "Paper (Section 6 / Figure 9): noise lines loaded by third "
+        "processes break LRU and Prime+Probe (false evictions) but not "
+        "the WB channel; only noise *stores* reach it. Reproduced "
+        "exactly: WB BER stays near zero under load noise that pushes "
+        "the baselines to ~20%."
+    ),
+    "defenses": (
+        "Paper (Section 8): PLcache and DAWG/Nomo partitioning mitigate; "
+        "random fill does NOT (store-hits still set the dirty bit); "
+        "write-through removes the signal; fixed-key randomized mapping "
+        "blocks stride-built sets but remains profileable. All five "
+        "verdicts reproduced; overhead is a benign-workload elapsed-cycle "
+        "ratio (the sub-1.0 ratios for random-fill/randomized mapping "
+        "are an artifact of the synthetic workload's reuse pattern)."
+    ),
+    "extension_3bit": (
+        "Extension beyond the paper: the theoretical 3-bit-per-symbol "
+        "encoding (all eight dirty-line counts) vs the paper's 2-bit "
+        "non-adjacent scheme. Measured: adjacent levels roughly double "
+        "the BER at every rate, quantifying the paper's design choice; "
+        "in this simulator's clean noise regime the raw-rate advantage "
+        "still nets out positive, which would not survive real ambient "
+        "noise comparable to the 11-cycle level spacing."
+    ),
+    "extension_l2": (
+        "Extension beyond the paper: the WB channel deployed on the L2 "
+        "cache, which Section 3 predicts is possible 'but requires more "
+        "operations from the sender'. Built and measured: the channel "
+        "works with the sender paying a 10-load L1 sweep per symbol to "
+        "push dirty lines to L2, at roughly a quarter of the L1 "
+        "deployment's rate (LLC-bound measurements, longer periods)."
+    ),
+    "ablation_errors": (
+        "Ablation of the simulator's error model at 1375 Kbps, d=1: "
+        "turning off OS preemptions, TSC read jitter and phase "
+        "uncertainty one at a time attributes the error budget to each "
+        "source; with all three removed the channel is exactly "
+        "error-free, i.e. the simulator has no hidden error source."
+    ),
+    "ablation_replacement_set": (
+        "Ablation of the Section 4.1 design rule: the channel's BER vs "
+        "replacement-set size L on Tree-PLRU and the E5-2650 surrogate. "
+        "L below the guaranteed-eviction threshold leaves dirty residue "
+        "that corrupts later symbols; L=10 (the paper's choice) is the "
+        "smallest clean setting on both policies."
+    ),
+    "sidechannel": (
+        "Paper (Section 9): three attack scenarios on the Listing 2 "
+        "gadgets, including the same-set case Prime+Probe cannot decode. "
+        "Reproduced: all scenarios recover the secret; scenario 3 "
+        "(victim-call timing) succeeds more cleanly here than on real "
+        "hardware, where the paper needed two serial loads per branch."
+    ),
+}
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Regenerated by ``python scripts/generate_experiments_md.py``{mode}.
+
+Every table and figure of the paper's evaluation is reproduced by a
+module in ``repro.experiments`` (see DESIGN.md for the per-experiment
+index).  For each, this file records what the paper reported, what this
+reproduction measures, and whether the *shape* — orderings, crossovers,
+rough factors — holds.  Absolute cycle counts and Kbps match only at the
+calibration anchors (Table 4), by construction.
+
+Reproduce any entry interactively::
+
+    wb-experiments <experiment-id>            # full scale
+    wb-experiments <experiment-id> --quick    # CI scale
+
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+
+    out = io.StringIO()
+    mode = " (quick mode)" if args.quick else ""
+    out.write(HEADER.format(mode=mode))
+    for experiment_id in available_experiments():
+        started = time.time()
+        result = run_experiment(experiment_id, quick=args.quick)
+        elapsed = time.time() - started
+        out.write(f"\n## {experiment_id} — {result.title}\n\n")
+        out.write(f"*Reproduces {result.paper_reference}.*\n\n")
+        context = PAPER_CONTEXT.get(experiment_id)
+        if context:
+            out.write(context + "\n\n")
+        out.write("```\n")
+        out.write(result.render())
+        out.write("\n```\n\n")
+        out.write(
+            f"Parameters: `{result.params}`; runtime {elapsed:.1f}s.\n"
+        )
+        print(f"[{experiment_id}] done in {elapsed:.1f}s", flush=True)
+    with open(args.out, "w") as handle:
+        handle.write(out.getvalue())
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

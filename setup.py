@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so
+``pip install -e .`` cannot take the PEP 517/660 path; this shim lets pip
+fall back to ``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Analysis utilities: error metrics, distributions, detection.
+
+The paper evaluates channel quality with the Wagner-Fischer edit distance
+between sent and received bit sequences (Section 5), reports latency
+distributions as CDFs (Figure 4), and discusses detectability through
+hardware performance counters (Section 7).  This package implements those
+three measurement tools.
+"""
+
+from repro.analysis.edit_distance import edit_distance, edit_distance_alignment
+from repro.analysis.ber import (
+    BitErrorReport,
+    align_by_preamble,
+    bit_error_rate,
+    evaluate_transmission,
+)
+from repro.analysis.cdf import empirical_cdf, histogram, summarize_latencies
+from repro.analysis.capacity import (
+    binary_symmetric_capacity,
+    confusion_matrix,
+    effective_rate_kbps,
+    symbol_capacity,
+)
+from repro.analysis.detection import DetectionReport, compare_miss_profiles
+from repro.analysis.svg import Chart, ber_chart, cdf_chart, trace_chart
+
+__all__ = [
+    "BitErrorReport",
+    "DetectionReport",
+    "Chart",
+    "align_by_preamble",
+    "ber_chart",
+    "binary_symmetric_capacity",
+    "cdf_chart",
+    "trace_chart",
+    "bit_error_rate",
+    "confusion_matrix",
+    "effective_rate_kbps",
+    "symbol_capacity",
+    "compare_miss_profiles",
+    "edit_distance",
+    "edit_distance_alignment",
+    "empirical_cdf",
+    "evaluate_transmission",
+    "histogram",
+    "summarize_latencies",
+]

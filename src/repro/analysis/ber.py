@@ -1,0 +1,106 @@
+"""Bit-error-rate evaluation with preamble alignment.
+
+Mirrors the paper's measurement procedure (Section 5): the first sixteen
+bits of every message are a fixed pattern the receiver uses for alignment,
+and the quality metric is ``edit_distance(sent, received) / len(sent)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.bits import hamming_distance, validate_bits
+from repro.common.errors import ProtocolError
+from repro.analysis.edit_distance import edit_distance
+
+#: The fixed 16-bit alignment preamble (alternating bits, easy to spot in
+#: the latency traces of Figures 5 and 7).
+DEFAULT_PREAMBLE: List[int] = [1, 0] * 8
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Edit distance between the sequences, normalised by the sent length."""
+    if not sent:
+        raise ProtocolError("sent sequence is empty")
+    validate_bits(sent)
+    validate_bits(received)
+    return edit_distance(sent, received) / len(sent)
+
+
+def align_by_preamble(
+    received: Sequence[int],
+    preamble: Sequence[int],
+    max_offset: int,
+) -> int:
+    """Find the offset in ``received`` where ``preamble`` matches best.
+
+    Scans offsets ``0..max_offset`` and returns the one minimising the
+    Hamming distance against the preamble (ties go to the smallest offset,
+    i.e. the nominal alignment).
+    """
+    if not preamble:
+        raise ProtocolError("preamble is empty")
+    if max_offset < 0:
+        raise ProtocolError(f"max_offset must be non-negative, got {max_offset}")
+    best_offset = 0
+    best_score = len(preamble) + 1
+    for offset in range(max_offset + 1):
+        window = received[offset : offset + len(preamble)]
+        if len(window) < len(preamble):
+            break
+        score = hamming_distance(list(window), list(preamble))
+        if score < best_score:
+            best_score = score
+            best_offset = offset
+    return best_offset
+
+
+@dataclass(frozen=True)
+class BitErrorReport:
+    """Outcome of one sent-vs-received comparison."""
+
+    sent: Sequence[int]
+    received: Sequence[int]
+    offset: int
+    errors: int
+    ber: float
+
+    def __str__(self) -> str:
+        return (
+            f"BER {self.ber:.3%} ({self.errors} errors over "
+            f"{len(self.sent)} bits, alignment offset {self.offset})"
+        )
+
+
+def evaluate_transmission(
+    sent: Sequence[int],
+    received_raw: Sequence[int],
+    preamble_length: int,
+    alignment_slack: int = 0,
+) -> BitErrorReport:
+    """Align the raw received stream and score it against ``sent``.
+
+    ``sent`` must begin with the preamble (its first ``preamble_length``
+    bits).  ``received_raw`` may contain up to ``alignment_slack`` extra
+    leading samples; the preamble search absorbs them.
+    """
+    if preamble_length > len(sent):
+        raise ProtocolError(
+            f"preamble_length {preamble_length} exceeds message length {len(sent)}"
+        )
+    if preamble_length > 0 and alignment_slack > 0:
+        offset = align_by_preamble(
+            received_raw, sent[:preamble_length], alignment_slack
+        )
+    else:
+        offset = 0
+    received = list(received_raw[offset : offset + len(sent)])
+    errors = edit_distance(sent, received)
+    return BitErrorReport(
+        sent=list(sent),
+        received=received,
+        offset=offset,
+        errors=errors,
+        ber=errors / len(sent),
+    )

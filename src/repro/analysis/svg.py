@@ -1,0 +1,308 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The offline environment has no plotting stack, so this module implements
+the minimal chart vocabulary the reproduction needs — scatter/line series
+with axes, ticks and a legend — as direct SVG generation.  The figure
+experiments use it to write real image artifacts next to their numeric
+tables (``examples/render_figures.py`` drives it).
+
+Not a general plotting library: two chart types, sensible defaults,
+deterministic output (stable text, no timestamps) so figures diff cleanly
+across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Categorical colours (colour-blind-safe Okabe-Ito subset).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+           "#F0E442", "#000000")
+
+
+@dataclass
+class Series:
+    """One named data series: points, drawn as a line, dots, or steps."""
+
+    label: str
+    points: Sequence[Tuple[float, float]]
+    mode: str = "line"  # "line" | "dots" | "line+dots"
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError(f"series {self.label!r} has no points")
+        if self.mode not in ("line", "dots", "line+dots"):
+            raise ConfigurationError(f"unknown mode {self.mode!r}")
+
+
+@dataclass
+class Chart:
+    """A single-panel chart rendered to SVG."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    #: Horizontal guide lines (e.g. decoder thresholds), as (label, y).
+    guides: List[Tuple[str, float]] = field(default_factory=list)
+    width: int = 640
+    height: int = 400
+    log_x: bool = False
+
+    _MARGIN_LEFT = 62
+    _MARGIN_RIGHT = 16
+    _MARGIN_TOP = 34
+    _MARGIN_BOTTOM = 46
+
+    def add_series(self, label: str, points: Sequence[Tuple[float, float]],
+                   mode: str = "line") -> None:
+        """Append a data series."""
+        self.series.append(Series(label=label, points=points, mode=mode))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        if not self.series:
+            raise ConfigurationError("chart has no series")
+        xs = [x for s in self.series for x, _ in s.points]
+        ys = [y for s in self.series for _, y in s.points]
+        ys += [y for _, y in self.guides]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_min == x_max:
+            x_min, x_max = x_min - 1, x_max + 1
+        if y_min == y_max:
+            y_min, y_max = y_min - 1, y_max + 1
+        # Pad y a little so extreme points are not on the frame.
+        pad = 0.06 * (y_max - y_min)
+        return x_min, x_max, y_min - pad, y_max + pad
+
+    def _x_pixel(self, x: float, x_min: float, x_max: float) -> float:
+        if self.log_x:
+            if x <= 0 or x_min <= 0:
+                raise ConfigurationError("log_x requires positive x values")
+            fraction = (math.log10(x) - math.log10(x_min)) / (
+                math.log10(x_max) - math.log10(x_min)
+            )
+        else:
+            fraction = (x - x_min) / (x_max - x_min)
+        usable = self.width - self._MARGIN_LEFT - self._MARGIN_RIGHT
+        return self._MARGIN_LEFT + fraction * usable
+
+    def _y_pixel(self, y: float, y_min: float, y_max: float) -> float:
+        fraction = (y - y_min) / (y_max - y_min)
+        usable = self.height - self._MARGIN_TOP - self._MARGIN_BOTTOM
+        return self.height - self._MARGIN_BOTTOM - fraction * usable
+
+    @staticmethod
+    def _ticks(low: float, high: float, count: int = 5) -> List[float]:
+        """Round tick positions covering [low, high]."""
+        span = high - low
+        if span <= 0:
+            return [low]
+        raw_step = span / count
+        magnitude = 10 ** math.floor(math.log10(raw_step))
+        for multiplier in (1, 2, 5, 10):
+            step = multiplier * magnitude
+            if step >= raw_step:
+                break
+        first = math.ceil(low / step) * step
+        ticks = []
+        value = first
+        while value <= high + 1e-9:
+            ticks.append(round(value, 10))
+            value += step
+        return ticks
+
+    @staticmethod
+    def _fmt(value: float) -> str:
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:g}"
+
+    def to_svg(self) -> str:
+        """Render the chart as an SVG document string."""
+        x_min, x_max, y_min, y_max = self._bounds()
+        parts: List[str] = []
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="Helvetica, Arial, sans-serif">'
+        )
+        parts.append(f'<rect width="{self.width}" height="{self.height}" fill="white"/>')
+        parts.append(
+            f'<text x="{self.width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(self.title)}</text>'
+        )
+        # Plot frame.
+        frame_left = self._MARGIN_LEFT
+        frame_right = self.width - self._MARGIN_RIGHT
+        frame_top = self._MARGIN_TOP
+        frame_bottom = self.height - self._MARGIN_BOTTOM
+        parts.append(
+            f'<rect x="{frame_left}" y="{frame_top}" '
+            f'width="{frame_right - frame_left}" height="{frame_bottom - frame_top}" '
+            f'fill="none" stroke="#444" stroke-width="1"/>'
+        )
+        # Ticks + grid.
+        for tick in self._ticks(y_min, y_max):
+            y_px = self._y_pixel(tick, y_min, y_max)
+            parts.append(
+                f'<line x1="{frame_left}" y1="{y_px:.1f}" x2="{frame_right}" '
+                f'y2="{y_px:.1f}" stroke="#ddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{frame_left - 6}" y="{y_px + 4:.1f}" text-anchor="end" '
+                f'font-size="10">{self._fmt(tick)}</text>'
+            )
+        x_tick_values = (
+            [p for s in self.series for p, _ in s.points]
+            if self.log_x
+            else self._ticks(x_min, x_max)
+        )
+        for tick in sorted(set(x_tick_values)):
+            x_px = self._x_pixel(tick, x_min, x_max)
+            parts.append(
+                f'<line x1="{x_px:.1f}" y1="{frame_bottom}" x2="{x_px:.1f}" '
+                f'y2="{frame_bottom + 4}" stroke="#444" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{x_px:.1f}" y="{frame_bottom + 16}" text-anchor="middle" '
+                f'font-size="10">{self._fmt(tick)}</text>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{(frame_left + frame_right) / 2:.0f}" '
+            f'y="{self.height - 8}" text-anchor="middle" font-size="11">'
+            f'{_escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="14" y="{(frame_top + frame_bottom) / 2:.0f}" '
+            f'text-anchor="middle" font-size="11" '
+            f'transform="rotate(-90 14 {(frame_top + frame_bottom) / 2:.0f})">'
+            f'{_escape(self.y_label)}</text>'
+        )
+        # Guides.
+        for label, y_value in self.guides:
+            y_px = self._y_pixel(y_value, y_min, y_max)
+            parts.append(
+                f'<line x1="{frame_left}" y1="{y_px:.1f}" x2="{frame_right}" '
+                f'y2="{y_px:.1f}" stroke="#888" stroke-width="1" '
+                f'stroke-dasharray="5,4"/>'
+            )
+            parts.append(
+                f'<text x="{frame_right - 4}" y="{y_px - 4:.1f}" text-anchor="end" '
+                f'font-size="9" fill="#666">{_escape(label)}</text>'
+            )
+        # Series.
+        for index, series in enumerate(self.series):
+            colour = PALETTE[index % len(PALETTE)]
+            pixels = [
+                (self._x_pixel(x, x_min, x_max), self._y_pixel(y, y_min, y_max))
+                for x, y in series.points
+            ]
+            if "line" in series.mode and len(pixels) > 1:
+                path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pixels)
+                parts.append(
+                    f'<polyline points="{path}" fill="none" stroke="{colour}" '
+                    f'stroke-width="1.8"/>'
+                )
+            if "dots" in series.mode:
+                for x_px, y_px in pixels:
+                    parts.append(
+                        f'<circle cx="{x_px:.1f}" cy="{y_px:.1f}" r="2.2" '
+                        f'fill="{colour}"/>'
+                    )
+        # Legend.
+        legend_x = frame_left + 10
+        legend_y = frame_top + 14
+        for index, series in enumerate(self.series):
+            colour = PALETTE[index % len(PALETTE)]
+            y_px = legend_y + index * 15
+            parts.append(
+                f'<line x1="{legend_x}" y1="{y_px - 4}" x2="{legend_x + 18}" '
+                f'y2="{y_px - 4}" stroke="{colour}" stroke-width="2.5"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 24}" y="{y_px}" font-size="10">'
+                f'{_escape(series.label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def cdf_chart(
+    title: str,
+    samples_by_label: "dict[str, Sequence[float]]",
+    x_label: str = "latency (cycles)",
+) -> Chart:
+    """Build a CDF chart (the Figure 4 form) from labelled sample sets."""
+    from repro.analysis.cdf import empirical_cdf
+
+    chart = Chart(title=title, x_label=x_label, y_label="CDF")
+    for label, samples in samples_by_label.items():
+        chart.add_series(label, empirical_cdf(samples), mode="line")
+    return chart
+
+
+def trace_chart(
+    title: str,
+    latencies: Sequence[float],
+    thresholds: Sequence[float] = (),
+) -> Chart:
+    """Build a received-trace chart (the Figure 5/7 form)."""
+    chart = Chart(
+        title=title,
+        x_label="sample index",
+        y_label="replacement latency (cycles)",
+    )
+    chart.add_series(
+        "receiver samples",
+        [(float(i), float(v)) for i, v in enumerate(latencies)],
+        mode="dots",
+    )
+    for index, threshold in enumerate(thresholds):
+        chart.guides.append((f"threshold {index + 1}", float(threshold)))
+    return chart
+
+
+def ber_chart(
+    title: str,
+    curves: "dict[str, Sequence[Tuple[float, float]]]",
+) -> Chart:
+    """Build a BER-vs-rate chart (the Figure 6/8 form), log-x in Kbps."""
+    chart = Chart(
+        title=title,
+        x_label="transmission rate (Kbps)",
+        y_label="bit error rate",
+        log_x=True,
+    )
+    for label, points in curves.items():
+        chart.add_series(label, points, mode="line+dots")
+    return chart
+
+
+__all__: Optional[List[str]] = [
+    "Chart",
+    "PALETTE",
+    "Series",
+    "ber_chart",
+    "cdf_chart",
+    "trace_chart",
+]

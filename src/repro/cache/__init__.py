@@ -1,0 +1,44 @@
+"""Cache substrate: lines, sets, set-associative caches, and the hierarchy.
+
+This package implements the write-back cache semantics the paper attacks.
+The single load-bearing behaviour is in :meth:`CacheSet.fill` /
+:meth:`CacheHierarchy.access`: filling over a **dirty** victim costs a
+write-back penalty on top of the next-level hit latency, while a clean
+victim is replaced for free.  Everything else — write policies, allocation
+policies, statistics, multi-level walks — exists so the attack, baseline
+channels, defenses, and benign workloads all run against one faithful model.
+"""
+
+from repro.cache.line import CacheLine, EvictedLine
+from repro.cache.latency import LatencyModel
+from repro.cache.cache_set import CacheSet
+from repro.cache.cache import (
+    AllocationPolicy,
+    Cache,
+    WritePolicy,
+)
+from repro.cache.hierarchy import AccessTrace, CacheHierarchy, MEMORY_LEVEL
+from repro.cache.stats import CacheStats, LevelCounters
+from repro.cache.configs import (
+    XeonE5_2650Config,
+    make_xeon_hierarchy,
+    make_tiny_hierarchy,
+)
+
+__all__ = [
+    "AccessTrace",
+    "AllocationPolicy",
+    "Cache",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheSet",
+    "CacheStats",
+    "EvictedLine",
+    "LatencyModel",
+    "LevelCounters",
+    "MEMORY_LEVEL",
+    "WritePolicy",
+    "XeonE5_2650Config",
+    "make_tiny_hierarchy",
+    "make_xeon_hierarchy",
+]

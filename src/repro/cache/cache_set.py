@@ -1,0 +1,190 @@
+"""A single cache set: ways, replacement-policy metadata, fill/evict logic.
+
+Victim selection order (mirrors real write-allocate caches and supports the
+defense models):
+
+1. any invalid way;
+2. otherwise the replacement policy's choice, skipping locked ways
+   (PLcache) and ways outside the caller's allowed-way mask (partitioned
+   caches) by re-querying the policy after a forced touch of the forbidden
+   way — bounded, and falling back to a linear scan if the policy keeps
+   pointing at forbidden ways.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence
+
+#: Converts (tag, set_index) back into a line-aligned address so the
+#: hierarchy can route write-backs of evicted victims.
+AddressReconstructor = Callable[[int, int], int]
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.cache.line import CacheLine, EvictedLine
+from repro.replacement.base import ReplacementPolicy
+
+
+class CacheSet:
+    """One set of a set-associative cache."""
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive, got {ways}")
+        if policy.ways != ways:
+            raise ConfigurationError(
+                f"policy manages {policy.ways} ways but the set has {ways}"
+            )
+        self.ways = ways
+        self.policy = policy
+        self.lines: List[CacheLine] = [CacheLine() for _ in range(ways)]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find(self, tag: int) -> Optional[int]:
+        """Way index holding ``tag``, or None."""
+        for way, line in enumerate(self.lines):
+            if line.matches(tag):
+                return way
+        return None
+
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way`` with the replacement policy."""
+        self.policy.on_hit(way)
+
+    # ------------------------------------------------------------------
+    # Fill / eviction
+    # ------------------------------------------------------------------
+    def _invalid_way(self, allowed_ways: Optional[Sequence[int]]) -> Optional[int]:
+        candidates = range(self.ways) if allowed_ways is None else allowed_ways
+        for way in candidates:
+            if not self.lines[way].valid:
+                return way
+        return None
+
+    def choose_victim(self, allowed_ways: Optional[Sequence[int]] = None) -> int:
+        """Pick the way a fill will (re)use, preferring invalid ways.
+
+        ``allowed_ways`` restricts the choice (way-partitioning defenses).
+        Locked lines are never chosen.  Raises :class:`SimulationError` when
+        every permitted way is locked — the PLcache "excessive locking"
+        failure mode, surfaced loudly instead of silently mis-evicting.
+        """
+        invalid = self._invalid_way(allowed_ways)
+        if invalid is not None:
+            return invalid
+
+        allowed = set(range(self.ways) if allowed_ways is None else allowed_ways)
+        if not allowed:
+            raise ConfigurationError("allowed_ways must not be empty")
+        evictable = {way for way in allowed if not self.lines[way].locked}
+        if not evictable:
+            raise SimulationError(
+                "no evictable way: all permitted ways are locked"
+            )
+
+        # Dirty-state hint for policies that model write-back-averse victim
+        # selection (the E5-2650 surrogate).
+        self.policy.notify_dirty_ways(
+            tuple(line.valid and line.dirty for line in self.lines)
+        )
+        # Let the policy choose; nudge it off forbidden ways a bounded
+        # number of times (a locked/foreign way behaves as "most recently
+        # used" from the policy's viewpoint because it can never leave).
+        for _ in range(4 * self.ways):
+            way = self.policy.victim()
+            if way in evictable:
+                return way
+            self.policy.on_hit(way)
+        # Policy refuses to cooperate (can happen with degenerate states);
+        # fall back to any evictable way deterministically.
+        return min(evictable)
+
+    def fill(
+        self,
+        tag: int,
+        dirty: bool,
+        owner: Optional[int],
+        set_index: int,
+        address_of: AddressReconstructor,
+        allowed_ways: Optional[Sequence[int]] = None,
+    ) -> Optional[EvictedLine]:
+        """Install ``tag`` into the set, returning the evicted line if any.
+
+        ``address_of`` converts (tag, set_index) back into a line address so
+        the hierarchy can route the write-back.
+        """
+        if self.find(tag) is not None:
+            raise SimulationError(
+                f"fill of tag {tag:#x} that is already present in the set"
+            )
+        way = self.choose_victim(allowed_ways)
+        line = self.lines[way]
+        evicted: Optional[EvictedLine] = None
+        if line.valid:
+            evicted = EvictedLine(
+                address=address_of(line.tag, set_index),
+                dirty=line.dirty,
+                owner=line.owner,
+            )
+            self.policy.on_invalidate(way)
+        line.tag = tag
+        line.valid = True
+        line.dirty = dirty
+        line.locked = False
+        line.owner = owner
+        self.policy.on_fill(way)
+        return evicted
+
+    def invalidate(self, tag: int) -> Optional[EvictedLine]:
+        """Drop ``tag`` from the set (clflush), reporting its final state."""
+        way = self.find(tag)
+        if way is None:
+            return None
+        line = self.lines[way]
+        snapshot = EvictedLine(address=-1, dirty=line.dirty, owner=line.owner)
+        line.invalidate()
+        self.policy.on_invalidate(way)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments, defenses and tests
+    # ------------------------------------------------------------------
+    def dirty_count(self) -> int:
+        """Number of valid dirty lines currently in the set."""
+        return sum(1 for line in self.lines if line.valid and line.dirty)
+
+    def valid_count(self) -> int:
+        """Number of valid lines currently in the set."""
+        return sum(1 for line in self.lines if line.valid)
+
+    def resident_tags(self) -> List[int]:
+        """Tags of all valid lines (unordered semantics, way order)."""
+        return [line.tag for line in self.lines if line.valid]
+
+    def lock(self, tag: int) -> bool:
+        """Lock ``tag`` against eviction (PLcache); False if absent."""
+        way = self.find(tag)
+        if way is None:
+            return False
+        self.lines[way].locked = True
+        return True
+
+    def unlock(self, tag: int) -> bool:
+        """Unlock ``tag``; False if absent."""
+        way = self.find(tag)
+        if way is None:
+            return False
+        self.lines[way].locked = False
+        return True
+
+    def randomize_policy_state(self, rng: Optional[random.Random] = None) -> None:
+        """Scramble replacement metadata (Table 2 initial conditions)."""
+        del rng  # policies use their own generator
+        self.policy.randomize_state()
+
+
+def iter_valid_lines(cache_set: CacheSet) -> Iterable[CacheLine]:
+    """Yield the valid lines of ``cache_set`` (test/diagnostic helper)."""
+    return (line for line in cache_set.lines if line.valid)

@@ -1,0 +1,144 @@
+"""Preset hierarchy configurations.
+
+:func:`make_xeon_hierarchy` models the paper's evaluation platform (Intel
+Xeon E5-2650, Table 3): a 32 KB / 8-way / 64-set VIPT L1D, a 256 KB / 8-way
+unified L2 and a last-level cache.  The real part has a 20 MB shared LLC;
+we model a 2 MB slice, which preserves every behaviour the paper measures
+(the channel never leaves L1/L2) while keeping simulations light.
+
+:func:`make_tiny_hierarchy` is a deliberately small configuration for unit
+tests that want to force evictions with a handful of addresses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.rng import derive_rng, ensure_rng
+from repro.cache.cache import AllocationPolicy, Cache, WritePolicy
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.latency import LatencyModel
+from repro.replacement.registry import make_policy_factory
+
+
+@dataclass(frozen=True)
+class XeonE5_2650Config:
+    """Knobs of the modelled Xeon E5-2650 memory hierarchy.
+
+    The defaults reproduce the paper's platform; experiments vary
+    ``l1_policy`` (Table 2, Section 6.1), ``l1_write_policy`` (Section 8)
+    and the latency model's jitter.
+    """
+
+    l1_size: int = 32 * 1024
+    l1_ways: int = 8
+    line_size: int = 64
+    l2_size: int = 256 * 1024
+    l2_ways: int = 8
+    llc_size: int = 2 * 1024 * 1024
+    llc_ways: int = 16
+    l1_policy: str = "tree-plru"
+    l2_policy: str = "tree-plru"
+    llc_policy: str = "srrip"
+    l1_write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    l1_allocation_policy: AllocationPolicy = AllocationPolicy.WRITE_ALLOCATE
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    @property
+    def l1_sets(self) -> int:
+        """Number of L1 sets (64 for the paper's platform)."""
+        return self.l1_size // (self.l1_ways * self.line_size)
+
+
+def make_xeon_hierarchy(
+    config: Optional[XeonE5_2650Config] = None,
+    rng: Optional[random.Random] = None,
+    **overrides: object,
+) -> CacheHierarchy:
+    """Build the modelled Xeon E5-2650 hierarchy.
+
+    ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
+    ``make_xeon_hierarchy(l1_policy="random")`` for the Section 6.1
+    experiments.
+    """
+    if config is None:
+        config = XeonE5_2650Config()
+    if overrides:
+        config = dataclass_replace(config, **overrides)
+    master = ensure_rng(rng)
+    l1 = Cache(
+        name="L1D",
+        size_bytes=config.l1_size,
+        associativity=config.l1_ways,
+        line_size=config.line_size,
+        policy_factory=make_policy_factory(config.l1_policy),
+        write_policy=config.l1_write_policy,
+        allocation_policy=config.l1_allocation_policy,
+        rng=derive_rng(master, "l1"),
+    )
+    l2 = Cache(
+        name="L2",
+        size_bytes=config.l2_size,
+        associativity=config.l2_ways,
+        line_size=config.line_size,
+        policy_factory=make_policy_factory(config.l2_policy),
+        rng=derive_rng(master, "l2"),
+    )
+    llc = Cache(
+        name="LLC",
+        size_bytes=config.llc_size,
+        associativity=config.llc_ways,
+        line_size=config.line_size,
+        policy_factory=make_policy_factory(config.llc_policy),
+        rng=derive_rng(master, "llc"),
+    )
+    return CacheHierarchy(
+        levels=[l1, l2, llc],
+        latency=config.latency,
+        rng=derive_rng(master, "hierarchy"),
+    )
+
+
+def make_tiny_hierarchy(
+    l1_policy: str = "lru",
+    rng: Optional[random.Random] = None,
+    l1_write_policy: WritePolicy = WritePolicy.WRITE_BACK,
+) -> CacheHierarchy:
+    """A 2-level, 4-set hierarchy small enough to exhaust in unit tests."""
+    master = ensure_rng(rng)
+    l1 = Cache(
+        name="L1-tiny",
+        size_bytes=512,
+        associativity=2,
+        line_size=64,
+        policy_factory=make_policy_factory(l1_policy),
+        write_policy=l1_write_policy,
+        rng=derive_rng(master, "l1"),
+    )
+    l2 = Cache(
+        name="L2-tiny",
+        size_bytes=4096,
+        associativity=4,
+        line_size=64,
+        policy_factory=make_policy_factory("lru"),
+        rng=derive_rng(master, "l2"),
+    )
+    return CacheHierarchy(levels=[l1, l2], rng=derive_rng(master, "hierarchy"))
+
+
+def dataclass_replace(config: XeonE5_2650Config, **overrides: object) -> XeonE5_2650Config:
+    """``dataclasses.replace`` with a friendlier error for bad field names."""
+    import dataclasses
+
+    valid = {f.name for f in dataclasses.fields(config)}
+    unknown = set(overrides) - valid
+    if unknown:
+        from repro.common.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown config field(s): {', '.join(sorted(unknown))}; "
+            f"valid fields: {', '.join(sorted(valid))}"
+        )
+    return dataclasses.replace(config, **overrides)

@@ -1,0 +1,269 @@
+"""Multi-level cache hierarchy with latency accounting.
+
+The hierarchy owns the walk across levels, the fill path, the write-back
+routing, and — crucially for this paper — the latency composition rule:
+
+* hit at level *k* costs ``hit_latency(k)``;
+* an L1 fill whose victim is **dirty** additionally costs
+  ``l1_writeback_penalty`` because the victim must drain to L2 before the
+  fill completes (Table 4: 10-12 cycles over a clean victim vs 22-23 over a
+  dirty one).
+
+Write-backs below L1 are absorbed by write buffers by default
+(``charge_deep_writebacks=False``): they update state but do not stall the
+demand access, matching the observation that only the L1 replacement
+latency is measurable from the pointer chase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.cache.cache import AllocationPolicy, Cache, WritePolicy
+from repro.cache.latency import LatencyModel
+from repro.cache.line import EvictedLine
+from repro.cache.stats import CacheStats
+
+#: Pseudo-level number reported when an access went all the way to DRAM.
+MEMORY_LEVEL: int = 99
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """Everything observable about one demand access."""
+
+    address: int
+    write: bool
+    #: 1 = L1 hit, 2 = L2 hit, ..., MEMORY_LEVEL = DRAM.
+    hit_level: int
+    #: Total cycles charged to the issuing thread.
+    latency: int
+    #: Whether the L1 fill had to replace a dirty victim — the paper's
+    #: leaked bit of information.
+    l1_victim_dirty: bool
+    #: (level, evicted line) pairs, outermost first.
+    evictions: Tuple[Tuple[int, EvictedLine], ...] = ()
+
+
+class CacheHierarchy:
+    """An ordered stack of caches over a fixed-latency DRAM."""
+
+    def __init__(
+        self,
+        levels: List[Cache],
+        latency: Optional[LatencyModel] = None,
+        rng: Optional[random.Random] = None,
+        charge_deep_writebacks: bool = False,
+    ) -> None:
+        if not levels:
+            raise ConfigurationError("hierarchy needs at least one cache level")
+        for shallower, deeper in zip(levels, levels[1:]):
+            if deeper.size_bytes < shallower.size_bytes:
+                raise ConfigurationError(
+                    f"{deeper.name} is smaller than {shallower.name}; "
+                    "levels must be ordered shallow to deep"
+                )
+        self.levels = levels
+        self.latency = latency or LatencyModel()
+        self.rng = ensure_rng(rng)
+        self.charge_deep_writebacks = charge_deep_writebacks
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def l1(self) -> Cache:
+        """The innermost cache level."""
+        return self.levels[0]
+
+    def load(self, address: int, owner: Optional[int] = None) -> AccessTrace:
+        """Demand load of ``address`` by hardware thread ``owner``."""
+        return self.access(address, write=False, owner=owner)
+
+    def store(self, address: int, owner: Optional[int] = None) -> AccessTrace:
+        """Demand store to ``address`` by hardware thread ``owner``."""
+        return self.access(address, write=True, owner=owner)
+
+    def access(
+        self, address: int, write: bool, owner: Optional[int] = None
+    ) -> AccessTrace:
+        """Perform one demand access and return its trace."""
+        evictions: List[Tuple[int, EvictedLine]] = []
+        latency = self.latency.sample_jitter(self.rng)
+
+        hit_level = self._walk(address, owner, write=write)
+        if hit_level == 1:
+            latency += self.latency.hit_latency(1)
+            l1_victim_dirty = False
+            if write:
+                latency += self._store_hit(address, owner)
+        else:
+            if hit_level == MEMORY_LEVEL:
+                latency += self.latency.dram
+                self.stats.memory_reads += 1
+            else:
+                latency += self.latency.hit_latency(hit_level)
+            allocate = (not write) or (
+                self.l1.allocation_policy is AllocationPolicy.WRITE_ALLOCATE
+            )
+            l1_victim_dirty = False
+            if allocate:
+                l1_victim_dirty, extra = self._fill_path(
+                    address, hit_level, owner, evictions
+                )
+                latency += extra
+                if write:
+                    latency += self._store_hit(address, owner)
+            else:
+                # No-write-allocate store miss: write around the cache.
+                self._propagate_store(0, address, owner)
+
+        return AccessTrace(
+            address=address,
+            write=write,
+            hit_level=hit_level,
+            latency=latency,
+            l1_victim_dirty=l1_victim_dirty,
+            evictions=tuple(evictions),
+        )
+
+    def flush(self, address: int, owner: Optional[int] = None) -> int:
+        """clflush semantics: evict ``address`` everywhere, write back dirty.
+
+        The returned cycle cost is higher when the line was resident
+        (``flush_present_extra``), which is the signal Flush+Flush decodes,
+        plus write-back penalties for dirty copies.
+        """
+        cost = self.latency.flush_base + self.latency.sample_jitter(self.rng)
+        was_present = False
+        for index, level in enumerate(self.levels):
+            snapshot = level.invalidate(address)
+            if snapshot is None:
+                continue
+            was_present = True
+            if snapshot.dirty:
+                # clflush forces dirty data all the way to memory (it will
+                # be invalid at every cache level afterwards).
+                self.stats.record_writeback(index + 1, owner)
+                self.stats.memory_writes += 1
+                cost += self.latency.writeback_penalty(index + 1)
+        if was_present:
+            cost += self.latency.flush_present_extra
+        return cost
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def probe_level(self, address: int) -> int:
+        """Deepest-match-free probe: level where ``address`` resides."""
+        for index, level in enumerate(self.levels):
+            if level.probe(address):
+                return index + 1
+        return MEMORY_LEVEL
+
+    def dirty_in_l1_set(self, set_index: int) -> int:
+        """Dirty-line count of an L1 set (experiment introspection)."""
+        return self.l1.dirty_lines_in_set(set_index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _walk(self, address: int, owner: Optional[int], write: bool = False) -> int:
+        """Find the hit level, recording access stats along the walk."""
+        for index, level in enumerate(self.levels):
+            hit = level.lookup(address, owner)
+            self.stats.record_access(index + 1, owner, hit, write=write)
+            if hit:
+                return index + 1
+        return MEMORY_LEVEL
+
+    def _fill_path(
+        self,
+        address: int,
+        hit_level: int,
+        owner: Optional[int],
+        evictions: List[Tuple[int, EvictedLine]],
+    ) -> Tuple[bool, int]:
+        """Install ``address`` into every level above ``hit_level``.
+
+        Returns (L1 victim was dirty, extra latency charged).
+        """
+        deepest_fill = (
+            len(self.levels) if hit_level == MEMORY_LEVEL else hit_level - 1
+        )
+        l1_victim_dirty = False
+        extra = 0
+        # Fill outward-in so victims cascade naturally (L2 before L1 does
+        # not matter structurally here, but inner-last keeps L1 state final).
+        for index in range(deepest_fill - 1, -1, -1):
+            level = self.levels[index]
+            evicted = level.fill(address, dirty=False, owner=owner)
+            if evicted is None:
+                continue
+            evictions.append((index + 1, evicted))
+            if evicted.dirty:
+                self.stats.record_writeback(index + 1, evicted.owner)
+                self._writeback(index + 1, evicted.address, evicted.owner)
+                if index == 0:
+                    l1_victim_dirty = True
+                    extra += self.latency.writeback_penalty(1)
+                elif self.charge_deep_writebacks:
+                    extra += self.latency.writeback_penalty(index + 1)
+        return l1_victim_dirty, extra
+
+    def _writeback(self, from_level: int, address: int, owner: Optional[int]) -> None:
+        """Land a dirty victim evicted from ``from_level`` one level deeper."""
+        index = from_level  # levels list index of the next deeper level
+        if index >= len(self.levels):
+            self.stats.memory_writes += 1
+            return
+        level = self.levels[index]
+        if level.probe(address):
+            level.mark_dirty(address)
+            return
+        evicted = level.fill(address, dirty=True, owner=owner)
+        if evicted is not None and evicted.dirty:
+            self.stats.record_writeback(index + 1, evicted.owner)
+            self._writeback(index + 1, evicted.address, evicted.owner)
+
+    def _store_hit(self, address: int, owner: Optional[int]) -> int:
+        """Apply a store to the (normally resident) L1 line; returns cost.
+
+        Defensive caches may *bypass* a fill (PLcache with every permitted
+        way locked), leaving the line absent; the store is then forwarded
+        downward like a no-write-allocate miss.
+        """
+        if not self.l1.probe(address):
+            self._propagate_store(0, address, owner)
+            return self.latency.write_through_store_penalty
+        if self.l1.write_policy is WritePolicy.WRITE_BACK:
+            self.l1.mark_dirty(address)
+            return 0
+        # Write-through: the L1 copy stays clean and the store is forwarded
+        # synchronously toward the first write-back level (or memory).
+        self._propagate_store(1, address, owner)
+        return self.latency.write_through_store_penalty
+
+    def _propagate_store(
+        self, start_index: int, address: int, owner: Optional[int]
+    ) -> None:
+        """Push a store downward from ``levels[start_index]``.
+
+        The store settles at the first write-back level that holds the line
+        (marking it dirty).  Write-through levels holding the line stay
+        clean and forward onward; levels missing the line are written
+        around (no-write-allocate semantics for forwarded stores).
+        """
+        for index in range(start_index, len(self.levels)):
+            level = self.levels[index]
+            if not level.probe(address):
+                continue
+            if level.write_policy is WritePolicy.WRITE_BACK:
+                level.mark_dirty(address)
+                return
+        self.stats.memory_writes += 1

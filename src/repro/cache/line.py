@@ -1,0 +1,49 @@
+"""Cache line state.
+
+The paper's entire channel rests on one bit of this dataclass: ``dirty``.
+``locked`` and ``owner`` exist for the defense models (PLcache locks lines;
+partitioned caches and the statistics need to know which hardware thread
+installed a line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class CacheLine:
+    """One way of one cache set."""
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    locked: bool = False
+    #: Hardware-thread id that installed (or last wrote) the line; ``None``
+    #: for lines created by hierarchy-internal traffic such as write-backs.
+    owner: Optional[int] = None
+
+    def invalidate(self) -> None:
+        """Reset the line to the invalid state (drops dirty data)."""
+        self.valid = False
+        self.dirty = False
+        self.locked = False
+        self.owner = None
+
+    def matches(self, tag: int) -> bool:
+        """Whether this line is valid and holds ``tag``."""
+        return self.valid and self.tag == tag
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """Snapshot of a line at the moment it was evicted from a set.
+
+    ``address`` is the full line-aligned address reconstructed by the cache
+    (tag + set index), so write-backs can be routed to the next level.
+    """
+
+    address: int
+    dirty: bool
+    owner: Optional[int]

@@ -1,0 +1,124 @@
+"""Per-level, per-thread cache statistics.
+
+These counters are the simulator's stand-in for the hardware performance
+counters the paper reads with ``perf`` (Tables 6 and 7): accesses, hits,
+misses and write-backs at each level, attributable to the hardware thread
+that issued the demand access.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class LevelCounters:
+    """Counters for one (level, owner) pair."""
+
+    accesses: int = 0
+    hits: int = 0
+    writebacks: int = 0
+    stores: int = 0
+
+    @property
+    def loads(self) -> int:
+        """Demand loads (what perf's L1-dcache-loads style events count)."""
+        return self.accesses - self.stores
+
+    @property
+    def misses(self) -> int:
+        """Demand misses observed at this level."""
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses; 0.0 for an untouched counter."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "LevelCounters") -> None:
+        """Accumulate ``other`` into this counter."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.writebacks += other.writebacks
+        self.stores += other.stores
+
+
+#: Owner key used to aggregate counters across all threads.
+ALL_OWNERS: int = -1
+
+
+class CacheStats:
+    """Accumulates counters keyed by (level, owner).
+
+    ``owner`` is a hardware-thread id; demand accesses with ``owner=None``
+    (hierarchy-internal traffic) are attributed only to the aggregate.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[int, Dict[int, LevelCounters]] = defaultdict(
+            lambda: defaultdict(LevelCounters)
+        )
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    def record_access(
+        self, level: int, owner: Optional[int], hit: bool, write: bool = False
+    ) -> None:
+        """Record one demand access at ``level``."""
+        for key in self._owner_keys(owner):
+            counter = self._counters[level][key]
+            counter.accesses += 1
+            if hit:
+                counter.hits += 1
+            if write:
+                counter.stores += 1
+
+    def record_writeback(self, level: int, owner: Optional[int]) -> None:
+        """Record one dirty eviction written back *from* ``level``."""
+        for key in self._owner_keys(owner):
+            self._counters[level][key].writebacks += 1
+
+    @staticmethod
+    def _owner_keys(owner: Optional[int]):
+        if owner is None or owner == ALL_OWNERS:
+            return (ALL_OWNERS,)
+        return (owner, ALL_OWNERS)
+
+    def level(self, level: int, owner: Optional[int] = None) -> LevelCounters:
+        """Counters for ``level`` restricted to ``owner`` (None = all)."""
+        key = ALL_OWNERS if owner is None else owner
+        counters = self._counters[level][key]
+        # Return a copy so callers cannot corrupt the accumulator.
+        return LevelCounters(
+            accesses=counters.accesses,
+            hits=counters.hits,
+            writebacks=counters.writebacks,
+            stores=counters.stores,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (used between measurement windows)."""
+        self._counters.clear()
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Flat dictionary view, for reports and debugging."""
+        result: Dict[str, Dict[str, int]] = {}
+        for level in sorted(self._counters):
+            counters = self._counters[level][ALL_OWNERS]
+            result[f"L{level}"] = {
+                "accesses": counters.accesses,
+                "hits": counters.hits,
+                "misses": counters.misses,
+                "writebacks": counters.writebacks,
+            }
+        result["memory"] = {
+            "reads": self.memory_reads,
+            "writes": self.memory_writes,
+        }
+        return result

@@ -1,0 +1,49 @@
+"""Covert-channel implementations.
+
+:mod:`repro.channels.wb` is the paper's contribution; the sibling modules
+implement the channels it compares against in Sections 6-7 (LRU channel,
+Prime+Probe, Flush+Reload, Flush+Flush), all running on the same simulated
+SMT core so that stability and stealthiness comparisons are apples to
+apples.
+"""
+
+from repro.channels.encoding import BinaryDirtyCodec, MultiBitDirtyCodec, SymbolCodec
+from repro.channels.threshold import ThresholdDecoder
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig
+from repro.channels.results import TransmissionResult
+from repro.channels.coding import BlockCode, HammingCode, RepetitionCode
+from repro.channels.lru_channel import LRUChannelConfig, run_lru_channel
+from repro.channels.prime_probe import PrimeProbeConfig, run_prime_probe_channel
+from repro.channels.flush_reload import FlushReloadConfig, run_flush_reload_channel
+from repro.channels.flush_flush import FlushFlushConfig, run_flush_flush_channel
+from repro.channels.taxonomy import (
+    KNOWN_CHANNELS,
+    ChannelProfile,
+    TimingClass,
+    channels_by_class,
+)
+
+__all__ = [
+    "BinaryDirtyCodec",
+    "BlockCode",
+    "ChannelProfile",
+    "ChannelTestbench",
+    "FlushFlushConfig",
+    "FlushReloadConfig",
+    "HammingCode",
+    "KNOWN_CHANNELS",
+    "LRUChannelConfig",
+    "MultiBitDirtyCodec",
+    "PrimeProbeConfig",
+    "RepetitionCode",
+    "SymbolCodec",
+    "TestbenchConfig",
+    "ThresholdDecoder",
+    "TimingClass",
+    "TransmissionResult",
+    "channels_by_class",
+    "run_flush_flush_channel",
+    "run_flush_reload_channel",
+    "run_lru_channel",
+    "run_prime_probe_channel",
+]

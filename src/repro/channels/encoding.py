@@ -1,0 +1,171 @@
+"""Symbol codecs: mapping message bits to dirty-line counts.
+
+Algorithm 1 of the paper: the sender encodes a symbol by putting ``d``
+lines of the target set into the dirty state.
+
+* Binary symbols: ``d = 0`` sends 0, ``d = d_on`` sends 1.  The paper
+  evaluates ``d_on`` from 1 to 8 (Figure 6); larger values widen the
+  latency gap at the cost of more sender stores.
+* Multi-bit symbols: two bits per symbol using well-separated levels;
+  the paper picks ``d ∈ {0, 3, 5, 8}`` for ``00, 01, 10, 11`` and avoids
+  adjacent levels to keep symbols distinguishable under pollution
+  (Section 5, "Symbols Encoding Multi-bits").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.bits import chunk_bits, validate_bits
+from repro.common.errors import ConfigurationError, ProtocolError
+
+
+class SymbolCodec(abc.ABC):
+    """Bidirectional mapping between bit groups and dirty-line counts."""
+
+    @property
+    @abc.abstractmethod
+    def bits_per_symbol(self) -> int:
+        """How many message bits one symbol carries."""
+
+    @property
+    @abc.abstractmethod
+    def levels(self) -> List[int]:
+        """The distinct dirty-line counts this codec uses, ascending."""
+
+    @abc.abstractmethod
+    def encode_symbol(self, bits: Sequence[int]) -> int:
+        """Dirty-line count for one symbol's bits."""
+
+    @abc.abstractmethod
+    def decode_symbol(self, level: int) -> List[int]:
+        """Bits for one received dirty-line level."""
+
+    # ------------------------------------------------------------------
+    # Whole-message helpers
+    # ------------------------------------------------------------------
+    def encode_message(self, bits: Sequence[int]) -> List[int]:
+        """Dirty-line count per symbol for the whole message."""
+        validate_bits(bits)
+        return [self.encode_symbol(group) for group in chunk_bits(bits, self.bits_per_symbol)]
+
+    def decode_message(self, levels: Sequence[int]) -> List[int]:
+        """Bits for a whole received level sequence."""
+        out: List[int] = []
+        for level in levels:
+            out.extend(self.decode_symbol(level))
+        return out
+
+    @property
+    def max_dirty_lines(self) -> int:
+        """Largest dirty-line count the codec can ask the sender for."""
+        return max(self.levels)
+
+
+class BinaryDirtyCodec(SymbolCodec):
+    """One bit per symbol: 0 ↦ no dirty lines, 1 ↦ ``d_on`` dirty lines."""
+
+    def __init__(self, d_on: int = 1, associativity: int = 8) -> None:
+        if not 1 <= d_on <= associativity:
+            raise ConfigurationError(
+                f"d_on must be in [1, {associativity}], got {d_on}"
+            )
+        self.d_on = d_on
+        self.associativity = associativity
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 1
+
+    @property
+    def levels(self) -> List[int]:
+        return [0, self.d_on]
+
+    def encode_symbol(self, bits: Sequence[int]) -> int:
+        (bit,) = bits
+        if bit not in (0, 1):
+            raise ProtocolError(f"binary symbol must be 0 or 1, got {bit!r}")
+        return self.d_on if bit else 0
+
+    def decode_symbol(self, level: int) -> List[int]:
+        return [1 if level > 0 else 0]
+
+    def __repr__(self) -> str:
+        return f"BinaryDirtyCodec(d_on={self.d_on})"
+
+
+class MultiBitDirtyCodec(SymbolCodec):
+    """Multiple bits per symbol via distinct dirty-line levels.
+
+    ``level_map`` maps each symbol value (as an integer) to a dirty-line
+    count.  The default is the paper's 2-bit scheme {0, 3, 5, 8}.
+    """
+
+    DEFAULT_2BIT: Dict[int, int] = {0b00: 0, 0b01: 3, 0b10: 5, 0b11: 8}
+
+    def __init__(
+        self,
+        level_map: Dict[int, int] = None,
+        associativity: int = 8,
+    ) -> None:
+        if level_map is None:
+            level_map = dict(self.DEFAULT_2BIT)
+        if len(level_map) < 2:
+            raise ConfigurationError("level_map needs at least two symbols")
+        size = len(level_map)
+        if size & (size - 1):
+            raise ConfigurationError(
+                f"level_map must have a power-of-two number of symbols, got {size}"
+            )
+        expected_symbols = set(range(size))
+        if set(level_map) != expected_symbols:
+            raise ConfigurationError(
+                f"level_map keys must be exactly 0..{size - 1}, got {sorted(level_map)}"
+            )
+        counts = list(level_map.values())
+        if len(set(counts)) != len(counts):
+            raise ConfigurationError(f"duplicate dirty-line levels: {sorted(counts)}")
+        if any(not 0 <= d <= associativity for d in counts):
+            raise ConfigurationError(
+                f"dirty-line levels must be within [0, {associativity}]"
+            )
+        self._bits = size.bit_length() - 1
+        self._to_level = dict(level_map)
+        self._from_level = {d: symbol for symbol, d in level_map.items()}
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self._bits
+
+    @property
+    def levels(self) -> List[int]:
+        return sorted(self._to_level.values())
+
+    def encode_symbol(self, bits: Sequence[int]) -> int:
+        if len(bits) != self._bits:
+            raise ProtocolError(
+                f"expected {self._bits} bits per symbol, got {len(bits)}"
+            )
+        value = 0
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ProtocolError(f"symbol bits must be 0/1, got {bit!r}")
+            value = (value << 1) | bit
+        return self._to_level[value]
+
+    def decode_symbol(self, level: int) -> List[int]:
+        try:
+            value = self._from_level[level]
+        except KeyError:
+            raise ProtocolError(
+                f"level {level} is not one of the codec levels {self.levels}"
+            )
+        return [(value >> shift) & 1 for shift in range(self._bits - 1, -1, -1)]
+
+    def symbol_table(self) -> List[Tuple[int, int]]:
+        """(symbol value, dirty-line count) pairs, for reports."""
+        return sorted(self._to_level.items())
+
+    def __repr__(self) -> str:
+        return f"MultiBitDirtyCodec({self._to_level})"

@@ -1,0 +1,150 @@
+"""Flush+Flush covert channel (Gruss et al.).
+
+A stealthier sibling of Flush+Reload: the receiver only ever executes
+``clflush`` and decodes from the *flush* latency, which is higher when the
+line was resident.  Like Flush+Reload it needs shared memory and
+``clflush`` — the two deployment constraints the WB channel avoids
+(Section 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bits import random_bits
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng, ensure_rng
+from repro.common.units import cycles_to_kbps
+from repro.analysis.ber import DEFAULT_PREAMBLE, evaluate_transmission
+from repro.channels.flush_reload import FlushReloadSenderProgram
+from repro.channels.results import TransmissionResult
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig, share_buffer
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.ops import Flush, RdTSC, SpinUntil
+from repro.cpu.perf_counters import PerfReport
+from repro.cpu.thread import OpGenerator, Program
+
+SENDER_TID = 0
+RECEIVER_TID = 1
+
+
+@dataclass
+class FlushFlushReceiverProgram(Program):
+    """Times one ``clflush`` of the shared line per window."""
+
+    shared_line: int
+    period: int
+    start_time: int
+    num_samples: int
+    phase: float = 0.9
+
+    def __post_init__(self) -> None:
+        #: (tsc, flush latency) per sample.
+        self.samples: List[Tuple[int, int]] = []
+
+    def run(self) -> OpGenerator:
+        yield Flush(self.shared_line)  # start from a known-uncached state
+        t_last = yield SpinUntil(self.start_time + int(self.phase * self.period))
+        for _ in range(self.num_samples):
+            now = yield RdTSC()
+            latency = yield Flush(self.shared_line)
+            self.samples.append((now, latency))
+            t_last = yield SpinUntil(t_last + self.period)
+
+    def latencies(self) -> List[int]:
+        """Flush latency series."""
+        return [latency for _, latency in self.samples]
+
+
+@dataclass
+class FlushFlushConfig:
+    """One Flush+Flush covert-channel run."""
+
+    period_cycles: int = 5500
+    message_bits: int = 128
+    message: Optional[Sequence[int]] = None
+    preamble: Sequence[int] = field(default_factory=lambda: list(DEFAULT_PREAMBLE))
+    seed: int = 0
+    scheduler_noise: Optional[SchedulerNoise] = None
+    hierarchy_overrides: Dict[str, object] = field(default_factory=dict)
+    alignment_slack_symbols: int = 4
+    start_time: int = 30000
+    #: Flushes slower than this count as "line was cached" (bit 1).  The
+    #: model's resident flush costs flush_base + flush_present_extra.
+    cached_threshold: float = 17.0
+
+    def resolve_message(self) -> List[int]:
+        """Preamble plus payload."""
+        preamble = list(self.preamble)
+        if self.message is not None:
+            return list(self.message)
+        payload = self.message_bits - len(preamble)
+        if payload < 0:
+            raise ConfigurationError("message_bits shorter than preamble")
+        rng = derive_rng(ensure_rng(self.seed), "message")
+        return preamble + random_bits(payload, rng)
+
+    @property
+    def rate_kbps(self) -> float:
+        """Nominal rate of this configuration."""
+        return cycles_to_kbps(self.period_cycles)
+
+
+def run_flush_flush_channel(config: FlushFlushConfig) -> TransmissionResult:
+    """Run one Flush+Flush transmission and score it."""
+    message = config.resolve_message()
+    bench = ChannelTestbench(
+        TestbenchConfig(
+            seed=config.seed,
+            hierarchy_overrides=dict(config.hierarchy_overrides),
+            scheduler_noise=config.scheduler_noise,
+        )
+    )
+    sender_space = bench.new_space(pid=SENDER_TID)
+    receiver_space = bench.new_space(pid=RECEIVER_TID)
+    shared_va = sender_space.allocate_buffer(4096)
+    receiver_space.allocate_buffer(4096)
+    share_buffer(sender_space, receiver_space, shared_va, 4096)
+
+    sender = FlushReloadSenderProgram(
+        shared_line=shared_va,
+        message=message,
+        period=config.period_cycles,
+        start_time=config.start_time,
+    )
+    receiver = FlushFlushReceiverProgram(
+        shared_line=shared_va,
+        period=config.period_cycles,
+        start_time=config.start_time,
+        num_samples=len(message) + config.alignment_slack_symbols,
+    )
+    bench.add_thread(SENDER_TID, sender_space, sender, name="ff-sender")
+    bench.add_thread(RECEIVER_TID, receiver_space, receiver, name="ff-receiver")
+    core = bench.run()
+
+    received_raw = [
+        1 if latency > config.cached_threshold else 0
+        for latency in receiver.latencies()
+    ]
+    report = evaluate_transmission(
+        sent=message,
+        received_raw=received_raw,
+        preamble_length=len(config.preamble),
+        alignment_slack=config.alignment_slack_symbols,
+    )
+    elapsed = core.elapsed_cycles()
+    return TransmissionResult(
+        channel="Flush+Flush",
+        sent_bits=tuple(message),
+        received_bits=tuple(report.received),
+        bit_error_rate=report.ber,
+        errors=report.errors,
+        rate_kbps=config.rate_kbps,
+        period_cycles=config.period_cycles,
+        sender_perf=PerfReport.from_stats(bench.hierarchy.stats, SENDER_TID, elapsed),
+        receiver_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, RECEIVER_TID, elapsed
+        ),
+        elapsed_cycles=elapsed,
+    )

@@ -1,0 +1,174 @@
+"""Flush+Reload covert channel (Yarom & Falkner).
+
+The canonical reuse-based Hit+Miss channel: sender and receiver share a
+read-only page (a shared library in practice).  The receiver flushes a
+shared line with ``clflush``, waits one period, then reloads it and times
+the access: a fast reload means the sender touched the line (bit 1).
+
+Included as the paper's reference point for channels that *do* require
+shared memory and ``clflush`` — two requirements the WB channel removes
+(Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bits import random_bits
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng, ensure_rng
+from repro.common.units import cycles_to_kbps
+from repro.analysis.ber import DEFAULT_PREAMBLE, evaluate_transmission
+from repro.channels.results import TransmissionResult
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig, share_buffer
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.ops import Flush, Load, RdTSC, SpinUntil
+from repro.cpu.perf_counters import PerfReport
+from repro.cpu.thread import OpGenerator, Program
+
+SENDER_TID = 0
+RECEIVER_TID = 1
+
+
+@dataclass
+class FlushReloadSenderProgram(Program):
+    """Loads the shared line once per 1-window."""
+
+    shared_line: int
+    message: Sequence[int]
+    period: int
+    start_time: int
+
+    def run(self) -> OpGenerator:
+        t_last = yield SpinUntil(self.start_time)
+        for bit in self.message:
+            if bit:
+                yield Load(self.shared_line)
+            t_last = yield SpinUntil(t_last + self.period)
+
+
+@dataclass
+class FlushReloadReceiverProgram(Program):
+    """Flush, wait, reload-and-time, once per window."""
+
+    shared_line: int
+    period: int
+    start_time: int
+    num_samples: int
+    phase: float = 0.9
+
+    def __post_init__(self) -> None:
+        #: (tsc, reload latency) per sample.
+        self.samples: List[Tuple[int, int]] = []
+
+    def run(self) -> OpGenerator:
+        yield Flush(self.shared_line)
+        t_last = yield SpinUntil(self.start_time + int(self.phase * self.period))
+        for _ in range(self.num_samples):
+            now = yield RdTSC()
+            latency = yield Load(self.shared_line)
+            self.samples.append((now, latency))
+            # Flush immediately so the next window starts uncached.
+            yield Flush(self.shared_line)
+            t_last = yield SpinUntil(t_last + self.period)
+
+    def latencies(self) -> List[int]:
+        """Reload latency series."""
+        return [latency for _, latency in self.samples]
+
+
+@dataclass
+class FlushReloadConfig:
+    """One Flush+Reload covert-channel run."""
+
+    period_cycles: int = 5500
+    message_bits: int = 128
+    message: Optional[Sequence[int]] = None
+    preamble: Sequence[int] = field(default_factory=lambda: list(DEFAULT_PREAMBLE))
+    seed: int = 0
+    scheduler_noise: Optional[SchedulerNoise] = None
+    hierarchy_overrides: Dict[str, object] = field(default_factory=dict)
+    alignment_slack_symbols: int = 4
+    start_time: int = 30000
+    #: Reloads faster than this count as cache hits (sender touched the
+    #: line).  The boundary separates LLC hits from DRAM in the model.
+    hit_threshold: float = 100.0
+
+    def resolve_message(self) -> List[int]:
+        """Preamble plus payload."""
+        preamble = list(self.preamble)
+        if self.message is not None:
+            return list(self.message)
+        payload = self.message_bits - len(preamble)
+        if payload < 0:
+            raise ConfigurationError("message_bits shorter than preamble")
+        rng = derive_rng(ensure_rng(self.seed), "message")
+        return preamble + random_bits(payload, rng)
+
+    @property
+    def rate_kbps(self) -> float:
+        """Nominal rate of this configuration."""
+        return cycles_to_kbps(self.period_cycles)
+
+
+def run_flush_reload_channel(config: FlushReloadConfig) -> TransmissionResult:
+    """Run one Flush+Reload transmission and score it."""
+    message = config.resolve_message()
+    bench = ChannelTestbench(
+        TestbenchConfig(
+            seed=config.seed,
+            hierarchy_overrides=dict(config.hierarchy_overrides),
+            scheduler_noise=config.scheduler_noise,
+        )
+    )
+    sender_space = bench.new_space(pid=SENDER_TID)
+    receiver_space = bench.new_space(pid=RECEIVER_TID)
+    # One shared read-only page; both parties address it at the same VA
+    # (shared libraries are usually mapped at different VAs, but the model
+    # keys on physical lines, so equal VAs lose no generality).
+    shared_va = sender_space.allocate_buffer(4096)
+    receiver_space.allocate_buffer(4096)
+    share_buffer(sender_space, receiver_space, shared_va, 4096)
+    shared_line = shared_va
+
+    sender = FlushReloadSenderProgram(
+        shared_line=shared_line,
+        message=message,
+        period=config.period_cycles,
+        start_time=config.start_time,
+    )
+    receiver = FlushReloadReceiverProgram(
+        shared_line=shared_line,
+        period=config.period_cycles,
+        start_time=config.start_time,
+        num_samples=len(message) + config.alignment_slack_symbols,
+    )
+    bench.add_thread(SENDER_TID, sender_space, sender, name="fr-sender")
+    bench.add_thread(RECEIVER_TID, receiver_space, receiver, name="fr-receiver")
+    core = bench.run()
+
+    received_raw = [
+        1 if latency < config.hit_threshold else 0 for latency in receiver.latencies()
+    ]
+    report = evaluate_transmission(
+        sent=message,
+        received_raw=received_raw,
+        preamble_length=len(config.preamble),
+        alignment_slack=config.alignment_slack_symbols,
+    )
+    elapsed = core.elapsed_cycles()
+    return TransmissionResult(
+        channel="Flush+Reload",
+        sent_bits=tuple(message),
+        received_bits=tuple(report.received),
+        bit_error_rate=report.ber,
+        errors=report.errors,
+        rate_kbps=config.rate_kbps,
+        period_cycles=config.period_cycles,
+        sender_perf=PerfReport.from_stats(bench.hierarchy.stats, SENDER_TID, elapsed),
+        receiver_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, RECEIVER_TID, elapsed
+        ),
+        elapsed_cycles=elapsed,
+    )

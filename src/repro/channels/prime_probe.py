@@ -1,0 +1,199 @@
+"""Prime+Probe covert channel (Osvik, Shamir & Tromer).
+
+The classic contention-based Hit+Miss channel the paper contrasts with in
+Sections 6 and 6.1.  The receiver *primes* the target set with its own W
+lines, waits, then *probes* them in reverse order counting misses; the
+sender evicts receiver lines by loading its own conflict lines to send 1.
+
+Reproduced properties the experiments rely on:
+
+* a noise line loaded by any third process also evicts a receiver line,
+  so 0-symbols decode as false 1s under pollution (stability experiment);
+* under a random replacement policy the receiver cannot reliably keep the
+  set primed and 0-8 misses appear per probe (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bits import random_bits
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng, ensure_rng
+from repro.common.units import cycles_to_kbps
+from repro.analysis.ber import DEFAULT_PREAMBLE, evaluate_transmission
+from repro.channels.results import TransmissionResult
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.ops import Load, RdTSC, SpinUntil
+from repro.cpu.perf_counters import PerfReport
+from repro.cpu.thread import OpGenerator, Program
+from repro.mem.sets import build_set_conflicting_lines
+
+SENDER_TID = 0
+RECEIVER_TID = 1
+
+
+@dataclass
+class PrimeProbeSenderProgram(Program):
+    """Loads ``evict_lines`` of its conflict lines once per 1-window."""
+
+    lines: Sequence[int]
+    message: Sequence[int]
+    period: int
+    start_time: int
+    evict_lines: int = 2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.evict_lines <= len(self.lines):
+            raise ConfigurationError(
+                f"evict_lines must be in [1, {len(self.lines)}], got {self.evict_lines}"
+            )
+
+    def run(self) -> OpGenerator:
+        for line in self.lines:
+            yield Load(line)  # warm-up (also leaves lines in L2)
+        t_last = yield SpinUntil(self.start_time)
+        for bit in self.message:
+            if bit:
+                for line in self.lines[: self.evict_lines]:
+                    yield Load(line)
+            t_last = yield SpinUntil(t_last + self.period)
+
+
+@dataclass
+class PrimeProbeReceiverProgram(Program):
+    """Primes the set, waits one period, probes in reverse order."""
+
+    lines: Sequence[int]
+    period: int
+    start_time: int
+    num_samples: int
+    phase: float = 0.5
+
+    def __post_init__(self) -> None:
+        if len(self.lines) < 2:
+            raise ConfigurationError("Prime+Probe needs at least two lines")
+        #: Per sample: (tsc, number of probe misses).
+        self.samples: List[Tuple[int, int]] = []
+        #: L1-hit/miss latency boundary used while probing.
+        self.miss_threshold: float = 8.0
+
+    def run(self) -> OpGenerator:
+        # Initial prime.
+        for line in self.lines:
+            yield Load(line)
+        t_last = yield SpinUntil(self.start_time + int(self.phase * self.period))
+        for _ in range(self.num_samples):
+            now = yield RdTSC()
+            misses = 0
+            # Reverse traversal avoids thrashing on LRU-like policies
+            # (Section 6.1 notes this trick fails under random policies).
+            for line in reversed(self.lines):
+                latency = yield Load(line)
+                if latency > self.miss_threshold:
+                    misses += 1
+            self.samples.append((now, misses))
+            t_last = yield SpinUntil(t_last + self.period)
+
+    def miss_counts(self) -> List[int]:
+        """Probe miss counts in sample order."""
+        return [misses for _, misses in self.samples]
+
+
+@dataclass
+class PrimeProbeConfig:
+    """One Prime+Probe covert-channel run."""
+
+    period_cycles: int = 5500
+    message_bits: int = 128
+    message: Optional[Sequence[int]] = None
+    preamble: Sequence[int] = field(default_factory=lambda: list(DEFAULT_PREAMBLE))
+    target_set: Optional[int] = 21
+    seed: int = 0
+    scheduler_noise: Optional[SchedulerNoise] = None
+    hierarchy_overrides: Dict[str, object] = field(default_factory=dict)
+    alignment_slack_symbols: int = 4
+    start_time: int = 30000
+    sender_evict_lines: int = 2
+
+    def resolve_message(self) -> List[int]:
+        """Preamble plus payload."""
+        preamble = list(self.preamble)
+        if self.message is not None:
+            return list(self.message)
+        payload = self.message_bits - len(preamble)
+        if payload < 0:
+            raise ConfigurationError("message_bits shorter than preamble")
+        rng = derive_rng(ensure_rng(self.seed), "message")
+        return preamble + random_bits(payload, rng)
+
+    @property
+    def rate_kbps(self) -> float:
+        """Nominal rate of this configuration."""
+        return cycles_to_kbps(self.period_cycles)
+
+
+def run_prime_probe_channel(config: PrimeProbeConfig) -> TransmissionResult:
+    """Run one Prime+Probe transmission and score it."""
+    message = config.resolve_message()
+    bench = ChannelTestbench(
+        TestbenchConfig(
+            seed=config.seed,
+            hierarchy_overrides=dict(config.hierarchy_overrides),
+            scheduler_noise=config.scheduler_noise,
+        )
+    )
+    target_set = bench.pick_target_set(config.target_set)
+    layout = bench.l1_layout
+    ways = bench.hierarchy.l1.associativity
+
+    sender_space = bench.new_space(pid=SENDER_TID)
+    receiver_space = bench.new_space(pid=RECEIVER_TID)
+    sender_lines = build_set_conflicting_lines(
+        sender_space, layout, target_set, config.sender_evict_lines
+    )
+    receiver_lines = build_set_conflicting_lines(
+        receiver_space, layout, target_set, ways
+    )
+
+    sender = PrimeProbeSenderProgram(
+        lines=sender_lines,
+        message=message,
+        period=config.period_cycles,
+        start_time=config.start_time,
+        evict_lines=config.sender_evict_lines,
+    )
+    receiver = PrimeProbeReceiverProgram(
+        lines=receiver_lines,
+        period=config.period_cycles,
+        start_time=config.start_time,
+        num_samples=len(message) + config.alignment_slack_symbols,
+    )
+    bench.add_thread(SENDER_TID, sender_space, sender, name="pp-sender")
+    bench.add_thread(RECEIVER_TID, receiver_space, receiver, name="pp-receiver")
+    core = bench.run()
+
+    received_raw = [1 if misses > 0 else 0 for misses in receiver.miss_counts()]
+    report = evaluate_transmission(
+        sent=message,
+        received_raw=received_raw,
+        preamble_length=len(config.preamble),
+        alignment_slack=config.alignment_slack_symbols,
+    )
+    elapsed = core.elapsed_cycles()
+    return TransmissionResult(
+        channel="Prime+Probe",
+        sent_bits=tuple(message),
+        received_bits=tuple(report.received),
+        bit_error_rate=report.ber,
+        errors=report.errors,
+        rate_kbps=config.rate_kbps,
+        period_cycles=config.period_cycles,
+        sender_perf=PerfReport.from_stats(bench.hierarchy.stats, SENDER_TID, elapsed),
+        receiver_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, RECEIVER_TID, elapsed
+        ),
+        elapsed_cycles=elapsed,
+    )

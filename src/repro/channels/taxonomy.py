@@ -1,0 +1,150 @@
+"""The paper's new classification of cache covert channels (Table 1).
+
+Section 2.1 introduces a taxonomy orthogonal to the classic
+contention/reuse split: what the *receiver's decoding access* does —
+
+* **Hit+Miss** — the sender modulates whether a line is cached at all
+  (Prime+Probe, Evict+Time, Flush+Reload, LRU channel);
+* **Hit+Hit** — both outcomes are hits, distinguished by hit-completion
+  time (CacheBleed's bank contention);
+* **Miss+Miss** — both outcomes are misses, distinguished by
+  miss-completion time (coherence-state channels, and the paper's WB
+  channel via the dirty-victim write-back).
+
+The table is encoded as data so documentation, tests and the CLI can render
+it and so new channels register their own classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class TimingClass(enum.Enum):
+    """Which receiver-access outcomes carry the information."""
+
+    HIT_MISS = "Hit+Miss"
+    HIT_HIT = "Hit+Hit"
+    MISS_MISS = "Miss+Miss"
+
+
+class ContentionClass(enum.Enum):
+    """The classic taxonomy the paper extends."""
+
+    CONTENTION = "contention-based"
+    REUSE = "reuse-based"
+
+
+@dataclass(frozen=True)
+class ChannelProfile:
+    """Classification record for one known cache channel."""
+
+    name: str
+    timing_class: TimingClass
+    contention_class: ContentionClass
+    needs_shared_memory: bool
+    needs_clflush: bool
+    #: What microarchitectural state the channel modulates.
+    modulated_state: str
+
+
+#: Table 1 of the paper, as data (plus the two flush channels discussed in
+#: the text).
+KNOWN_CHANNELS: Tuple[ChannelProfile, ...] = (
+    ChannelProfile(
+        name="Prime+Probe",
+        timing_class=TimingClass.HIT_MISS,
+        contention_class=ContentionClass.CONTENTION,
+        needs_shared_memory=False,
+        needs_clflush=False,
+        modulated_state="line presence (eviction by contention)",
+    ),
+    ChannelProfile(
+        name="Evict+Time",
+        timing_class=TimingClass.HIT_MISS,
+        contention_class=ContentionClass.CONTENTION,
+        needs_shared_memory=False,
+        needs_clflush=False,
+        modulated_state="line presence (victim execution time)",
+    ),
+    ChannelProfile(
+        name="LRU",
+        timing_class=TimingClass.HIT_MISS,
+        contention_class=ContentionClass.CONTENTION,
+        needs_shared_memory=False,
+        needs_clflush=False,
+        modulated_state="replacement metadata (LRU age)",
+    ),
+    ChannelProfile(
+        name="Flush+Reload",
+        timing_class=TimingClass.HIT_MISS,
+        contention_class=ContentionClass.REUSE,
+        needs_shared_memory=True,
+        needs_clflush=True,
+        modulated_state="line presence (flush vs reuse)",
+    ),
+    ChannelProfile(
+        name="Flush+Flush",
+        timing_class=TimingClass.HIT_MISS,
+        contention_class=ContentionClass.REUSE,
+        needs_shared_memory=True,
+        needs_clflush=True,
+        modulated_state="line presence (flush latency)",
+    ),
+    ChannelProfile(
+        name="CacheBleed",
+        timing_class=TimingClass.HIT_HIT,
+        contention_class=ContentionClass.CONTENTION,
+        needs_shared_memory=False,
+        needs_clflush=False,
+        modulated_state="cache bank occupancy",
+    ),
+    ChannelProfile(
+        name="Coherence-state",
+        timing_class=TimingClass.MISS_MISS,
+        contention_class=ContentionClass.REUSE,
+        needs_shared_memory=True,
+        needs_clflush=False,
+        modulated_state="coherence protocol state of shared blocks",
+    ),
+    ChannelProfile(
+        name="WB",
+        timing_class=TimingClass.MISS_MISS,
+        contention_class=ContentionClass.CONTENTION,
+        needs_shared_memory=False,
+        needs_clflush=False,
+        modulated_state="dirty bit of victim lines (replacement latency)",
+    ),
+)
+
+
+def channels_by_class() -> Dict[TimingClass, List[ChannelProfile]]:
+    """Group the known channels by timing class (Table 1's columns)."""
+    grouped: Dict[TimingClass, List[ChannelProfile]] = {
+        cls: [] for cls in TimingClass
+    }
+    for profile in KNOWN_CHANNELS:
+        grouped[profile.timing_class].append(profile)
+    return grouped
+
+
+def profile(name: str) -> ChannelProfile:
+    """Look up one channel's classification by name."""
+    for candidate in KNOWN_CHANNELS:
+        if candidate.name.lower() == name.lower():
+            return candidate
+    known = ", ".join(p.name for p in KNOWN_CHANNELS)
+    raise KeyError(f"unknown channel {name!r}; known: {known}")
+
+
+def render_table() -> str:
+    """Plain-text rendering of Table 1 for the CLI and docs."""
+    lines = ["Classification of cache covert channels (paper Table 1)", ""]
+    grouped = channels_by_class()
+    for timing_class in TimingClass:
+        members = grouped[timing_class]
+        names = ", ".join(p.name for p in members) or "-"
+        lines.append(f"{timing_class.value:>10}: {names}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Latency-threshold decoding.
+
+The receiver turns each measured replacement latency into a dirty-line
+level.  Figure 4 of the paper shows the per-level latency CDFs as narrow,
+well-separated bands; the decoder therefore calibrates one threshold at the
+midpoint between the medians of adjacent levels (the dotted lines in
+Figures 5 and 7) and classifies by interval.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError, ProtocolError
+
+
+@dataclass(frozen=True)
+class ThresholdDecoder:
+    """Maps a latency to the nearest calibrated dirty-line level.
+
+    ``levels`` are the dirty-line counts in ascending order and
+    ``thresholds[i]`` separates ``levels[i]`` from ``levels[i + 1]``.
+    """
+
+    levels: Sequence[int]
+    thresholds: Sequence[float]
+    medians: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ConfigurationError("need at least two levels to decode")
+        if len(self.thresholds) != len(self.levels) - 1:
+            raise ConfigurationError(
+                f"{len(self.levels)} levels need {len(self.levels) - 1} "
+                f"thresholds, got {len(self.thresholds)}"
+            )
+        if list(self.levels) != sorted(self.levels):
+            raise ConfigurationError("levels must be ascending")
+        if list(self.thresholds) != sorted(self.thresholds):
+            raise ConfigurationError("thresholds must be ascending")
+
+    @classmethod
+    def calibrate(
+        cls,
+        samples_by_level: Dict[int, Sequence[float]],
+        min_separation: float = 3.0,
+    ) -> "ThresholdDecoder":
+        """Build a decoder from labelled calibration measurements.
+
+        ``samples_by_level`` maps each dirty-line count to latency samples
+        observed with exactly that many dirty lines in the target set.
+        Adjacent level medians must be monotone and at least
+        ``min_separation`` cycles apart; anything closer is
+        indistinguishable from measurement noise and means the machine
+        carries no dirty-state signal (write-through caches, partitioned
+        caches from the victim's side, ...).
+        """
+        if len(samples_by_level) < 2:
+            raise ConfigurationError("calibration needs at least two levels")
+        levels = sorted(samples_by_level)
+        medians: List[float] = []
+        for level in levels:
+            samples = samples_by_level[level]
+            if not samples:
+                raise ConfigurationError(f"no calibration samples for level {level}")
+            medians.append(statistics.median(samples))
+        gaps = [high - low for low, high in zip(medians, medians[1:])]
+        if any(gap < min_separation for gap in gaps):
+            raise ConfigurationError(
+                "calibration medians are not separated in the dirty-line "
+                f"count: {dict(zip(levels, medians))}; the latency signal "
+                "is absent (is the cache write-through?)"
+            )
+        thresholds = [
+            (low + high) / 2.0 for low, high in zip(medians, medians[1:])
+        ]
+        return cls(levels=tuple(levels), thresholds=tuple(thresholds), medians=tuple(medians))
+
+    def classify(self, latency: float) -> int:
+        """The dirty-line level whose calibrated band contains ``latency``."""
+        for threshold, level in zip(self.thresholds, self.levels):
+            if latency < threshold:
+                return level
+        return self.levels[-1]
+
+    def classify_many(self, latencies: Sequence[float]) -> List[int]:
+        """Vector form of :meth:`classify`."""
+        return [self.classify(latency) for latency in latencies]
+
+    def separation(self) -> float:
+        """Smallest gap between adjacent level medians (signal strength)."""
+        return min(high - low for low, high in zip(self.medians, self.medians[1:]))
+
+    def describe(self) -> str:
+        """One-line human-readable summary for experiment logs."""
+        pairs = ", ".join(
+            f"d={level}:{median:.0f}cy" for level, median in zip(self.levels, self.medians)
+        )
+        return f"ThresholdDecoder({pairs})"
+
+
+def majority_vote(bits: Sequence[int]) -> int:
+    """Majority of a bit sequence (ties break to 1).
+
+    Used when the receiver oversamples a symbol window and has several
+    classifications for one symbol.
+    """
+    if not bits:
+        raise ProtocolError("cannot vote on an empty sample list")
+    ones = sum(bits)
+    return 1 if ones * 2 >= len(bits) else 0

@@ -1,0 +1,46 @@
+"""The WB (write-back) covert channel — the paper's core contribution.
+
+* :mod:`~repro.channels.wb.sender` — Algorithm 1: encode a symbol by
+  dirtying ``d`` lines of the target set.
+* :mod:`~repro.channels.wb.receiver` — Algorithm 2: decode by timing a
+  pointer-chased replacement-set traversal, alternating two replacement
+  sets so each decode also re-initialises the target set.
+* :mod:`~repro.channels.wb.calibration` — offline latency probing used for
+  Figure 4 and for threshold calibration.
+* :mod:`~repro.channels.wb.protocol` — Algorithm 3: the paced covert
+  channel protocol, returning a :class:`ChannelRunResult`.
+"""
+
+from repro.channels.wb.sender import WBSenderProgram
+from repro.channels.wb.receiver import WBReceiverProgram
+from repro.channels.wb.calibration import (
+    calibrate_decoder,
+    measure_latency_distributions,
+)
+from repro.channels.wb.l2 import (
+    L2ChannelRunResult,
+    L2WBChannelConfig,
+    make_l2_channel_hierarchy,
+    run_l2_wb_channel,
+)
+from repro.channels.wb.protocol import (
+    ChannelRunResult,
+    WBChannelConfig,
+    quick_channel_run,
+    run_wb_channel,
+)
+
+__all__ = [
+    "ChannelRunResult",
+    "L2ChannelRunResult",
+    "L2WBChannelConfig",
+    "make_l2_channel_hierarchy",
+    "run_l2_wb_channel",
+    "WBChannelConfig",
+    "WBReceiverProgram",
+    "WBSenderProgram",
+    "calibrate_decoder",
+    "measure_latency_distributions",
+    "quick_channel_run",
+    "run_wb_channel",
+]

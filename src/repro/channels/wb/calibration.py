@@ -1,0 +1,163 @@
+"""Offline latency probing: Figure 4 data and threshold calibration.
+
+A single-threaded probe alternately dirties ``d`` writer lines and times a
+replacement-set traversal, yielding the latency distribution for every
+dirty-line count.  The same data calibrates the receiver's
+:class:`~repro.channels.threshold.ThresholdDecoder` (the parties agree on
+thresholds before communicating, exactly as a real attacker would profile
+the machine first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig
+from repro.channels.threshold import ThresholdDecoder
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.ops import Load, RdTSC, Store
+from repro.cpu.thread import OpGenerator, Program
+from repro.mem.pointer_chase import PointerChaseList
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+
+
+@dataclass
+class LatencyProbeProgram(Program):
+    """Measures replacement latency for a schedule of dirty-line counts."""
+
+    writer_lines: Sequence[int]
+    chase_a: PointerChaseList
+    chase_b: PointerChaseList
+    schedule: Sequence[int]
+    #: Mirror of the sender's adaptive mode (random-fill defenses): reload
+    #: a writer line until it is resident before store-hitting it.
+    ensure_resident: bool = False
+    resident_threshold: float = 8.0
+    max_residency_attempts: int = 40
+
+    def __post_init__(self) -> None:
+        needed = max(self.schedule, default=0)
+        if needed > len(self.writer_lines):
+            raise ConfigurationError(
+                f"schedule needs {needed} writer lines, got {len(self.writer_lines)}"
+            )
+        #: ``(d, latency)`` per measurement, in schedule order.
+        self.measurements: List[tuple] = []
+
+    def run(self) -> OpGenerator:
+        # Warm both replacement sets (leaves B resident in L1, A in L2).
+        for line in self.chase_a:
+            yield Load(line)
+        for line in self.chase_b:
+            yield Load(line)
+        for index, dirty_count in enumerate(self.schedule):
+            for line in self.writer_lines[:dirty_count]:
+                if self.ensure_resident:
+                    for _ in range(self.max_residency_attempts):
+                        latency = yield Load(line)
+                        if latency <= self.resident_threshold:
+                            break
+                yield Store(line)
+            chase = self.chase_a if index % 2 == 0 else self.chase_b
+            start = yield RdTSC()
+            for line in chase:
+                yield Load(line)
+            end = yield RdTSC()
+            self.measurements.append((dirty_count, end - start))
+
+
+def measure_latency_distributions(
+    levels: Sequence[int],
+    repetitions: int = 1000,
+    replacement_set_size: int = 10,
+    target_set: int = 21,
+    seed: int = 0,
+    hierarchy_overrides: Optional[Dict[str, object]] = None,
+    hierarchy_factory: Optional[object] = None,
+    interleave: bool = True,
+    ensure_resident: bool = False,
+) -> Dict[int, List[int]]:
+    """Latency samples for each dirty-line count in ``levels``.
+
+    This regenerates Figure 4 of the paper: for each ``d`` the traversal
+    latency clusters ``d * l1_writeback_penalty`` cycles above the clean
+    baseline.  ``interleave=True`` cycles through the levels round-robin
+    (as the paper's alternating measurements do) rather than in blocks, so
+    slow drifts cannot masquerade as level separation.
+    """
+    if not levels:
+        raise ConfigurationError("levels must not be empty")
+    if repetitions <= 0:
+        raise ConfigurationError(f"repetitions must be positive, got {repetitions}")
+    bench = ChannelTestbench(
+        TestbenchConfig(
+            seed=seed,
+            hierarchy_overrides=dict(hierarchy_overrides or {}),
+            hierarchy_factory=hierarchy_factory,
+            scheduler_noise=SchedulerNoise.disabled(),
+        )
+    )
+    chosen_set = bench.pick_target_set(target_set)
+    layout = bench.l1_layout
+    space = bench.new_space(pid=1)
+    rng = derive_rng(bench.rng, "calibration")
+    writer_lines = build_set_conflicting_lines(
+        space, layout, chosen_set, max(max(levels), 1)
+    )
+    chase_a = PointerChaseList.from_lines(
+        build_replacement_set(space, layout, chosen_set, replacement_set_size, rng),
+        rng=rng,
+    )
+    chase_b = PointerChaseList.from_lines(
+        build_replacement_set(space, layout, chosen_set, replacement_set_size, rng),
+        rng=rng,
+    )
+    if interleave:
+        schedule = [level for _ in range(repetitions) for level in levels]
+    else:
+        schedule = [level for level in levels for _ in range(repetitions)]
+    probe = LatencyProbeProgram(
+        writer_lines=writer_lines,
+        chase_a=chase_a,
+        chase_b=chase_b,
+        schedule=schedule,
+        ensure_resident=ensure_resident,
+    )
+    # The probe runs under the *receiver's* thread id: an attacker
+    # calibrates from its own (unprivileged, unprotected) process, which
+    # matters when a defense treats hardware threads differently.
+    bench.add_thread(tid=1, space=space, program=probe, name="latency-probe")
+    bench.run()
+    samples: Dict[int, List[int]] = {level: [] for level in levels}
+    for dirty_count, latency in probe.measurements:
+        samples[dirty_count].append(latency)
+    return samples
+
+
+def calibrate_decoder(
+    levels: Sequence[int],
+    repetitions: int = 60,
+    replacement_set_size: int = 10,
+    target_set: int = 21,
+    seed: int = 0,
+    hierarchy_overrides: Optional[Dict[str, object]] = None,
+    hierarchy_factory: Optional[object] = None,
+    ensure_resident: bool = False,
+) -> ThresholdDecoder:
+    """Profile the platform and build a threshold decoder for ``levels``."""
+    samples = measure_latency_distributions(
+        levels=levels,
+        repetitions=repetitions,
+        replacement_set_size=replacement_set_size,
+        target_set=target_set,
+        seed=seed,
+        hierarchy_overrides=hierarchy_overrides,
+        hierarchy_factory=hierarchy_factory,
+        ensure_resident=ensure_resident,
+    )
+    return ThresholdDecoder.calibrate(
+        {level: list(map(float, values)) for level, values in samples.items()}
+    )

@@ -1,0 +1,256 @@
+"""Algorithm 3 — the paced WB covert-channel protocol, end to end.
+
+One :func:`run_wb_channel` call performs what the paper's evaluation does
+for a single message: calibrate thresholds, launch the sender and receiver
+as two hyper-threads, decode the receiver's latency trace, align on the
+preamble and score the transmission with the Wagner-Fischer edit distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bits import random_bits
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.rng import derive_rng, ensure_rng
+from repro.common.units import cycles_to_kbps
+from repro.analysis.ber import DEFAULT_PREAMBLE, evaluate_transmission
+from repro.channels.encoding import BinaryDirtyCodec, SymbolCodec
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig
+from repro.channels.threshold import ThresholdDecoder
+from repro.channels.wb.calibration import calibrate_decoder
+from repro.channels.wb.receiver import WBReceiverProgram
+from repro.channels.wb.sender import WBSenderProgram
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.perf_counters import PerfReport
+from repro.mem.pointer_chase import PointerChaseList
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+
+#: Hardware-thread ids used throughout (also the stats owner keys).
+SENDER_TID = 0
+RECEIVER_TID = 1
+
+
+@dataclass
+class WBChannelConfig:
+    """Everything that defines one WB covert-channel run.
+
+    The defaults mirror the paper's baseline experiment: 128-bit messages
+    with a fixed 16-bit preamble, binary encoding with ``d = 1``, a
+    replacement set of ten lines, and ``Ts = Tr``.
+    """
+
+    codec: SymbolCodec = field(default_factory=BinaryDirtyCodec)
+    period_cycles: int = 5500
+    message_bits: int = 128
+    message: Optional[Sequence[int]] = None
+    preamble: Sequence[int] = field(default_factory=lambda: list(DEFAULT_PREAMBLE))
+    target_set: Optional[int] = 21
+    replacement_set_size: int = 10
+    #: Fraction of the first period the receiver waits before its first
+    #: measurement.  ``None`` (the default, and the realistic setting)
+    #: draws the phase uniformly at random: the two processes agree on the
+    #: period but have no way to agree on the phase, and measurements that
+    #: straddle the sender's encode are the channel's dominant error source
+    #: at high rates (Figure 6).
+    receiver_phase: Optional[float] = None
+    #: Extra receiver samples beyond the symbol count, absorbed by the
+    #: preamble alignment search (bit insertions push data rightward).
+    alignment_slack_symbols: int = 4
+    #: Protocol epoch: late enough that both parties finish their warm-up
+    #: (cold DRAM fills of the replacement sets) before symbol 0 opens.
+    start_time: int = 30000
+    seed: int = 0
+    scheduler_noise: Optional[SchedulerNoise] = None
+    #: TSC model override (ablations disable read jitter through this).
+    tsc: Optional[object] = None
+    hierarchy_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Custom hierarchy builder (defense evaluations); see TestbenchConfig.
+    hierarchy_factory: Optional[object] = None
+    #: Adaptive-sender mode against fill-decorrelating defenses.
+    sender_ensure_resident: bool = False
+    calibration_repetitions: int = 60
+    #: Optional decoder reuse: experiments sweeping many messages on one
+    #: platform calibrate once and inject the decoder here.
+    decoder: Optional[ThresholdDecoder] = None
+
+    def resolve_message(self) -> List[int]:
+        """The full bit message: preamble followed by payload."""
+        preamble = list(self.preamble)
+        if self.message is not None:
+            message = list(self.message)
+            if message[: len(preamble)] != preamble:
+                raise ProtocolError(
+                    "explicit message must start with the configured preamble"
+                )
+        else:
+            payload_len = self.message_bits - len(preamble)
+            if payload_len < 0:
+                raise ConfigurationError(
+                    f"message_bits {self.message_bits} shorter than the "
+                    f"{len(preamble)}-bit preamble"
+                )
+            rng = derive_rng(ensure_rng(self.seed), "message")
+            message = preamble + random_bits(payload_len, rng)
+        if len(message) % self.codec.bits_per_symbol:
+            raise ProtocolError(
+                f"message of {len(message)} bits is not a whole number of "
+                f"{self.codec.bits_per_symbol}-bit symbols"
+            )
+        return message
+
+    @property
+    def rate_kbps(self) -> float:
+        """Nominal transmission rate of this configuration."""
+        return cycles_to_kbps(self.period_cycles, self.codec.bits_per_symbol)
+
+
+@dataclass(frozen=True)
+class ChannelRunResult:
+    """Everything measured during one covert-channel run."""
+
+    sent_bits: Tuple[int, ...]
+    received_bits: Tuple[int, ...]
+    bit_error_rate: float
+    errors: int
+    alignment_offset: int
+    rate_kbps: float
+    period_cycles: int
+    #: ``(tsc, latency)`` receiver samples, in order.
+    samples: Tuple[Tuple[int, int], ...]
+    decoder: ThresholdDecoder
+    sender_perf: PerfReport
+    receiver_perf: PerfReport
+    elapsed_cycles: float
+
+    @property
+    def payload_intact(self) -> bool:
+        """True when the transmission was error-free."""
+        return self.errors == 0
+
+    def __str__(self) -> str:
+        return (
+            f"WB channel @ {self.rate_kbps:.0f} Kbps: BER "
+            f"{self.bit_error_rate:.2%} over {len(self.sent_bits)} bits"
+        )
+
+
+def run_wb_channel(config: WBChannelConfig) -> ChannelRunResult:
+    """Run one complete WB covert-channel transmission."""
+    message = config.resolve_message()
+    schedule = config.codec.encode_message(message)
+    num_symbols = len(schedule)
+
+    decoder = config.decoder
+    if decoder is None:
+        decoder = calibrate_decoder(
+            levels=config.codec.levels,
+            repetitions=config.calibration_repetitions,
+            replacement_set_size=config.replacement_set_size,
+            target_set=config.target_set if config.target_set is not None else 21,
+            seed=config.seed,
+            hierarchy_overrides=config.hierarchy_overrides,
+            hierarchy_factory=config.hierarchy_factory,
+            ensure_resident=config.sender_ensure_resident,
+        )
+
+    bench_config = TestbenchConfig(
+        seed=config.seed,
+        hierarchy_overrides=dict(config.hierarchy_overrides),
+        hierarchy_factory=config.hierarchy_factory,
+        scheduler_noise=config.scheduler_noise,
+    )
+    if config.tsc is not None:
+        bench_config.tsc = config.tsc
+    bench = ChannelTestbench(bench_config)
+    target_set = bench.pick_target_set(config.target_set)
+    layout = bench.l1_layout
+
+    sender_space = bench.new_space(pid=SENDER_TID)
+    receiver_space = bench.new_space(pid=RECEIVER_TID)
+
+    sender_lines = build_set_conflicting_lines(
+        sender_space, layout, target_set, max(config.codec.max_dirty_lines, 1)
+    )
+    set_rng = derive_rng(bench.rng, "replacement-sets")
+    chase_a = PointerChaseList.from_lines(
+        build_replacement_set(
+            receiver_space, layout, target_set, config.replacement_set_size, set_rng
+        ),
+        rng=set_rng,
+    )
+    chase_b = PointerChaseList.from_lines(
+        build_replacement_set(
+            receiver_space, layout, target_set, config.replacement_set_size, set_rng
+        ),
+        rng=set_rng,
+    )
+
+    phase = config.receiver_phase
+    if phase is None:
+        phase = derive_rng(bench.rng, "phase").random()
+
+    sender = WBSenderProgram(
+        lines=sender_lines,
+        schedule=schedule,
+        period=config.period_cycles,
+        start_time=config.start_time,
+        ensure_resident=config.sender_ensure_resident,
+    )
+    receiver = WBReceiverProgram(
+        chase_a=chase_a,
+        chase_b=chase_b,
+        period=config.period_cycles,
+        start_time=config.start_time,
+        num_samples=num_symbols + config.alignment_slack_symbols,
+        phase=phase,
+    )
+    bench.add_thread(SENDER_TID, sender_space, sender, name="wb-sender")
+    bench.add_thread(RECEIVER_TID, receiver_space, receiver, name="wb-receiver")
+    core = bench.run()
+
+    levels = decoder.classify_many(receiver.latencies())
+    received_raw = config.codec.decode_message(levels)
+    report = evaluate_transmission(
+        sent=message,
+        received_raw=received_raw,
+        preamble_length=len(config.preamble),
+        alignment_slack=config.alignment_slack_symbols * config.codec.bits_per_symbol,
+    )
+    elapsed = core.elapsed_cycles()
+    return ChannelRunResult(
+        sent_bits=tuple(message),
+        received_bits=tuple(report.received),
+        bit_error_rate=report.ber,
+        errors=report.errors,
+        alignment_offset=report.offset,
+        rate_kbps=config.rate_kbps,
+        period_cycles=config.period_cycles,
+        samples=tuple(receiver.samples),
+        decoder=decoder,
+        sender_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, SENDER_TID, elapsed
+        ),
+        receiver_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, RECEIVER_TID, elapsed
+        ),
+        elapsed_cycles=elapsed,
+    )
+
+
+def quick_channel_run(
+    message_bits: int = 64,
+    period_cycles: int = 5500,
+    d: int = 1,
+    seed: int = 0,
+) -> ChannelRunResult:
+    """One-call demo run with the binary codec (see the README quickstart)."""
+    return run_wb_channel(
+        WBChannelConfig(
+            codec=BinaryDirtyCodec(d_on=d),
+            period_cycles=period_cycles,
+            message_bits=message_bits,
+            seed=seed,
+        )
+    )

@@ -1,0 +1,83 @@
+"""WB channel sender — Algorithm 1 + the sender half of Algorithm 3.
+
+Per symbol the sender stores to the first ``d`` of its conflict lines
+(putting them in the dirty state) and then spins until the next period
+boundary.  Encoding a 0 with the binary codec performs *no* memory access
+at all — one reason the channel is stealthy (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.ops import Load, SpinUntil, Store
+from repro.cpu.thread import OpGenerator, Program
+
+
+@dataclass
+class WBSenderProgram(Program):
+    """Sends a fixed schedule of dirty-line counts, one per period.
+
+    Parameters
+    ----------
+    lines:
+        The sender's conflict lines for the target set (virtual addresses
+        in the sender's space); at least ``max(schedule)`` of them.
+    schedule:
+        Dirty-line count per symbol (``codec.encode_message`` output).
+    period:
+        ``Ts`` in cycles.
+    start_time:
+        TSC value at which symbol 0's window opens; the receiver derives
+        its sampling phase from the same constant (the "agree beforehand"
+        step of the protocol).
+    """
+
+    lines: Sequence[int]
+    schedule: Sequence[int]
+    period: int
+    start_time: int
+    #: Adaptive mode for fill-decorrelating defenses (random-fill caches):
+    #: before each store, reload the line until the load latency signals L1
+    #: residency, so the store is a *hit* and sets the dirty bit despite
+    #: the defense never filling demanded lines (Section 8's argument for
+    #: why random fill does not stop the WB channel).
+    ensure_resident: bool = False
+    resident_threshold: float = 8.0
+    max_residency_attempts: int = 40
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if self.start_time < 0:
+            raise ConfigurationError("start_time must be non-negative")
+        needed = max(self.schedule, default=0)
+        if needed > len(self.lines):
+            raise ConfigurationError(
+                f"schedule needs {needed} conflict lines, got {len(self.lines)}"
+            )
+        if any(d < 0 for d in self.schedule):
+            raise ConfigurationError("dirty-line counts must be non-negative")
+        #: Per-symbol TSC timestamps at which encoding finished (diagnostics).
+        self.encode_timestamps: List[int] = []
+
+    def run(self) -> OpGenerator:
+        # Warm-up: pull the conflict lines out of DRAM before the protocol
+        # epoch so the first symbols' stores are not pathologically slow.
+        for line in self.lines:
+            yield Load(line)
+        t_last = yield SpinUntil(self.start_time)
+        for dirty_count in self.schedule:
+            # Encoding phase: put `dirty_count` lines into the dirty state.
+            for line in self.lines[:dirty_count]:
+                if self.ensure_resident:
+                    for _ in range(self.max_residency_attempts):
+                        latency = yield Load(line)
+                        if latency <= self.resident_threshold:
+                            break
+                yield Store(line)
+            self.encode_timestamps.append(t_last)
+            # Sleep phase: allow the receiver to decode (Algorithm 3).
+            t_last = yield SpinUntil(t_last + self.period)

@@ -1,0 +1,53 @@
+"""Shared utilities used across every subsystem of the reproduction.
+
+The :mod:`repro.common` package deliberately has no dependency on any other
+``repro`` subpackage so that it can be imported from anywhere without risking
+import cycles.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.units import (
+    CPU_FREQUENCY_HZ,
+    cycles_to_kbps,
+    cycles_to_seconds,
+    cycles_to_us,
+    kbps_to_period_cycles,
+    seconds_to_cycles,
+)
+from repro.common.bits import (
+    bits_to_int,
+    bits_to_string,
+    chunk_bits,
+    hamming_distance,
+    int_to_bits,
+    random_bits,
+    string_to_bits,
+)
+from repro.common.rng import derive_rng, ensure_rng
+
+__all__ = [
+    "CPU_FREQUENCY_HZ",
+    "ConfigurationError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "bits_to_int",
+    "bits_to_string",
+    "chunk_bits",
+    "cycles_to_kbps",
+    "cycles_to_seconds",
+    "cycles_to_us",
+    "derive_rng",
+    "ensure_rng",
+    "hamming_distance",
+    "int_to_bits",
+    "kbps_to_period_cycles",
+    "random_bits",
+    "seconds_to_cycles",
+    "string_to_bits",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-defined exceptions derive from :class:`ReproError` so that callers
+can catch everything raised deliberately by this package with one clause while
+letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every exception raised deliberately by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or impossible parameters.
+
+    Examples: a cache whose size is not ``num_sets * associativity *
+    line_size``, a replacement policy asked to manage zero ways, or a channel
+    asked to encode more bits per symbol than the cache associativity allows.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached a state that the model cannot represent.
+
+    This signals an internal inconsistency (for instance an eviction from an
+    empty set) rather than a user mistake; seeing it in user code is a bug in
+    the library.
+    """
+
+
+class ProtocolError(ReproError):
+    """A covert/side-channel protocol was driven incorrectly.
+
+    Raised for malformed messages (non-binary symbols, messages that do not
+    fit the configured symbol width) and for decode attempts on channels that
+    were never calibrated.
+    """

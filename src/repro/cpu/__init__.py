@@ -1,0 +1,34 @@
+"""CPU substrate: operations, hardware threads, SMT core, TSC, perf view.
+
+The paper's sender and receiver are two processes pinned to the two
+hyper-threads of one physical core (``sched_setaffinity``).  We model each
+process as a Python generator yielding :mod:`operations <repro.cpu.ops>`;
+the :class:`SMTCore` interleaves the two generators in global-time order
+against the shared cache hierarchy, which is what makes measurement/encode
+overlap — the paper's dominant error source — an emergent property rather
+than an injected one.
+"""
+
+from repro.cpu.ops import Delay, Flush, Load, Op, RdTSC, SpinUntil, Store
+from repro.cpu.thread import HardwareThread, Program
+from repro.cpu.tsc import TimestampCounter
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.smt import SMTCore
+from repro.cpu.perf_counters import PerfReport, loads_per_millisecond
+
+__all__ = [
+    "Delay",
+    "Flush",
+    "HardwareThread",
+    "Load",
+    "Op",
+    "PerfReport",
+    "Program",
+    "RdTSC",
+    "SMTCore",
+    "SchedulerNoise",
+    "SpinUntil",
+    "Store",
+    "TimestampCounter",
+    "loads_per_millisecond",
+]

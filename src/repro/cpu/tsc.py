@@ -1,0 +1,51 @@
+"""Timestamp-counter model.
+
+``rdtscp`` on real hardware has a read overhead of a few tens of cycles
+(pipeline serialisation) and a counter granularity of one core clock.  The
+paper works around the serialisation noise with pointer chasing; we model
+the residual effects with two parameters: a fixed ``read_overhead`` charged
+to the reading thread and a ``granularity`` the returned value is rounded
+down to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimestampCounter:
+    """Behavioural model of ``rdtscp``."""
+
+    #: Cycles the reading thread spends executing the instruction.
+    read_overhead: int = 8
+    #: Returned values are floor-rounded to a multiple of this.
+    granularity: int = 1
+    #: Half-width of the serialisation jitter on each read.  ``rdtscp``
+    #: drains the pipeline, and how much work is in flight varies; the
+    #: paper calls this "the noise caused by serialization" (Section 4.2).
+    #: A latency measured between two reads therefore carries triangular
+    #: noise of up to ±2*read_jitter — the ambient noise floor that makes
+    #: small-margin symbols (d=1) occasionally flip.
+    read_jitter: int = 2
+
+    def __post_init__(self) -> None:
+        if self.read_overhead < 0:
+            raise ConfigurationError(
+                f"read_overhead must be non-negative, got {self.read_overhead}"
+            )
+        if self.granularity <= 0:
+            raise ConfigurationError(
+                f"granularity must be positive, got {self.granularity}"
+            )
+        if self.read_jitter < 0:
+            raise ConfigurationError(
+                f"read_jitter must be non-negative, got {self.read_jitter}"
+            )
+
+    def read(self, local_time: float) -> int:
+        """TSC value observed by a thread whose clock shows ``local_time``."""
+        value = int(local_time)
+        return value - (value % self.granularity)

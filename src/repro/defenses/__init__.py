@@ -1,0 +1,47 @@
+"""Secure-cache defenses evaluated in Section 8 of the paper.
+
+Each defense is a drop-in :class:`~repro.cache.Cache` variant (or a
+configuration recipe) plus a factory that builds a defended Xeon-like
+hierarchy.  :mod:`repro.defenses.evaluation` runs the WB channel against
+each one and scores mitigation strength and benign-workload overhead.
+
+Paper's verdicts, which the evaluation reproduces:
+
+=====================  =============================================
+Defense                Expected outcome vs the WB channel
+=====================  =============================================
+PLcache (locking)      mitigates (locked dirty lines unreplaceable)
+DAWG/Nomo partitions   mitigates (eviction isolation)
+Random-fill cache      does **not** mitigate
+Randomized mapping     mitigates naive attacker; profiling re-enables
+Write-through L1       removes the channel entirely (no dirty state)
+=====================  =============================================
+"""
+
+from repro.defenses.plcache import PLCache, make_plcache_hierarchy
+from repro.defenses.partitioned import (
+    WayPartitionedCache,
+    make_partitioned_hierarchy,
+)
+from repro.defenses.random_fill import RandomFillCache, make_random_fill_hierarchy
+from repro.defenses.randomized_mapping import (
+    RandomizedMappingCache,
+    make_randomized_mapping_hierarchy,
+)
+from repro.defenses.write_through import make_write_through_hierarchy
+from repro.defenses.evaluation import DefenseReport, evaluate_defense, evaluate_all
+
+__all__ = [
+    "DefenseReport",
+    "PLCache",
+    "RandomFillCache",
+    "RandomizedMappingCache",
+    "WayPartitionedCache",
+    "evaluate_all",
+    "evaluate_defense",
+    "make_partitioned_hierarchy",
+    "make_plcache_hierarchy",
+    "make_random_fill_hierarchy",
+    "make_randomized_mapping_hierarchy",
+    "make_write_through_hierarchy",
+]

@@ -1,0 +1,38 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+==================  ===========================================
+Experiment id       Paper artifact
+==================  ===========================================
+``table2``          Table 2  (eviction probability vs N)
+``table4``          Table 4  (latency classes)
+``table5``          Table 5  (random replacement probabilities)
+``table6``          Table 6  (sender miss rates / stealthiness)
+``table7``          Table 7  (sender loads per ms, WB vs LRU)
+``fig4``            Figure 4 (latency CDFs per dirty count)
+``fig5``            Figure 5 (binary traces @ 400 Kbps)
+``fig6``            Figure 6 (BER vs rate, binary)
+``fig7``            Figure 7 (multi-bit trace @ 1100 Kbps)
+``fig8``            Figure 8 (BER vs rate, 2-bit symbols)
+``random_policy``   Section 6.1 (channel under random policy)
+``stability``       Section 6 / Figure 9 (noise robustness)
+``defenses``        Section 8 (defense evaluation)
+``sidechannel``     Section 9 (side-channel scenarios)
+==================  ===========================================
+
+Run from Python via :func:`run_experiment` / :func:`run_all`, or from the
+shell via ``python -m repro.experiments`` (alias ``wb-experiments``).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import (
+    available_experiments,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "run_all",
+    "run_experiment",
+]

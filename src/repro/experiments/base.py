@@ -1,0 +1,75 @@
+"""Experiment framework: structured results and text rendering.
+
+Every experiment module exposes ``run(quick=False, seed=0) ->
+ExperimentResult``.  ``quick=True`` shrinks repetition counts so the
+benchmark suite and CI stay fast; the full settings match the paper's
+(e.g. 10 000 trials for Table 2, 1000 measurements for Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure, as data plus provenance."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    columns: List[str]
+    rows: List[List[object]]
+    #: Free-form commentary: what matched the paper, what deviated, why.
+    notes: str = ""
+    #: Parameters the run used (repetitions, seeds, ...).
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Extra series keyed by name (figures attach raw samples here).
+    series: Dict[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for index, row in enumerate(self.rows):
+            if len(row) != len(self.columns):
+                raise ConfigurationError(
+                    f"row {index} has {len(row)} cells but there are "
+                    f"{len(self.columns)} columns"
+                )
+
+    def render(self) -> str:
+        """Plain-text table in the style of the paper's tables."""
+        header = [self.title, f"(reproduces {self.paper_reference})", ""]
+        cells = [self.columns] + [
+            [_format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(self.columns))
+        ]
+        lines = []
+        for row_index, row in enumerate(cells):
+            line = "  ".join(value.rjust(width) for value, width in zip(row, widths))
+            lines.append(line)
+            if row_index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        out = header + lines
+        if self.notes:
+            out += ["", f"notes: {self.notes}"]
+        return "\n".join(out)
+
+    def row_dict(self, key_column: str) -> Dict[object, List[object]]:
+        """Index the rows by the value in ``key_column`` (test helper)."""
+        try:
+            key_index = self.columns.index(key_column)
+        except ValueError:
+            raise ConfigurationError(
+                f"no column {key_column!r}; columns are {self.columns}"
+            )
+        return {row[key_index]: row for row in self.rows}
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

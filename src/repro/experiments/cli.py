@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m repro.experiments`` / ``wb-experiments``.
+
+Examples::
+
+    wb-experiments --list
+    wb-experiments table2 fig6
+    wb-experiments --all --quick
+    wb-experiments --taxonomy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.channels.taxonomy import render_table
+from repro.experiments.registry import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="wb-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Abusing Cache Line Dirty "
+            "States to Leak Information in Commercial Processors' (HPCA'22)"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced repetition counts (CI-speed, noisier estimates)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--taxonomy",
+        action="store_true",
+        help="print the paper's Table 1 channel classification",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    if args.taxonomy:
+        print(render_table())
+        return 0
+
+    requested = list(args.experiments)
+    if args.all:
+        requested = available_experiments()
+    if not requested:
+        parser.print_help()
+        return 2
+
+    unknown = [e for e in requested if e not in available_experiments()]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available_experiments())}", file=sys.stderr)
+        return 2
+
+    for experiment_id in requested:
+        started = time.time()
+        result = run_experiment(experiment_id, quick=args.quick, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Figure 4 — CDF of replacement-set latency vs dirty-line count.
+
+The paper performs 1000 measurements per ``d in {0..8}`` with a
+replacement set of ten lines on the Xeon and shows narrow, separated CDF
+bands roughly ten cycles apart.  The experiment regenerates the same
+data: per-level latency samples, their empirical CDFs, and the
+median/step summary the channel's codecs rely on.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List
+
+from repro.analysis.cdf import empirical_cdf, summarize_latencies
+from repro.channels.wb.calibration import measure_latency_distributions
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENT_ID = "fig4"
+
+DIRTY_LEVELS = tuple(range(9))
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 4."""
+    repetitions = 60 if quick else 1000
+    samples: Dict[int, List[int]] = measure_latency_distributions(
+        levels=list(DIRTY_LEVELS),
+        repetitions=repetitions,
+        replacement_set_size=10,
+        seed=seed,
+    )
+    medians = {level: statistics.median(samples[level]) for level in DIRTY_LEVELS}
+    rows: List[List[object]] = []
+    for level in DIRTY_LEVELS:
+        series = samples[level]
+        summary = summarize_latencies(series)
+        step = medians[level] - medians[level - 1] if level > 0 else 0.0
+        rows.append(
+            [
+                level,
+                summary.minimum,
+                summary.median,
+                summary.p90,
+                summary.maximum,
+                f"{step:+.1f}" if level else "-",
+            ]
+        )
+    cdfs = {f"cdf_d{level}": empirical_cdf(samples[level]) for level in DIRTY_LEVELS}
+    per_line = statistics.fmean(
+        medians[level] - medians[level - 1] for level in DIRTY_LEVELS[1:]
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Replacement-set access latency vs dirty lines in the target set",
+        paper_reference="Figure 4",
+        columns=["d", "min", "median", "p90", "max", "median step"],
+        rows=rows,
+        params={"repetitions": repetitions, "seed": seed},
+        notes=(
+            f"Bands are narrow and separated by ~{per_line:.1f} cycles per "
+            "dirty line (paper: ~10 cycles per dirty line), making all nine "
+            "states distinguishable — the basis for multi-bit encoding."
+        ),
+        series={
+            **{f"latencies_d{level}": samples[level] for level in DIRTY_LEVELS},
+            **cdfs,
+        },
+    )

@@ -1,0 +1,75 @@
+"""Figure 5 — receiver traces at 400 Kbps for d = 1, 4, 8.
+
+The paper shows the latency sequences a receiver observes while the
+sender transmits random 128-bit messages with ``Ts = Tr = 5500`` (400
+Kbps), for three binary encodings.  The experiment reproduces each trace:
+the received latency series, the calibrated threshold (the dotted line of
+the figure), and the decoded-vs-sent comparison of the 16-bit preamble.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.channels.encoding import BinaryDirtyCodec
+from repro.channels.wb import WBChannelConfig, run_wb_channel
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENT_ID = "fig5"
+
+D_VALUES = (1, 4, 8)
+PERIOD = 5500
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 5."""
+    message_bits = 64 if quick else 128
+    rows: List[List[object]] = []
+    series = {}
+    for d in D_VALUES:
+        config = WBChannelConfig(
+            codec=BinaryDirtyCodec(d_on=d),
+            period_cycles=PERIOD,
+            message_bits=message_bits,
+            seed=seed,
+            calibration_repetitions=20 if quick else 60,
+        )
+        result = run_wb_channel(config)
+        threshold = result.decoder.thresholds[0]
+        latencies = [latency for _, latency in result.samples]
+        separation = result.decoder.separation()
+        rows.append(
+            [
+                d,
+                f"{result.rate_kbps:.0f}",
+                f"{threshold:.0f}",
+                f"{separation:.0f}",
+                f"{result.bit_error_rate:.2%}",
+                "".join(map(str, result.sent_bits[:16])),
+                "".join(map(str, result.received_bits[:16])),
+            ]
+        )
+        series[f"trace_d{d}"] = latencies
+        series[f"threshold_d{d}"] = [threshold]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Receiver latency traces at 400 Kbps (Ts = Tr = 5500)",
+        paper_reference="Figure 5",
+        columns=[
+            "d",
+            "rate (Kbps)",
+            "threshold (cy)",
+            "level separation (cy)",
+            "BER",
+            "preamble sent",
+            "preamble received",
+        ],
+        rows=rows,
+        params={"period_cycles": PERIOD, "message_bits": message_bits, "seed": seed},
+        notes=(
+            "Each dirty line adds ~11 cycles to the receiver's replacement "
+            "latency, so the 1-bands sit d*11 cycles above the 0-band and "
+            "the separation grows with d, exactly as in the paper's traces."
+        ),
+        series=series,
+    )

@@ -1,0 +1,89 @@
+"""Section 6.1 — the WB channel under a random replacement policy.
+
+Two claims to reproduce:
+
+1. the analytic probability ``p = 1 - ((W - d)/W)^L`` is ≈99.1% at
+   ``d = 3, L = 10`` (checked against Monte-Carlo in the Table 5
+   experiment; restated here as the design rule);
+2. with appropriate ``d`` and ``L`` (the paper suggests d=3, L=12) a
+   *stable covert channel* still works on a randomly-replaced L1 —
+   random replacement defeats LRU-state channels but not the WB channel.
+
+The experiment runs the full covert channel on a random-replacement L1
+across (d, L) configurations and reports BER, next to the analytic
+eviction probability for context.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List
+
+from repro.channels.encoding import BinaryDirtyCodec
+from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table5 import analytic_probability
+
+EXPERIMENT_ID = "random_policy"
+
+CONFIGS = ((1, 10), (2, 10), (3, 10), (3, 12), (8, 12))
+PERIOD = 5500
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce the Section 6.1 random-replacement channel study."""
+    messages = 4 if quick else 30
+    message_bits = 64 if quick else 128
+    overrides = {"l1_policy": "random"}
+    rows: List[List[object]] = []
+    for d_on, replacement_size in CONFIGS:
+        codec = BinaryDirtyCodec(d_on=d_on)
+        decoder = calibrate_decoder(
+            codec.levels,
+            repetitions=20 if quick else 60,
+            replacement_set_size=replacement_size,
+            seed=seed,
+            hierarchy_overrides=overrides,
+        )
+        bers = [
+            run_wb_channel(
+                WBChannelConfig(
+                    codec=codec,
+                    period_cycles=PERIOD,
+                    message_bits=message_bits,
+                    seed=seed * 1009 + message,
+                    decoder=decoder,
+                    hierarchy_overrides=overrides,
+                    replacement_set_size=replacement_size,
+                )
+            ).bit_error_rate
+            for message in range(messages)
+        ]
+        rows.append(
+            [
+                d_on,
+                replacement_size,
+                f"{analytic_probability(8, d_on, replacement_size):.1%}",
+                f"{statistics.fmean(bers):.2%}",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="WB channel on a random-replacement L1 (400 Kbps)",
+        paper_reference="Section 6.1 (formula + Table 5 conclusion)",
+        columns=["d", "L", "analytic P(>=1 dirty evicted)", "channel BER"],
+        rows=rows,
+        params={
+            "messages_per_config": messages,
+            "message_bits": message_bits,
+            "period": PERIOD,
+            "seed": seed,
+        },
+        notes=(
+            "BER falls monotonically as d and L grow (leftover dirty lines "
+            "that survive one traversal are the residual error source); at "
+            "d=8, L=12 the channel is solid again. 'Simply adopting a "
+            "random replacement policy still cannot effectively defeat the "
+            "WB channel' (Section 6.1)."
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Registry of all reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    ablation_errors,
+    ablation_replacement_set,
+    defenses_exp,
+    extension_3bit,
+    extension_l2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    random_policy,
+    sidechannel_exp,
+    stability,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+#: ``run(quick, seed)`` callables keyed by experiment id.
+_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table2": table2.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "random_policy": random_policy.run,
+    "stability": stability.run,
+    "defenses": defenses_exp.run,
+    "sidechannel": sidechannel_exp.run,
+    # Extensions and ablations beyond the paper's own evaluation.
+    "extension_3bit": extension_3bit.run,
+    "extension_l2": extension_l2.run,
+    "ablation_errors": ablation_errors.run,
+    "ablation_replacement_set": ablation_replacement_set.run,
+}
+
+
+def available_experiments() -> List[str]:
+    """Ids accepted by :func:`run_experiment`, in canonical order."""
+    return list(_EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = False, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = _EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(available_experiments())}"
+        )
+    return runner(quick=quick, seed=seed)
+
+
+def run_all(quick: bool = False, seed: int = 0) -> List[ExperimentResult]:
+    """Run every registered experiment in order."""
+    return [
+        run_experiment(experiment_id, quick=quick, seed=seed)
+        for experiment_id in available_experiments()
+    ]

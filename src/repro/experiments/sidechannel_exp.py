@@ -1,0 +1,81 @@
+"""Section 9 — side-channel scenarios built on the WB primitive.
+
+Runs all three attacks against the Listing 2 gadgets and reports the
+fraction of secret bits recovered.  The paper demonstrates feasibility
+qualitatively; the reproduction quantifies it on the simulated machine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.bits import random_bits
+from repro.common.rng import ensure_rng
+from repro.experiments.base import ExperimentResult
+from repro.sidechannel import (
+    dirty_eviction_attack,
+    dirty_state_attack,
+    execution_time_attack,
+)
+
+EXPERIMENT_ID = "sidechannel"
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce the Section 9 attack scenarios."""
+    secret_bits = 32 if quick else 128
+    secret = random_bits(secret_bits, ensure_rng(seed + 1))
+    attacks = (
+        (
+            "1: dirty-state, gadget (a), lines in same set",
+            lambda: dirty_state_attack(secret, seed=seed, same_set=True),
+        ),
+        (
+            "1b: dirty-state, gadget (a), lines in different sets",
+            lambda: dirty_state_attack(secret, seed=seed, same_set=False),
+        ),
+        (
+            "2: dirty-eviction, gadget (b)",
+            lambda: dirty_eviction_attack(secret, seed=seed),
+        ),
+        (
+            "3: execution-time, gadget (b)",
+            lambda: execution_time_attack(secret, seed=seed, gadget="b"),
+        ),
+        (
+            "3a: execution-time, gadget (a)",
+            lambda: execution_time_attack(secret, seed=seed, gadget="a"),
+        ),
+    )
+    rows: List[List[object]] = []
+    for label, attack in attacks:
+        result = attack()
+        low, high = result.calibration_means
+        rows.append(
+            [
+                label,
+                f"{result.accuracy:.1%}",
+                f"{low:.0f}/{high:.0f}",
+                f"{result.threshold:.0f}",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Secret recovery through WB side channels (Listing 2 gadgets)",
+        paper_reference="Section 9",
+        columns=[
+            "scenario",
+            "bits recovered",
+            "calibration medians (0/1)",
+            "threshold",
+        ],
+        rows=rows,
+        params={"secret_bits": secret_bits, "seed": seed},
+        notes=(
+            "Scenario 1 works even with both gadget lines in one set — the "
+            "case Prime+Probe and the LRU channel cannot decode. Scenario 3 "
+            "succeeds cleanly here because the simulator's victim-call "
+            "timing noise is milder than real hardware's; the paper needed "
+            "two serial loads per branch for the same result."
+        ),
+    )

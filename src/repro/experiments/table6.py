@@ -1,0 +1,153 @@
+"""Table 6 — cache miss rates of the sender process (stealthiness).
+
+Three scenarios per encoding (binary d=1, multi-bit d∈{0,3,5,8}):
+
+* **L1 WB** — the sender runs the channel against the receiver;
+* **sender & g++** — the sender shares the core with a benign
+  compiler-like workload instead;
+* **sender only** — the sender has the core to itself.
+
+The paper's point (Section 7): the sender's counter profile under the
+attack is *no more suspicious* than under a benign co-runner — the L1
+miss rate stays tiny, and the L2 miss rate is actually lower during the
+attack (its evicted lines come right back from L2) than when a compiler
+thrashes the caches.  Absolute percentages depend on how much
+non-channel traffic the process generates, which we model explicitly
+(:mod:`repro.experiments.process_models`); the reproduced quantity is
+the *pattern across scenarios*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.bits import random_bits
+from repro.common.rng import derive_rng, ensure_rng
+from repro.channels.encoding import BinaryDirtyCodec, MultiBitDirtyCodec, SymbolCodec
+from repro.channels.testbench import ChannelTestbench, TestbenchConfig
+from repro.channels.wb.receiver import WBReceiverProgram
+from repro.cpu.perf_counters import PerfReport
+from repro.experiments.base import ExperimentResult
+from repro.experiments.process_models import InstrumentedWBSender, make_activity
+from repro.mem.pointer_chase import PointerChaseList
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+from repro.noise.workloads import CompilerLikeWorkload
+
+EXPERIMENT_ID = "table6"
+
+SENDER_TID = 0
+PEER_TID = 1
+PERIOD = 11000
+TARGET_SET = 21
+#: Protocol epoch, after the whole-process warm-up (~1.3M cycles).
+START_TIME = 2_000_000
+
+
+def _sender_report(
+    codec: SymbolCodec,
+    scenario: str,
+    num_symbols: int,
+    seed: int,
+) -> PerfReport:
+    """Run one scenario and return the sender's perf counters."""
+    bench = ChannelTestbench(TestbenchConfig(seed=seed))
+    layout = bench.l1_layout
+    sender_space = bench.new_space(pid=SENDER_TID)
+    rng = ensure_rng(seed)
+    message = random_bits(num_symbols * codec.bits_per_symbol, derive_rng(rng, "msg"))
+    schedule = codec.encode_message(message)
+    sender_lines = build_set_conflicting_lines(
+        sender_space, layout, TARGET_SET, max(codec.max_dirty_lines, 1)
+    )
+    sender = InstrumentedWBSender(
+        activity=make_activity(sender_space, seed=seed),
+        lines=sender_lines,
+        schedule=schedule,
+        period=PERIOD,
+        start_time=START_TIME,
+    )
+    bench.add_thread(SENDER_TID, sender_space, sender, name="wb-sender")
+
+    if scenario == "wb":
+        receiver_space = bench.new_space(pid=PEER_TID)
+        set_rng = derive_rng(bench.rng, "sets")
+        chase_a = PointerChaseList.from_lines(
+            build_replacement_set(receiver_space, layout, TARGET_SET, 10, set_rng),
+            rng=set_rng,
+        )
+        chase_b = PointerChaseList.from_lines(
+            build_replacement_set(receiver_space, layout, TARGET_SET, 10, set_rng),
+            rng=set_rng,
+        )
+        receiver = WBReceiverProgram(
+            chase_a=chase_a,
+            chase_b=chase_b,
+            period=PERIOD,
+            start_time=START_TIME,
+            num_samples=len(schedule),
+            phase=0.5,
+        )
+        bench.add_thread(PEER_TID, receiver_space, receiver, name="wb-receiver")
+    elif scenario == "g++":
+        peer_space = bench.new_space(pid=PEER_TID)
+        # Sized so the compiler runs hot for the whole measurement window
+        # (~8 cycles per access against the sender's PERIOD per symbol).
+        workload = CompilerLikeWorkload(
+            space=peer_space,
+            total_accesses=(PERIOD // 8) * num_symbols,
+            seed=seed + 1,
+        )
+        bench.add_thread(PEER_TID, peer_space, workload, name="g++-like")
+    elif scenario != "alone":
+        raise ValueError(f"unknown scenario {scenario!r}")
+
+    core = bench.run()
+    # Counters were reset at START_TIME (perf attach); report rates over
+    # the measured window only.
+    measured_cycles = max(1.0, core.elapsed_cycles() - START_TIME)
+    return PerfReport.from_stats(bench.hierarchy.stats, SENDER_TID, measured_cycles)
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Table 6."""
+    num_symbols = 24 if quick else 128
+    codecs: Dict[str, SymbolCodec] = {
+        "binary (d=1)": BinaryDirtyCodec(d_on=1),
+        "multi-bit (d=0/3/5/8)": MultiBitDirtyCodec(),
+    }
+    scenarios = (("L1 WB", "wb"), ("sender & g++", "g++"), ("sender only", "alone"))
+    rows: List[List[object]] = []
+    reports: Dict[str, PerfReport] = {}
+    for codec_name, codec in codecs.items():
+        for scenario_name, scenario_key in scenarios:
+            report = _sender_report(codec, scenario_key, num_symbols, seed)
+            reports[f"{codec_name}/{scenario_name}"] = report
+            rows.append(
+                [
+                    codec_name,
+                    scenario_name,
+                    f"{report.l1_miss_rate:.2%}",
+                    f"{report.l2_miss_rate:.2%}",
+                    f"{report.llc_miss_rate:.2%}",
+                ]
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Cache miss rates of the sender process",
+        paper_reference="Table 6",
+        columns=["encoding", "scenario", "L1D miss", "L2 miss", "LLC miss"],
+        rows=rows,
+        params={"num_symbols": num_symbols, "period": PERIOD, "seed": seed},
+        notes=(
+            "Orderings reproduced: the sender's L1 miss rate under attack "
+            "is indistinguishable from sharing the core with a compiler "
+            "(both a few tenths above sender-only) and multi-bit > binary; "
+            "the WB run has the lowest "
+            "L2 miss rate (evicted channel lines return from L2); the LLC "
+            "miss rate collapses only in the g++ scenario. Deviation: our "
+            "compiler model pressures the shared L2 harder than the paper's "
+            "g++, so its L2 column sits above sender-only instead of below. "
+            "Conclusion unchanged: miss-rate detectors cannot separate the "
+            "WB sender from benign core-sharing."
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Memory substrate: addresses, paging, per-process address spaces.
+
+The paper's threat model has the sender and receiver as *separate Linux
+processes* with no shared memory, co-resident on one SMT core.  We model this
+with per-process virtual address spaces backed by a shared physical frame
+allocator: distinct processes get distinct frames, hence distinct cache tags,
+while the VIPT L1 lets both sides aim at the same *set index* purely from
+virtual addresses — exactly the property the attack relies on.
+"""
+
+from repro.mem.address import AddressLayout
+from repro.mem.address_space import AddressSpace, FrameAllocator, PAGE_SIZE
+from repro.mem.pointer_chase import PointerChaseList
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+
+__all__ = [
+    "AddressLayout",
+    "AddressSpace",
+    "FrameAllocator",
+    "PAGE_SIZE",
+    "PointerChaseList",
+    "build_replacement_set",
+    "build_set_conflicting_lines",
+]

@@ -1,0 +1,64 @@
+"""Construction of target-set and replacement-set address collections.
+
+Section 4 of the paper: the receiver allocates an array spanning the L1 and
+picks the virtual lines whose index bits equal the target set; consecutive
+4 KB strides give lines with equal index but distinct tags.  These helpers
+build such collections inside a given :class:`~repro.mem.AddressSpace`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.mem.address import AddressLayout
+from repro.mem.address_space import AddressSpace
+
+
+def build_set_conflicting_lines(
+    space: AddressSpace,
+    layout: AddressLayout,
+    target_set: int,
+    count: int,
+) -> List[int]:
+    """Return ``count`` virtual line addresses that all map to ``target_set``.
+
+    Addresses come from a fresh buffer in ``space`` at successive
+    set-conflict strides, i.e. equal VIPT index, distinct tags.  Pages are
+    touched eagerly so that page faults never land inside a timed region.
+    """
+    if not 0 <= target_set < layout.num_sets:
+        raise ConfigurationError(
+            f"target_set {target_set} out of range [0, {layout.num_sets})"
+        )
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    stride = layout.stride_between_conflicts()
+    base = space.allocate_buffer(stride * count)
+    lines = [base + i * stride + target_set * layout.line_size for i in range(count)]
+    for line in lines:
+        space.translate(line)
+    return lines
+
+
+def build_replacement_set(
+    space: AddressSpace,
+    layout: AddressLayout,
+    target_set: int,
+    size: int,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Build a replacement set: ``size`` conflicting lines, randomly ordered.
+
+    The paper permutes the traversal order randomly so the hardware
+    prefetcher cannot learn the stride (Section 4.2).  Our simulator has no
+    prefetcher, but keeping the permutation preserves the access pattern the
+    receiver really executes and keeps the builder reusable on substrates
+    that do model one.
+    """
+    lines = build_set_conflicting_lines(space, layout, target_set, size)
+    generator = ensure_rng(rng)
+    generator.shuffle(lines)
+    return lines

@@ -1,0 +1,77 @@
+"""Target-set noise injection (Figure 9's "noise cache line").
+
+A :class:`TargetSetNoiseProgram` runs as an extra hardware thread and
+periodically touches lines mapping to the channel's target set.  Loads
+insert *clean* lines — harmless to the WB channel (the dirty count is
+unchanged) but fatal to identity-based channels whose primed lines get
+evicted.  With ``store_fraction > 0`` some touches are stores, which *do*
+perturb the WB channel (the paper concedes this case but argues such
+conflicting stores are rare).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import ensure_rng
+from repro.cpu.ops import Load, SpinUntil, Store
+from repro.cpu.thread import OpGenerator, Program
+
+
+@dataclass
+class NoiseConfig:
+    """Shape of the injected noise traffic."""
+
+    #: Mean cycles between touches of the target set.
+    mean_interval_cycles: float = 20000.0
+    #: Fraction of touches that are stores instead of loads.
+    store_fraction: float = 0.0
+    #: How many distinct noise lines to rotate through.
+    distinct_lines: int = 2
+    #: When to stop (the channel run's expected end, in cycles).
+    duration_cycles: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.mean_interval_cycles <= 0:
+            raise ConfigurationError("mean_interval_cycles must be positive")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ConfigurationError(
+                f"store_fraction must be in [0, 1], got {self.store_fraction}"
+            )
+        if self.distinct_lines <= 0:
+            raise ConfigurationError("distinct_lines must be positive")
+        if self.duration_cycles <= 0:
+            raise ConfigurationError("duration_cycles must be positive")
+
+
+@dataclass
+class TargetSetNoiseProgram(Program):
+    """Touches conflict lines of the target set at random intervals."""
+
+    lines: Sequence[int]
+    config: NoiseConfig
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            raise ConfigurationError("noise program needs at least one line")
+        #: Timestamps at which noise touches were issued (diagnostics).
+        self.touch_times: List[float] = []
+
+    def run(self) -> OpGenerator:
+        rng: random.Random = ensure_rng(self.seed)
+        now = 0.0
+        while True:
+            now += rng.expovariate(1.0 / self.config.mean_interval_cycles)
+            if now >= self.config.duration_cycles:
+                return
+            actual = yield SpinUntil(int(now))
+            line = self.lines[rng.randrange(len(self.lines))]
+            if rng.random() < self.config.store_fraction:
+                yield Store(line)
+            else:
+                yield Load(line)
+            self.touch_times.append(float(actual))

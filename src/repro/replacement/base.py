@@ -1,0 +1,77 @@
+"""Replacement-policy interface.
+
+A policy instance tracks replacement metadata for one cache set of ``ways``
+ways.  The hosting :class:`~repro.cache.CacheSet` is responsible for filling
+invalid ways first; :meth:`victim` is only consulted when the set is full, so
+policies may assume every way is valid when choosing.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+
+#: Signature of per-set policy constructors: ``factory(ways, rng) -> policy``.
+PolicyFactory = Callable[[int, random.Random], "ReplacementPolicy"]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Replacement metadata for a single cache set.
+
+    Subclasses implement the three state-transition hooks plus victim
+    selection.  ``rng`` is the only source of randomness a policy may use;
+    deterministic policies simply ignore it.
+    """
+
+    def __init__(self, ways: int, rng: random.Random) -> None:
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive, got {ways}")
+        self.ways = ways
+        self.rng = rng
+
+    @abc.abstractmethod
+    def on_fill(self, way: int) -> None:
+        """A new line was installed into ``way`` (after a miss)."""
+
+    @abc.abstractmethod
+    def on_hit(self, way: int) -> None:
+        """The line in ``way`` was accessed and hit."""
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Choose the way to evict; the set is guaranteed full."""
+
+    def on_invalidate(self, way: int) -> None:
+        """The line in ``way`` was invalidated (flush). Optional hook."""
+
+    def notify_dirty_ways(self, dirty_mask: "tuple[bool, ...]") -> None:
+        """Hint from the cache set: which ways are currently dirty.
+
+        Called immediately before :meth:`victim`.  Most policies ignore
+        line state entirely; the E5-2650 behavioural surrogate
+        (:class:`~repro.replacement.dirty_protect.DirtyProtectingPLRU`)
+        uses it to model the measured reluctance to evict dirty victims.
+        """
+
+    def randomize_state(self) -> None:
+        """Scramble internal metadata as if arbitrary prior traffic ran.
+
+        Used by the Table 2 experiment, where the probability of evicting a
+        known line depends on the (unknown) pre-existing PLRU state of the
+        set.  The default performs a plausible scramble by replaying random
+        hits; subclasses with richer state override it.
+        """
+        for _ in range(self.ways * 4):
+            self.on_hit(self.rng.randrange(self.ways))
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.ways:
+            raise ConfigurationError(f"way {way} out of range [0, {self.ways})")
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name (class name by default)."""
+        return type(self).__name__

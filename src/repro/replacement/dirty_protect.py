@@ -1,0 +1,94 @@
+"""Behavioural surrogate for the Xeon E5-2650's measured L1 behaviour.
+
+The paper's Table 2 measures that on the E5-2650 a freshly *written*
+(dirty) line survives a replacement set of 8 lines 31.2% of the time and
+a set of 9 lines 18.3% of the time, but never survives 10 lines.  Plain
+(Tree-)PLRU cannot produce that pattern: its miss-victim selection covers
+all ways, so 8 fills always evict the line.
+
+A mechanism that reproduces the measurements — and is microarchitecturally
+plausible, since evicting a dirty victim stalls the fill on the write-back
+(the very effect the WB channel exploits) — is *bounded dirty-victim
+protection*: when victim selection lands on a dirty line, the cache may
+divert to the next (clean) candidate instead, at most ``max_protections``
+times per residency.  The protected line keeps its age, so the very next
+fill designates it again.  With diversion probabilities ``p1 = 0.312``
+and ``p2 = 0.587`` the eviction probabilities are ``1 - p1 = 68.8%`` at
+N = 8, ``1 - p1*p2 = 81.7%`` at N = 9 and, the budget exhausted, ``100%``
+at N = 10 — the paper's measured column.
+
+This is a calibrated surrogate, not reverse engineering; DESIGN.md and
+EXPERIMENTS.md flag it as such.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.true_lru import TrueLRU
+
+
+class DirtyProtectingLRU(TrueLRU):
+    """LRU with bounded probabilistic protection of dirty victims."""
+
+    #: Calibrated per-attempt diversion probabilities (see module doc).
+    DEFAULT_PROTECT_PROBS = (0.312, 0.587)
+
+    def __init__(
+        self,
+        ways: int,
+        rng: random.Random,
+        protect_probs: Tuple[float, ...] = DEFAULT_PROTECT_PROBS,
+    ) -> None:
+        super().__init__(ways, rng)
+        if any(not 0.0 <= p <= 1.0 for p in protect_probs):
+            raise ConfigurationError(
+                f"protect_probs must be within [0, 1], got {protect_probs}"
+            )
+        self.protect_probs = tuple(protect_probs)
+        self._dirty_mask: Tuple[bool, ...] = tuple([False] * ways)
+        #: Diversions used so far, per way; reset when the way is refilled.
+        self._protections_used: List[int] = [0] * ways
+
+    @property
+    def max_protections(self) -> int:
+        """Protection budget per residency."""
+        return len(self.protect_probs)
+
+    def notify_dirty_ways(self, dirty_mask: Tuple[bool, ...]) -> None:
+        if len(dirty_mask) != self.ways:
+            raise ConfigurationError(
+                f"dirty mask has {len(dirty_mask)} entries for {self.ways} ways"
+            )
+        self._dirty_mask = tuple(dirty_mask)
+
+    def on_fill(self, way: int) -> None:
+        super().on_fill(way)
+        self._protections_used[way] = 0
+
+    def victim(self) -> int:
+        # Scan candidates oldest-first; a dirty candidate with remaining
+        # budget may divert the eviction to the next-oldest line.  The
+        # diverted line keeps its age, so it is the designated victim
+        # again on the very next miss.
+        for way in self.recency_order():
+            used = self._protections_used[way]
+            if (
+                self._dirty_mask[way]
+                and used < self.max_protections
+                and self.rng.random() < self.protect_probs[used]
+            ):
+                self._protections_used[way] = used + 1
+                continue
+            return way
+        # Every way protected this round (possible when all are dirty):
+        # fall back to plain LRU.
+        return super().victim()
+
+
+#: Backwards-compatible alias used before the surrogate moved to an
+#: LRU base (the PLRU-based variant could not re-designate a protected
+#: line quickly enough to reproduce the paper's N = 9 column).
+DirtyProtectingPLRU = DirtyProtectingLRU

@@ -1,0 +1,68 @@
+"""Behavioural surrogate for the Intel E5-2650's undocumented L1 policy.
+
+The paper measured (Table 2) that on the Xeon E5-2650 a replacement set of
+8 lines evicts a just-written line only 68.8% of the time, 9 lines 81.7%,
+and 10 lines always.  That is *worse* than ideal Tree-PLRU (94.3% / 100%),
+meaning the real policy's metadata update is weaker than a full path update
+on every access.
+
+Sandy Bridge's actual L1D policy is undocumented.  We model the observed
+behaviour with ``NoisyTreePLRU``: a Tree-PLRU whose per-node path update is
+applied only with probability ``update_prob`` on *fills* (hits update fully).
+Skipped updates leave stale victim pointers behind, so a freshly-filled
+replacement-set line can itself be chosen as the next victim, wasting one
+eviction — exactly the effect that pushes the guaranteed-eviction threshold
+from 9 to 10.
+
+The default ``update_prob`` is calibrated so the three Table 2 probabilities
+land near the paper's measurements; EXPERIMENTS.md flags this column as a
+calibrated surrogate rather than a mechanistic model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.errors import ConfigurationError
+from repro.replacement.tree_plru import TreePLRU
+
+
+class NoisyTreePLRU(TreePLRU):
+    """Tree-PLRU with probabilistic path updates on fills.
+
+    ``update_prob`` is the per-tree-node probability that a fill updates the
+    node; 1.0 degenerates to exact Tree-PLRU, 0.0 to a static (FIFO-like
+    given the victim walk) pointer.
+    """
+
+    #: Calibrated against the paper's measured E5-2650 column of Table 2.
+    DEFAULT_UPDATE_PROB = 0.55
+
+    def __init__(
+        self,
+        ways: int,
+        rng: random.Random,
+        update_prob: float = DEFAULT_UPDATE_PROB,
+    ) -> None:
+        super().__init__(ways, rng)
+        if not 0.0 <= update_prob <= 1.0:
+            raise ConfigurationError(
+                f"update_prob must be within [0, 1], got {update_prob}"
+            )
+        self.update_prob = update_prob
+
+    def _touch_noisy(self, way: int) -> None:
+        node = 0
+        for level in range(self._levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            if self.rng.random() < self.update_prob:
+                self._bits[node] = 0 if went_right else 1
+            node = 2 * node + 1 + went_right
+
+    def on_fill(self, way: int) -> None:
+        self._check_way(way)
+        self._touch_noisy(way)
+
+    # Hits keep the exact TreePLRU update (inherited on_hit), matching the
+    # intuition that demand hits maintain recency more aggressively than
+    # fills on the real part.

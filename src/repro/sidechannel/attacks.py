@@ -1,0 +1,247 @@
+"""The three WB side-channel scenarios of Section 9.
+
+All attacks share a structure: *prepare* the target set(s), *invoke* the
+victim gadget, *measure*, and threshold the measurement into a secret
+guess.  Calibration runs the same loop with known secrets — the paper's
+attacker profiles the victim binary offline the same way.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng, ensure_rng
+from repro.cache.configs import make_xeon_hierarchy
+from repro.mem.address_space import AddressSpace, FrameAllocator
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+from repro.sidechannel.victim import (
+    VictimContext,
+    VictimGadgetA,
+    VictimGadgetB,
+    make_victim,
+)
+
+ATTACKER_TID = 1
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of recovering a secret bit-string."""
+
+    scenario: str
+    secret: Tuple[int, ...]
+    recovered: Tuple[int, ...]
+    accuracy: float
+    threshold: float
+    #: Median measurement per secret value during calibration, diagnostic.
+    calibration_means: Tuple[float, float]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scenario}: recovered {self.accuracy:.1%} of "
+            f"{len(self.secret)} secret bits"
+        )
+
+
+class _AttackRig:
+    """Shared machinery: hierarchy, spaces, replacement sets, thresholds."""
+
+    def __init__(self, seed: int = 0, target_set: int = 13, other_set: int = 37):
+        self.rng = ensure_rng(seed)
+        self.hierarchy = make_xeon_hierarchy(rng=derive_rng(self.rng, "hierarchy"))
+        self.allocator = FrameAllocator()
+        self.attacker = AddressSpace(pid=ATTACKER_TID, allocator=self.allocator)
+        self.victim_space = AddressSpace(pid=2, allocator=self.allocator)
+        self.target_set = target_set
+        self.other_set = other_set
+        layout = self.hierarchy.l1.layout
+        set_rng = derive_rng(self.rng, "sets")
+        self.replacement_sets = [
+            build_replacement_set(self.attacker, layout, target_set, 10, set_rng)
+            for _ in range(2)
+        ]
+        self.dirty_lines = build_set_conflicting_lines(
+            self.attacker, layout, target_set, self.hierarchy.l1.associativity
+        )
+        self.clean_lines_other = build_set_conflicting_lines(
+            self.attacker, layout, other_set, self.hierarchy.l1.associativity
+        )
+        self._measure_count = 0
+        # Warm the replacement sets so measurements alternate L2 hits.
+        for lines in self.replacement_sets:
+            for line in lines:
+                self.hierarchy.load(self.attacker.translate(line), owner=ATTACKER_TID)
+
+    def fill_target_clean(self) -> None:
+        """Leave the target set full of clean attacker lines."""
+        for line in self.replacement_sets[self._measure_count % 2]:
+            self.hierarchy.load(self.attacker.translate(line), owner=ATTACKER_TID)
+        self._measure_count += 1
+
+    def fill_target_dirty(self, passes: int = 2) -> None:
+        """Fill the target set with W dirty attacker lines.
+
+        Two passes: with a pseudo-LRU policy a single pass can leave one
+        foreign (victim) line resident because the miss-fill victimises an
+        attacker way instead; the second pass re-stores whichever line
+        that eviction displaced.
+        """
+        for _ in range(passes):
+            for line in self.dirty_lines:
+                self.hierarchy.store(self.attacker.translate(line), owner=ATTACKER_TID)
+
+    def fill_other_clean(self, passes: int = 2) -> None:
+        """Fill the second set with clean attacker lines (two passes)."""
+        for _ in range(passes):
+            for line in self.clean_lines_other:
+                self.hierarchy.load(self.attacker.translate(line), owner=ATTACKER_TID)
+
+    def measure_target(self) -> int:
+        """Replacement latency of the target set (one traversal)."""
+        lines = self.replacement_sets[self._measure_count % 2]
+        self._measure_count += 1
+        return sum(
+            self.hierarchy.load(self.attacker.translate(line), owner=ATTACKER_TID).latency
+            for line in lines
+        )
+
+    def make_victim_context(self, same_set: bool) -> VictimContext:
+        """Victim gadget lines in the target set (and optionally another)."""
+        return make_victim(
+            self.hierarchy,
+            self.victim_space,
+            set0=self.target_set,
+            set1=self.target_set if same_set else self.other_set,
+        )
+
+
+def _threshold_attack(
+    scenario: str,
+    secret: Sequence[int],
+    prepare: Callable[[], None],
+    invoke: Callable[[int], None],
+    measure: Callable[[], float],
+    calibration_rounds: int = 24,
+    one_is_higher: bool = True,
+) -> AttackResult:
+    """Generic prepare/invoke/measure attack with calibrated threshold."""
+    for bit in secret:
+        if bit not in (0, 1):
+            raise ConfigurationError(f"secret bits must be 0/1, got {bit!r}")
+
+    def one_round(bit: int) -> float:
+        prepare()
+        invoke(bit)
+        return measure()
+
+    zeros = [one_round(0) for _ in range(calibration_rounds)]
+    ones = [one_round(1) for _ in range(calibration_rounds)]
+    # Medians, not means: the first calibration rounds include cold DRAM
+    # fills whose latency would drag a mean-based threshold far away from
+    # the steady-state clusters.
+    mean_zero = statistics.median(zeros)
+    mean_one = statistics.median(ones)
+    threshold = (mean_zero + mean_one) / 2.0
+    recovered: List[int] = []
+    for bit in secret:
+        value = one_round(bit)
+        if one_is_higher:
+            recovered.append(1 if value > threshold else 0)
+        else:
+            recovered.append(1 if value < threshold else 0)
+    matches = sum(1 for s, r in zip(secret, recovered) if s == r)
+    return AttackResult(
+        scenario=scenario,
+        secret=tuple(secret),
+        recovered=tuple(recovered),
+        accuracy=matches / len(secret) if secret else 1.0,
+        threshold=threshold,
+        calibration_means=(mean_zero, mean_one),
+    )
+
+
+def dirty_state_attack(
+    secret: Sequence[int],
+    seed: int = 0,
+    same_set: bool = True,
+) -> AttackResult:
+    """Scenario 1: gadget (a), secret read from the set's dirty state.
+
+    The attacker fills the set with clean lines, calls the victim, and
+    measures the replacement latency: one extra dirty line means the
+    victim took the ``secret == 1`` branch.  Works even when both gadget
+    lines live in the *same* set (``same_set=True``) — the case the paper
+    stresses because Prime+Probe and the LRU channel cannot decode it.
+    """
+    rig = _AttackRig(seed=seed)
+    victim = VictimGadgetA(rig.make_victim_context(same_set=same_set))
+    return _threshold_attack(
+        scenario="dirty-state (gadget a)",
+        secret=secret,
+        prepare=rig.fill_target_clean,
+        invoke=lambda bit: victim.call(bit),
+        measure=rig.measure_target,
+    )
+
+
+def dirty_eviction_attack(secret: Sequence[int], seed: int = 0) -> AttackResult:
+    """Scenario 2: gadget (b), secret read from a *missing* dirty line.
+
+    The attacker pre-fills the set with W dirty lines; the victim's load
+    on the ``secret == 1`` branch replaces one of them, so the attacker's
+    subsequent measurement sees one dirty write-back *fewer*.  Gadget
+    lines must be in different sets for this scenario.
+    """
+    rig = _AttackRig(seed=seed)
+    victim = VictimGadgetB(rig.make_victim_context(same_set=False))
+    return _threshold_attack(
+        scenario="dirty-eviction (gadget b)",
+        secret=secret,
+        prepare=rig.fill_target_dirty,
+        invoke=lambda bit: victim.call(bit),
+        measure=rig.measure_target,
+        one_is_higher=False,
+    )
+
+
+def execution_time_attack(
+    secret: Sequence[int],
+    seed: int = 0,
+    gadget: str = "b",
+) -> AttackResult:
+    """Scenario 3: secret read from the *victim's* execution time.
+
+    The attacker fills set i with dirty lines and set j with clean lines;
+    the victim call is slower when its access lands in set i (a dirty
+    victim must be written back before the fill).  The paper notes this
+    variant is the noisiest on real hardware — the difference is a single
+    write-back penalty inside a whole function call.
+    """
+    rig = _AttackRig(seed=seed)
+    context = rig.make_victim_context(same_set=False)
+    if gadget == "a":
+        victim: object = VictimGadgetA(context)
+    elif gadget == "b":
+        victim = VictimGadgetB(context)
+    else:
+        raise ConfigurationError(f"gadget must be 'a' or 'b', got {gadget!r}")
+
+    last_latency: List[float] = [0.0]
+
+    def prepare() -> None:
+        rig.fill_target_dirty()
+        rig.fill_other_clean()
+
+    def invoke(bit: int) -> None:
+        last_latency[0] = float(victim.call(bit))  # type: ignore[attr-defined]
+
+    return _threshold_attack(
+        scenario=f"execution-time (gadget {gadget})",
+        secret=secret,
+        prepare=prepare,
+        invoke=invoke,
+        measure=lambda: last_latency[0],
+    )

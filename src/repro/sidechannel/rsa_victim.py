@@ -1,0 +1,191 @@
+"""A realistic Section 9 victim: square-and-multiply modular exponentiation.
+
+The paper's Listing 2 gadgets are abstractions of real secret-dependent
+code.  The classic concrete instance is left-to-right square-and-multiply
+RSA: for each private-exponent bit the loop always squares, and
+*multiplies only when the bit is 1*.  The multiply touches (and in real
+bignum code, writes) its own working buffer — which is exactly gadget (a):
+
+.. code-block:: python
+
+    for bit in exponent_bits:
+        result = (result * result) % modulus        # touches square buffer
+        if bit:
+            result = (result * base) % modulus      # WRITES multiply buffer
+
+The attacker interleaves with the victim: fill the multiply buffer's
+cache set with clean lines, let the victim process one exponent bit,
+measure the set's replacement latency.  A dirty line means the multiply
+ran, i.e. the bit was 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.bits import int_to_bits
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng, ensure_rng
+from repro.cache.configs import make_xeon_hierarchy
+from repro.cache.hierarchy import CacheHierarchy
+from repro.mem.address_space import AddressSpace, FrameAllocator
+from repro.mem.sets import build_replacement_set
+
+VICTIM_TID = 2
+ATTACKER_TID = 1
+
+
+@dataclass
+class SquareAndMultiplyVictim:
+    """Models the memory behaviour of one RSA exponentiation step.
+
+    Arithmetic is performed for real (the result is checkable); the cache
+    side effects model a bignum implementation whose square and multiply
+    routines each keep a working buffer: squaring *reads* its buffer,
+    multiplying *writes* its own (limb store), which is the dirty-state
+    leak.
+    """
+
+    hierarchy: CacheHierarchy
+    space: AddressSpace
+    base: int
+    modulus: int
+    exponent_bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 1:
+            raise ConfigurationError("modulus must be > 1")
+        if any(bit not in (0, 1) for bit in self.exponent_bits):
+            raise ConfigurationError("exponent bits must be 0/1")
+        layout = self.hierarchy.l1.layout
+        stride = layout.stride_between_conflicts()
+        buffers = self.space.allocate_buffer(2 * stride)
+        #: Working buffer of the squaring routine.
+        self.square_buffer = buffers
+        #: Working buffer of the multiply routine — the leaky line.
+        self.multiply_buffer = buffers + stride + layout.line_size
+        self.space.translate(self.square_buffer)
+        self.space.translate(self.multiply_buffer)
+        self._result = 1
+        self._step = 0
+
+    @property
+    def multiply_set(self) -> int:
+        """L1 set index the multiply buffer maps to (the attack target)."""
+        return self.hierarchy.l1.set_index(self.space.translate(self.multiply_buffer))
+
+    @property
+    def finished(self) -> bool:
+        """Whether every exponent bit has been processed."""
+        return self._step >= len(self.exponent_bits)
+
+    def step(self) -> None:
+        """Process one exponent bit (one iteration of the S&M loop)."""
+        if self.finished:
+            raise ConfigurationError("exponentiation already finished")
+        bit = self.exponent_bits[self._step]
+        self._step += 1
+        # Square: always executes, reads its working buffer.
+        self._result = (self._result * self._result) % self.modulus
+        self.hierarchy.load(self.space.translate(self.square_buffer), owner=VICTIM_TID)
+        if bit:
+            # Multiply: executes only for 1-bits, writes its buffer.
+            self._result = (self._result * self.base) % self.modulus
+            self.hierarchy.store(
+                self.space.translate(self.multiply_buffer), owner=VICTIM_TID
+            )
+
+    def result(self) -> int:
+        """The computed ``base ** exponent % modulus`` (ground truth)."""
+        if not self.finished:
+            raise ConfigurationError("exponentiation not finished yet")
+        return self._result
+
+
+@dataclass(frozen=True)
+class KeyRecoveryResult:
+    """Outcome of the exponent-recovery attack."""
+
+    true_exponent_bits: Tuple[int, ...]
+    recovered_bits: Tuple[int, ...]
+    accuracy: float
+    #: The victim's arithmetic result, proving the victim really computed
+    #: the exponentiation the attacker was spying on.
+    modexp_result: int
+
+    @property
+    def fully_recovered(self) -> bool:
+        """True when every exponent bit was read correctly."""
+        return self.accuracy == 1.0
+
+
+def recover_exponent(
+    exponent: int,
+    bit_width: int = 64,
+    base: int = 0x10001,
+    modulus: int = (1 << 61) - 1,
+    seed: int = 0,
+    calibration_rounds: int = 16,
+) -> KeyRecoveryResult:
+    """Run the full attack: spy on one exponentiation, read out the key.
+
+    The attacker primes the multiply buffer's set with clean lines before
+    each victim step and measures the replacement latency afterwards; a
+    write-back penalty marks a 1-bit.
+    """
+    if exponent < 0:
+        raise ConfigurationError("exponent must be non-negative")
+    rng = ensure_rng(seed)
+    hierarchy = make_xeon_hierarchy(rng=derive_rng(rng, "hierarchy"))
+    allocator = FrameAllocator()
+    victim_space = AddressSpace(pid=VICTIM_TID, allocator=allocator)
+    attacker_space = AddressSpace(pid=ATTACKER_TID, allocator=allocator)
+
+    bits = tuple(int_to_bits(exponent, bit_width))
+    victim = SquareAndMultiplyVictim(
+        hierarchy=hierarchy,
+        space=victim_space,
+        base=base,
+        modulus=modulus,
+        exponent_bits=bits,
+    )
+    target_set = victim.multiply_set
+    layout = hierarchy.l1.layout
+    set_rng = derive_rng(rng, "sets")
+    replacement_sets = [
+        build_replacement_set(attacker_space, layout, target_set, 10, set_rng)
+        for _ in range(2)
+    ]
+    for lines in replacement_sets:
+        for line in lines:
+            hierarchy.load(attacker_space.translate(line), owner=ATTACKER_TID)
+
+    measure_count = 0
+
+    def measure() -> int:
+        nonlocal measure_count
+        lines = replacement_sets[measure_count % 2]
+        measure_count += 1
+        return sum(
+            hierarchy.load(attacker_space.translate(line), owner=ATTACKER_TID).latency
+            for line in lines
+        )
+
+    # Calibrate the clean-set baseline (the attacker controls the machine
+    # between victim invocations, so this needs no victim cooperation).
+    baseline = sorted(measure() for _ in range(calibration_rounds))
+    threshold = baseline[len(baseline) // 2] + hierarchy.latency.l1_writeback_penalty / 2
+
+    recovered: List[int] = []
+    for _ in bits:
+        victim.step()
+        recovered.append(1 if measure() > threshold else 0)
+
+    matches = sum(1 for a, b in zip(bits, recovered) if a == b)
+    return KeyRecoveryResult(
+        true_exponent_bits=bits,
+        recovered_bits=tuple(recovered),
+        accuracy=matches / len(bits),
+        modexp_result=victim.result(),
+    )

@@ -1,0 +1,114 @@
+"""Victim gadgets from Listing 2 of the paper.
+
+Both gadgets branch on a secret bit; they differ in whether the taken
+branch *modifies* data (gadget a) or only reads it (gadget b).  The
+gadgets execute synchronously against the shared hierarchy — modelling an
+attacker that can invoke the victim (a service call, an enclave ecall, a
+crypto routine) and observe cache state before and after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.cache.hierarchy import CacheHierarchy
+from repro.mem.address_space import AddressSpace
+
+
+@dataclass
+class VictimContext:
+    """The victim process: its address space and two gadget lines.
+
+    ``line0`` is touched on ``secret == 1`` and ``line1`` on
+    ``secret == 0``.  Scenario 1 allows both lines in the same set (or
+    even the same line); scenarios 2 and 3 need them in different sets.
+    """
+
+    hierarchy: CacheHierarchy
+    space: AddressSpace
+    line0: int
+    line1: int
+    tid: int = 2
+
+    def __post_init__(self) -> None:
+        if self.line0 == self.line1:
+            # Legal for gadget (a) scenario 1, but worth validating shape.
+            pass
+        for name in ("line0", "line1"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def set_of_line0(self) -> int:
+        """L1 set index of line 0 (where the attacker aims)."""
+        return self.hierarchy.l1.set_index(self.space.translate(self.line0))
+
+    def set_of_line1(self) -> int:
+        """L1 set index of line 1."""
+        return self.hierarchy.l1.set_index(self.space.translate(self.line1))
+
+
+class VictimGadgetA:
+    """Listing 2(a): ``if secret: modify line0 else: access line1``."""
+
+    def __init__(self, context: VictimContext) -> None:
+        self.context = context
+
+    def call(self, secret: int) -> int:
+        """Execute the gadget; returns the victim's execution cycles."""
+        if secret not in (0, 1):
+            raise ConfigurationError(f"secret must be 0 or 1, got {secret}")
+        ctx = self.context
+        if secret:
+            trace = ctx.hierarchy.store(
+                ctx.space.translate(ctx.line0), owner=ctx.tid
+            )
+        else:
+            trace = ctx.hierarchy.load(
+                ctx.space.translate(ctx.line1), owner=ctx.tid
+            )
+        return trace.latency
+
+
+class VictimGadgetB:
+    """Listing 2(b): ``if secret: access line0 else: access line1``.
+
+    Neither branch modifies data, so the dirty-state attack of scenario 1
+    cannot see it; scenarios 2 and 3 can.
+    """
+
+    def __init__(self, context: VictimContext) -> None:
+        self.context = context
+
+    def call(self, secret: int) -> int:
+        """Execute the gadget; returns the victim's execution cycles."""
+        if secret not in (0, 1):
+            raise ConfigurationError(f"secret must be 0 or 1, got {secret}")
+        ctx = self.context
+        line = ctx.line0 if secret else ctx.line1
+        return ctx.hierarchy.load(ctx.space.translate(line), owner=ctx.tid).latency
+
+
+def make_victim(
+    hierarchy: CacheHierarchy,
+    space: AddressSpace,
+    set0: int,
+    set1: Optional[int] = None,
+) -> VictimContext:
+    """Allocate victim gadget lines mapping to the requested sets.
+
+    ``set1=None`` places line 1 in the same set as line 0 (the case the
+    paper highlights because Prime+Probe and the LRU channel cannot
+    distinguish it).
+    """
+    layout = hierarchy.l1.layout
+    if set1 is None:
+        set1 = set0
+    stride = layout.stride_between_conflicts()
+    base = space.allocate_buffer(2 * stride)
+    line0 = base + set0 * layout.line_size
+    line1 = base + stride + set1 * layout.line_size
+    space.translate(line0)
+    space.translate(line1)
+    return VictimContext(hierarchy=hierarchy, space=space, line0=line0, line1=line1)

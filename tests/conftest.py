@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.configs import make_tiny_hierarchy, make_xeon_hierarchy
+from repro.mem.address_space import AddressSpace, FrameAllocator
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests needing variation derive from it."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def xeon():
+    """The paper's modelled hierarchy (32KB/8-way L1, L2, LLC)."""
+    return make_xeon_hierarchy(rng=random.Random(7))
+
+
+@pytest.fixture
+def tiny():
+    """A 2-way, 4-set hierarchy that is easy to exhaust."""
+    return make_tiny_hierarchy(rng=random.Random(7))
+
+
+@pytest.fixture
+def allocator() -> FrameAllocator:
+    return FrameAllocator()
+
+
+@pytest.fixture
+def space(allocator: FrameAllocator) -> AddressSpace:
+    """One process address space over the shared allocator."""
+    return AddressSpace(pid=1, allocator=allocator)
+
+
+@pytest.fixture
+def space_pair(allocator: FrameAllocator):
+    """Two distinct process address spaces (sender/receiver style)."""
+    return (
+        AddressSpace(pid=1, allocator=allocator),
+        AddressSpace(pid=2, allocator=allocator),
+    )

@@ -1,0 +1,121 @@
+"""Single cache level: geometry, lookup/fill semantics, policies."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cache.cache import AllocationPolicy, Cache, WritePolicy
+from repro.replacement.registry import make_policy_factory
+
+
+def make_cache(size=4096, ways=4, line=64, policy="lru", **kwargs):
+    return Cache(
+        name="test",
+        size_bytes=size,
+        associativity=ways,
+        line_size=line,
+        policy_factory=make_policy_factory(policy),
+        rng=random.Random(0),
+        **kwargs,
+    )
+
+
+class TestGeometry:
+    def test_derived_set_count(self):
+        cache = make_cache(size=4096, ways=4, line=64)
+        assert cache.num_sets == 16
+
+    def test_paper_l1_geometry(self):
+        cache = make_cache(size=32 * 1024, ways=8, line=64)
+        assert cache.num_sets == 64
+
+    def test_rejects_inconsistent_size(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(size=5000, ways=4, line=64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(size=4096 * 3, ways=4, line=64)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(size=0)
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000, owner=None)
+        cache.fill(0x1000, dirty=False, owner=None)
+        assert cache.lookup(0x1000, owner=None)
+
+    def test_probe_does_not_touch_metadata(self):
+        cache = make_cache(ways=2)
+        cache.fill(0x0, dirty=False, owner=None)
+        cache.fill(0x1000, dirty=False, owner=None)  # same set (16 sets * 64B)
+        # Probing 0x0 must NOT refresh it: next fill should still evict it.
+        cache.probe(0x0)
+        evicted = cache.fill(0x2000, dirty=False, owner=None)
+        assert evicted is not None
+        assert evicted.address == 0x0
+
+    def test_eviction_reconstructs_address(self):
+        cache = make_cache(ways=1)
+        cache.fill(0x1040, dirty=True, owner=None)
+        evicted = cache.fill(0x2040, dirty=False, owner=None)
+        assert evicted.address == 0x1040
+        assert evicted.dirty
+
+    def test_mark_dirty(self):
+        cache = make_cache()
+        cache.fill(0x1000, dirty=False, owner=None)
+        assert not cache.is_dirty(0x1000)
+        cache.mark_dirty(0x1000)
+        assert cache.is_dirty(0x1000)
+
+    def test_mark_dirty_requires_residency(self):
+        cache = make_cache()
+        with pytest.raises(ConfigurationError):
+            cache.mark_dirty(0x1000)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x1000, dirty=True, owner=None)
+        snapshot = cache.invalidate(0x1000)
+        assert snapshot.dirty
+        assert not cache.probe(0x1000)
+
+
+class TestSetMapping:
+    def test_same_stride_contends(self):
+        cache = make_cache(ways=2)
+        stride = cache.layout.stride_between_conflicts()
+        base = 0x8000
+        cache.fill(base, dirty=False, owner=None)
+        cache.fill(base + stride, dirty=False, owner=None)
+        evicted = cache.fill(base + 2 * stride, dirty=False, owner=None)
+        assert evicted is not None
+
+    def test_different_sets_do_not_contend(self):
+        cache = make_cache(ways=1)
+        cache.fill(0x0, dirty=False, owner=None)
+        evicted = cache.fill(0x40, dirty=False, owner=None)  # next set
+        assert evicted is None
+
+    def test_dirty_lines_in_set(self):
+        cache = make_cache(ways=4)
+        index = cache.set_index(0x1000)
+        cache.fill(0x1000, dirty=True, owner=None)
+        assert cache.dirty_lines_in_set(index) == 1
+        with pytest.raises(ConfigurationError):
+            cache.dirty_lines_in_set(10**6)
+
+
+class TestDescribe:
+    def test_describe_contents(self):
+        cache = make_cache()
+        info = cache.describe()
+        assert info["num_sets"] == 16
+        assert info["write_policy"] == WritePolicy.WRITE_BACK.value
+        assert info["allocation_policy"] == AllocationPolicy.WRITE_ALLOCATE.value

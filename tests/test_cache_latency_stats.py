@@ -1,0 +1,126 @@
+"""LatencyModel validation and CacheStats accounting."""
+
+import random
+
+import pytest
+
+from repro.cache.latency import LatencyModel
+from repro.cache.stats import ALL_OWNERS, CacheStats, LevelCounters
+from repro.common.errors import ConfigurationError
+
+
+class TestLatencyModel:
+    def test_defaults_match_table4(self):
+        model = LatencyModel()
+        assert model.l1_hit == 4
+        assert model.l2_hit == 11
+        assert model.l2_hit + model.l1_writeback_penalty == 22
+
+    def test_hit_latency_by_level(self):
+        model = LatencyModel()
+        assert model.hit_latency(1) == model.l1_hit
+        assert model.hit_latency(3) == model.llc_hit
+        with pytest.raises(ConfigurationError):
+            model.hit_latency(4)
+
+    def test_writeback_penalty_by_level(self):
+        model = LatencyModel()
+        assert model.writeback_penalty(1) == model.l1_writeback_penalty
+        with pytest.raises(ConfigurationError):
+            model.writeback_penalty(9)
+
+    def test_rejects_non_monotone_latencies(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(l1_hit=50, l2_hit=11)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(l1_writeback_penalty=-1)
+
+    def test_jitter_range(self):
+        model = LatencyModel(jitter=3)
+        rng = random.Random(0)
+        samples = {model.sample_jitter(rng) for _ in range(200)}
+        assert samples == {0, 1, 2, 3}
+
+    def test_zero_jitter(self):
+        model = LatencyModel(jitter=0)
+        assert model.sample_jitter(random.Random(0)) == 0
+
+
+class TestLevelCounters:
+    def test_miss_derivation(self):
+        counters = LevelCounters(accesses=10, hits=7)
+        assert counters.misses == 3
+        assert counters.miss_rate == pytest.approx(0.3)
+
+    def test_empty_miss_rate_zero(self):
+        assert LevelCounters().miss_rate == 0.0
+
+    def test_loads_excludes_stores(self):
+        counters = LevelCounters(accesses=10, hits=7, stores=4)
+        assert counters.loads == 6
+
+    def test_merge(self):
+        first = LevelCounters(accesses=2, hits=1, writebacks=1, stores=1)
+        second = LevelCounters(accesses=3, hits=3, writebacks=0, stores=2)
+        first.merge(second)
+        assert (first.accesses, first.hits, first.writebacks, first.stores) == (5, 4, 1, 3)
+
+
+class TestCacheStats:
+    def test_per_owner_attribution(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=0, hit=True)
+        stats.record_access(1, owner=1, hit=False)
+        assert stats.level(1, 0).hits == 1
+        assert stats.level(1, 1).misses == 1
+        assert stats.level(1).accesses == 2  # aggregate
+
+    def test_none_owner_goes_to_aggregate_only(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=None, hit=True)
+        assert stats.level(1).accesses == 1
+        assert stats.level(1, 0).accesses == 0
+
+    def test_store_counting(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=0, hit=True, write=True)
+        stats.record_access(1, owner=0, hit=True, write=False)
+        assert stats.level(1, 0).stores == 1
+        assert stats.level(1, 0).loads == 1
+
+    def test_writebacks(self):
+        stats = CacheStats()
+        stats.record_writeback(1, owner=2)
+        assert stats.level(1, 2).writebacks == 1
+        assert stats.level(1).writebacks == 1
+
+    def test_reset(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=0, hit=False)
+        stats.memory_reads = 5
+        stats.reset()
+        assert stats.level(1).accesses == 0
+        assert stats.memory_reads == 0
+
+    def test_level_returns_copy(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=0, hit=True)
+        view = stats.level(1, 0)
+        view.accesses = 999
+        assert stats.level(1, 0).accesses == 1
+
+    def test_snapshot_shape(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=0, hit=False)
+        stats.record_access(2, owner=0, hit=True)
+        snapshot = stats.snapshot()
+        assert snapshot["L1"]["misses"] == 1
+        assert snapshot["L2"]["hits"] == 1
+        assert "memory" in snapshot
+
+    def test_all_owners_key(self):
+        stats = CacheStats()
+        stats.record_access(1, owner=ALL_OWNERS, hit=True)
+        assert stats.level(1).hits == 1

@@ -1,0 +1,169 @@
+"""CacheSet: fills, evictions, locking, dirty accounting."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.cache.cache_set import CacheSet, iter_valid_lines
+from repro.replacement import TrueLRU
+
+
+def make_set(ways=4, seed=0):
+    return CacheSet(ways, TrueLRU(ways, random.Random(seed)))
+
+
+def addr(tag, set_index):
+    return tag  # trivial reconstructor for unit tests
+
+
+class TestFill:
+    def test_fills_invalid_ways_first(self):
+        cache_set = make_set()
+        for tag in range(4):
+            evicted = cache_set.fill(tag, False, None, 0, addr)
+            assert evicted is None
+        assert cache_set.valid_count() == 4
+
+    def test_eviction_reports_victim(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+        evicted = cache_set.fill(99, False, None, 0, addr)
+        assert evicted is not None
+        assert evicted.address == 0  # LRU: tag 0 was oldest
+        assert not evicted.dirty
+
+    def test_dirty_state_travels_with_eviction(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, tag == 0, None, 0, addr)
+        evicted = cache_set.fill(99, False, None, 0, addr)
+        assert evicted.dirty
+
+    def test_refusing_duplicate_fill(self):
+        cache_set = make_set()
+        cache_set.fill(7, False, None, 0, addr)
+        with pytest.raises(SimulationError):
+            cache_set.fill(7, False, None, 0, addr)
+
+    def test_owner_recorded(self):
+        cache_set = make_set()
+        cache_set.fill(1, False, 5, 0, addr)
+        way = cache_set.find(1)
+        assert cache_set.lines[way].owner == 5
+
+
+class TestFindAndTouch:
+    def test_find_present(self):
+        cache_set = make_set()
+        cache_set.fill(3, False, None, 0, addr)
+        assert cache_set.find(3) is not None
+
+    def test_find_absent(self):
+        cache_set = make_set()
+        assert cache_set.find(3) is None
+
+    def test_touch_protects_from_eviction(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+        cache_set.touch(cache_set.find(0))
+        evicted = cache_set.fill(99, False, None, 0, addr)
+        assert evicted.address != 0
+
+
+class TestLocking:
+    def test_locked_line_never_evicted(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+        assert cache_set.lock(0)
+        for fresh in range(100, 110):
+            cache_set.fill(fresh, False, None, 0, addr)
+        assert cache_set.find(0) is not None
+
+    def test_all_locked_raises(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+            cache_set.lock(tag)
+        with pytest.raises(SimulationError):
+            cache_set.choose_victim()
+
+    def test_unlock_restores_evictability(self):
+        cache_set = make_set(ways=2)
+        cache_set.fill(0, False, None, 0, addr)
+        cache_set.fill(1, False, None, 0, addr)
+        cache_set.lock(0)
+        cache_set.lock(1)
+        cache_set.unlock(0)
+        assert cache_set.choose_victim() == cache_set.find(0)
+
+    def test_lock_absent_returns_false(self):
+        cache_set = make_set()
+        assert not cache_set.lock(123)
+        assert not cache_set.unlock(123)
+
+
+class TestAllowedWays:
+    def test_fill_respects_allowed_ways(self):
+        cache_set = make_set(ways=4)
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+        for fresh in range(10, 20):
+            cache_set.fill(fresh, False, None, 0, addr, allowed_ways=(0, 1))
+        # Ways 2 and 3 still hold the original lines.
+        assert cache_set.lines[2].tag in range(4)
+        assert cache_set.lines[3].tag in range(4)
+
+    def test_empty_allowed_ways_rejected(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+        with pytest.raises(ConfigurationError):
+            cache_set.choose_victim(allowed_ways=())
+
+
+class TestInvalidate:
+    def test_invalidate_reports_final_state(self):
+        cache_set = make_set()
+        cache_set.fill(5, True, 2, 0, addr)
+        snapshot = cache_set.invalidate(5)
+        assert snapshot.dirty
+        assert snapshot.owner == 2
+        assert cache_set.find(5) is None
+
+    def test_invalidate_absent(self):
+        cache_set = make_set()
+        assert cache_set.invalidate(5) is None
+
+
+class TestAccounting:
+    def test_dirty_count(self):
+        cache_set = make_set()
+        cache_set.fill(0, True, None, 0, addr)
+        cache_set.fill(1, False, None, 0, addr)
+        cache_set.fill(2, True, None, 0, addr)
+        assert cache_set.dirty_count() == 2
+
+    def test_resident_tags(self):
+        cache_set = make_set()
+        cache_set.fill(4, False, None, 0, addr)
+        cache_set.fill(9, False, None, 0, addr)
+        assert sorted(cache_set.resident_tags()) == [4, 9]
+
+    def test_iter_valid_lines(self):
+        cache_set = make_set()
+        cache_set.fill(1, False, None, 0, addr)
+        assert len(list(iter_valid_lines(cache_set))) == 1
+
+
+class TestConstruction:
+    def test_policy_way_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CacheSet(4, TrueLRU(8, random.Random(0)))
+
+    def test_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            CacheSet(0, TrueLRU(1, random.Random(0)))

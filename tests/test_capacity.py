@@ -1,0 +1,128 @@
+"""Channel-capacity estimation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.capacity import (
+    binary_symmetric_capacity,
+    bit_sequences_capacity,
+    confusion_matrix,
+    effective_rate_kbps,
+    summarize_channel_capacity,
+    symbol_capacity,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestBscCapacity:
+    def test_perfect_channel(self):
+        assert binary_symmetric_capacity(0.0) == 1.0
+
+    def test_useless_channel(self):
+        assert binary_symmetric_capacity(0.5) == pytest.approx(0.0)
+
+    def test_symmetry_in_flip_probability(self):
+        assert binary_symmetric_capacity(0.1) == pytest.approx(
+            binary_symmetric_capacity(0.9)
+        )
+
+    def test_paper_scale_example(self):
+        # d=8 at 2700 Kbps with 4.5% BER: still carries ~0.73 bits/use.
+        assert binary_symmetric_capacity(0.045) == pytest.approx(0.733, abs=0.01)
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    def test_monotone_decreasing_to_half(self, p):
+        assert binary_symmetric_capacity(p) >= binary_symmetric_capacity(0.5) - 1e-12
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            binary_symmetric_capacity(1.5)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 3, 3], [0, 3, 3, 3])
+        assert matrix == {(0, 0): 1, (0, 3): 1, (3, 3): 2}
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            confusion_matrix([0], [0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            confusion_matrix([], [])
+
+
+class TestSymbolCapacity:
+    def test_perfect_two_level(self):
+        matrix = confusion_matrix([0, 1] * 50, [0, 1] * 50)
+        assert symbol_capacity(matrix) == pytest.approx(1.0)
+
+    def test_perfect_four_level(self):
+        levels = [0, 3, 5, 8] * 25
+        assert symbol_capacity(confusion_matrix(levels, levels)) == pytest.approx(2.0)
+
+    def test_independent_channels_carry_nothing(self):
+        # Received constant regardless of sent: zero mutual information.
+        matrix = confusion_matrix([0, 1] * 50, [0] * 100)
+        assert symbol_capacity(matrix) == pytest.approx(0.0)
+
+    def test_matches_bsc_for_symmetric_flips(self):
+        sent = [0, 1] * 500
+        received = list(sent)
+        # 10% flips split evenly across both symbol values, so the
+        # channel really is symmetric.
+        for index in range(0, 1000, 20):
+            received[index] ^= 1  # flips a sent 0
+        for index in range(7, 1000, 20):
+            received[index] ^= 1  # flips a sent 1
+        empirical = symbol_capacity(confusion_matrix(sent, received))
+        assert empirical == pytest.approx(binary_symmetric_capacity(0.1), abs=0.02)
+
+
+class TestEffectiveRate:
+    def test_scaling(self):
+        assert effective_rate_kbps(4400.0, 2, 1.0) == pytest.approx(2200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_rate_kbps(0.0, 2, 1.0)
+        with pytest.raises(ConfigurationError):
+            effective_rate_kbps(100.0, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            effective_rate_kbps(100.0, 2, -0.1)
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        summary = summarize_channel_capacity([0, 8] * 40, [0, 8] * 40, 400.0, 1)
+        assert summary["effective_rate_kbps"] == pytest.approx(400.0)
+        assert summary["capacity_bits_per_symbol"] == pytest.approx(1.0)
+
+    def test_bit_sequences_wrapper(self):
+        assert bit_sequences_capacity([0, 1, 0, 1], [0, 1, 0, 1]) == 1.0
+        with pytest.raises(ConfigurationError):
+            bit_sequences_capacity([], [])
+
+
+class TestOnRealChannelRuns:
+    def test_wb_channel_capacity_at_400kbps(self):
+        from repro.channels.wb import WBChannelConfig, run_wb_channel
+        from repro.cpu.noise import SchedulerNoise
+
+        result = run_wb_channel(
+            WBChannelConfig(
+                message_bits=96,
+                seed=8,
+                scheduler_noise=SchedulerNoise.disabled(),
+                receiver_phase=0.5,
+            )
+        )
+        capacity = bit_sequences_capacity(
+            list(result.sent_bits), list(result.received_bits)
+        )
+        # A clean 400 Kbps run carries essentially its full raw rate.
+        assert capacity > 0.9

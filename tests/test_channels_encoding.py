@@ -1,0 +1,102 @@
+"""Symbol codecs: binary and multi-bit dirty-line encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.channels.encoding import BinaryDirtyCodec, MultiBitDirtyCodec
+
+
+class TestBinaryCodec:
+    def test_zero_means_no_dirty_lines(self):
+        codec = BinaryDirtyCodec(d_on=3)
+        assert codec.encode_symbol([0]) == 0
+
+    def test_one_means_d_on(self):
+        codec = BinaryDirtyCodec(d_on=3)
+        assert codec.encode_symbol([1]) == 3
+
+    def test_decode_any_positive_level_as_one(self):
+        codec = BinaryDirtyCodec(d_on=8)
+        assert codec.decode_symbol(0) == [0]
+        assert codec.decode_symbol(8) == [1]
+        assert codec.decode_symbol(3) == [1]  # partial still reads as 1
+
+    def test_levels(self):
+        assert BinaryDirtyCodec(d_on=5).levels == [0, 5]
+
+    def test_max_dirty_lines(self):
+        assert BinaryDirtyCodec(d_on=7).max_dirty_lines == 7
+
+    @pytest.mark.parametrize("bad", [0, 9, -1])
+    def test_rejects_out_of_range_d(self, bad):
+        with pytest.raises(ConfigurationError):
+            BinaryDirtyCodec(d_on=bad)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64))
+    def test_roundtrip(self, bits):
+        codec = BinaryDirtyCodec(d_on=4)
+        assert codec.decode_message(codec.encode_message(bits)) == bits
+
+    def test_rejects_non_binary_symbol(self):
+        with pytest.raises(ProtocolError):
+            BinaryDirtyCodec().encode_symbol([2])
+
+
+class TestMultiBitCodec:
+    def test_paper_default_mapping(self):
+        codec = MultiBitDirtyCodec()
+        assert codec.encode_symbol([0, 0]) == 0
+        assert codec.encode_symbol([0, 1]) == 3
+        assert codec.encode_symbol([1, 0]) == 5
+        assert codec.encode_symbol([1, 1]) == 8
+
+    def test_bits_per_symbol(self):
+        assert MultiBitDirtyCodec().bits_per_symbol == 2
+
+    def test_levels_sorted(self):
+        assert MultiBitDirtyCodec().levels == [0, 3, 5, 8]
+
+    def test_decode_symbol(self):
+        codec = MultiBitDirtyCodec()
+        assert codec.decode_symbol(5) == [1, 0]
+
+    def test_decode_unknown_level_rejected(self):
+        with pytest.raises(ProtocolError):
+            MultiBitDirtyCodec().decode_symbol(4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=64).filter(lambda b: len(b) % 2 == 0))
+    def test_roundtrip(self, bits):
+        codec = MultiBitDirtyCodec()
+        assert codec.decode_message(codec.encode_message(bits)) == bits
+
+    def test_three_bit_mapping(self):
+        mapping = {value: value for value in range(8)}
+        codec = MultiBitDirtyCodec(level_map=mapping)
+        assert codec.bits_per_symbol == 3
+        assert codec.encode_symbol([1, 1, 1]) == 7
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitDirtyCodec(level_map={0: 0, 1: 3, 2: 8})
+
+    def test_rejects_sparse_symbols(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitDirtyCodec(level_map={0: 0, 2: 3, 5: 5, 7: 8})
+
+    def test_rejects_duplicate_levels(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitDirtyCodec(level_map={0: 0, 1: 3, 2: 3, 3: 8})
+
+    def test_rejects_levels_beyond_associativity(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitDirtyCodec(level_map={0: 0, 1: 3, 2: 5, 3: 9})
+
+    def test_message_length_validation(self):
+        with pytest.raises(ProtocolError):
+            MultiBitDirtyCodec().encode_message([1, 0, 1])
+
+    def test_symbol_table(self):
+        table = MultiBitDirtyCodec().symbol_table()
+        assert table == [(0, 0), (1, 3), (2, 5), (3, 8)]

@@ -1,0 +1,62 @@
+"""The paper's Table 1 channel classification, encoded as data."""
+
+import pytest
+
+from repro.channels.taxonomy import (
+    KNOWN_CHANNELS,
+    ContentionClass,
+    TimingClass,
+    channels_by_class,
+    profile,
+    render_table,
+)
+
+
+class TestClassification:
+    def test_wb_is_miss_miss_contention(self):
+        wb = profile("WB")
+        assert wb.timing_class is TimingClass.MISS_MISS
+        assert wb.contention_class is ContentionClass.CONTENTION
+
+    def test_wb_needs_no_shared_memory_nor_clflush(self):
+        wb = profile("WB")
+        assert not wb.needs_shared_memory
+        assert not wb.needs_clflush
+
+    def test_flush_reload_is_reuse_hit_miss(self):
+        fr = profile("Flush+Reload")
+        assert fr.timing_class is TimingClass.HIT_MISS
+        assert fr.needs_shared_memory
+        assert fr.needs_clflush
+
+    def test_cachebleed_is_the_hit_hit_example(self):
+        grouped = channels_by_class()
+        names = [p.name for p in grouped[TimingClass.HIT_HIT]]
+        assert names == ["CacheBleed"]
+
+    def test_miss_miss_column_matches_table1(self):
+        grouped = channels_by_class()
+        names = {p.name for p in grouped[TimingClass.MISS_MISS]}
+        assert names == {"WB", "Coherence-state"}
+
+    def test_every_channel_in_exactly_one_class(self):
+        grouped = channels_by_class()
+        total = sum(len(members) for members in grouped.values())
+        assert total == len(KNOWN_CHANNELS)
+
+    def test_lookup_case_insensitive(self):
+        assert profile("wb").name == "WB"
+
+    def test_unknown_channel(self):
+        with pytest.raises(KeyError):
+            profile("SpectreRSB")
+
+
+class TestRendering:
+    def test_render_lists_all_classes(self):
+        text = render_table()
+        for cls in TimingClass:
+            assert cls.value in text
+
+    def test_render_mentions_wb(self):
+        assert "WB" in render_table()

@@ -1,0 +1,151 @@
+"""WB sender/receiver program internals (below the protocol level)."""
+
+import random
+
+import pytest
+
+from repro.channels.testbench import ChannelTestbench
+from repro.channels.testbench import TestbenchConfig as BenchConfig
+from repro.channels.wb.receiver import WBReceiverProgram
+from repro.channels.wb.sender import WBSenderProgram
+from repro.common.errors import ConfigurationError
+from repro.cpu.noise import SchedulerNoise
+from repro.mem.pointer_chase import PointerChaseList
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+
+
+def make_bench():
+    return ChannelTestbench(
+        BenchConfig(seed=0, scheduler_noise=SchedulerNoise.disabled())
+    )
+
+
+class TestSenderValidation:
+    def test_needs_enough_lines(self):
+        with pytest.raises(ConfigurationError):
+            WBSenderProgram(lines=[0x0], schedule=[2], period=1000, start_time=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            WBSenderProgram(lines=[0x0], schedule=[-1], period=1000, start_time=0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            WBSenderProgram(lines=[0x0], schedule=[1], period=0, start_time=0)
+
+
+class TestSenderBehaviour:
+    def test_dirty_lines_match_schedule(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        layout = bench.l1_layout
+        lines = build_set_conflicting_lines(space, layout, 9, 8)
+        sender = WBSenderProgram(
+            lines=lines, schedule=[5], period=4000, start_time=1000
+        )
+        bench.add_thread(0, space, sender, name="s")
+        bench.run()
+        assert bench.hierarchy.dirty_in_l1_set(9) == 5
+
+    def test_zero_schedule_touches_nothing_dirty(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        lines = build_set_conflicting_lines(space, bench.l1_layout, 9, 1)
+        sender = WBSenderProgram(
+            lines=lines, schedule=[0, 0], period=2000, start_time=1000
+        )
+        bench.add_thread(0, space, sender, name="s")
+        bench.run()
+        assert bench.hierarchy.dirty_in_l1_set(9) == 0
+
+    def test_paces_one_symbol_per_period(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        lines = build_set_conflicting_lines(space, bench.l1_layout, 9, 1)
+        sender = WBSenderProgram(
+            lines=lines, schedule=[1] * 10, period=3000, start_time=1000
+        )
+        thread = bench.add_thread(0, space, sender, name="s")
+        bench.run()
+        assert thread.local_time >= 1000 + 10 * 3000
+
+
+def make_chases(bench):
+    space = bench.new_space(pid=1)
+    rng = random.Random(0)
+    a = PointerChaseList.from_lines(
+        build_replacement_set(space, bench.l1_layout, 9, 10, rng), rng=rng
+    )
+    b = PointerChaseList.from_lines(
+        build_replacement_set(space, bench.l1_layout, 9, 10, rng), rng=rng
+    )
+    return space, a, b
+
+
+class TestReceiverValidation:
+    def test_rejects_overlapping_sets(self):
+        bench = make_bench()
+        _, a, _ = make_chases(bench)
+        with pytest.raises(ConfigurationError):
+            WBReceiverProgram(
+                chase_a=a, chase_b=a, period=1000, start_time=0, num_samples=1
+            )
+
+    def test_rejects_bad_phase(self):
+        bench = make_bench()
+        _, a, b = make_chases(bench)
+        with pytest.raises(ConfigurationError):
+            WBReceiverProgram(
+                chase_a=a, chase_b=b, period=1000, start_time=0,
+                num_samples=1, phase=1.5,
+            )
+
+    def test_rejects_zero_samples(self):
+        bench = make_bench()
+        _, a, b = make_chases(bench)
+        with pytest.raises(ConfigurationError):
+            WBReceiverProgram(
+                chase_a=a, chase_b=b, period=1000, start_time=0, num_samples=0
+            )
+
+
+class TestReceiverBehaviour:
+    def test_collects_requested_samples(self):
+        bench = make_bench()
+        space, a, b = make_chases(bench)
+        receiver = WBReceiverProgram(
+            chase_a=a, chase_b=b, period=2000, start_time=1000,
+            num_samples=6, phase=0.5,
+        )
+        bench.add_thread(1, space, receiver, name="r")
+        bench.run()
+        assert len(receiver.samples) == 6
+        assert len(receiver.latencies()) == 6
+
+    def test_decode_reinitialises_target_set(self):
+        # After any measurement the target set holds only clean lines —
+        # the "decoding doubles as initialisation" property of Algorithm 2.
+        bench = make_bench()
+        space, a, b = make_chases(bench)
+        receiver = WBReceiverProgram(
+            chase_a=a, chase_b=b, period=2000, start_time=1000,
+            num_samples=3, phase=0.5,
+        )
+        bench.add_thread(1, space, receiver, name="r")
+        bench.run()
+        assert bench.hierarchy.dirty_in_l1_set(9) == 0
+
+    def test_sample_timestamps_monotone(self):
+        bench = make_bench()
+        space, a, b = make_chases(bench)
+        receiver = WBReceiverProgram(
+            chase_a=a, chase_b=b, period=2000, start_time=1000,
+            num_samples=5, phase=0.5,
+        )
+        bench.add_thread(1, space, receiver, name="r")
+        bench.run()
+        times = [t for t, _ in receiver.samples]
+        assert times == sorted(times)
+        # Samples are one period apart (up to spin/TSC granularity).
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(1800 <= gap <= 2300 for gap in gaps)

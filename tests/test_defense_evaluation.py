@@ -1,0 +1,68 @@
+"""Defense evaluation harness: Section 8's verdicts, end to end.
+
+These are the slowest unit tests (each runs covert channels); they use
+two seeds per defense, which is enough for the categorical verdicts.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.defenses.evaluation import (
+    DEAD_CHANNEL_BER,
+    available_defenses,
+    evaluate_defense,
+)
+
+SEEDS = range(2)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: evaluate_defense(name, seeds=SEEDS) for name in available_defenses()}
+
+
+class TestVerdicts:
+    def test_baseline_channel_alive(self, reports):
+        baseline = reports["baseline"]
+        assert baseline.channel_alive
+        assert baseline.naive_ber < 0.05
+
+    def test_plcache_mitigates(self, reports):
+        assert not reports["plcache"].channel_alive
+
+    def test_partitioning_mitigates(self, reports):
+        assert not reports["partitioned"].channel_alive
+
+    def test_write_through_removes_signal_entirely(self, reports):
+        report = reports["write-through"]
+        assert report.naive_ber is None  # calibration found no signal
+        assert not report.channel_alive
+
+    def test_random_fill_defeated_by_adaptive_attacker(self, reports):
+        report = reports["random-fill"]
+        assert report.adaptive_ber is not None
+        assert report.adaptive_ber < DEAD_CHANNEL_BER
+        assert report.channel_alive  # the paper's verdict: NOT effective
+
+    def test_randomized_mapping_blocks_naive_attacker(self, reports):
+        report = reports["randomized-mapping"]
+        assert not report.channel_alive
+
+    def test_overheads_reported(self, reports):
+        for report in reports.values():
+            assert report.overhead_ratio > 0.5
+
+    def test_str_renders(self, reports):
+        for report in reports.values():
+            assert report.name in str(report)
+
+
+class TestHarness:
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_defense("prayer", seeds=SEEDS)
+
+    def test_available_defenses_sorted(self):
+        names = available_defenses()
+        assert names == sorted(names)
+        assert "baseline" in names

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run and produce its headline."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "WB covert channel" in out
+        assert "BER" in out
+
+    def test_inspect_latency_bands(self):
+        out = run_example("inspect_latency_bands.py", "--reps", "40")
+        assert "d = 8" in out
+        assert "write-back penalty" in out
+
+    def test_bandwidth_sweep(self):
+        out = run_example("bandwidth_sweep.py", "--messages", "2")
+        assert "binary d=1" in out
+        assert "4400" in out
+
+    def test_side_channel_attack(self):
+        out = run_example("side_channel_attack.py")
+        assert "Scenario 1" in out
+        assert "accuracy" in out
+
+    @pytest.mark.slow
+    def test_defense_shootout(self):
+        out = run_example("defense_shootout.py", "--seeds", "2", timeout=300)
+        assert "plcache" in out
+        assert "mitigated" in out

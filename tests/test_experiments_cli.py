@@ -1,0 +1,41 @@
+"""The wb-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert not args.quick
+        assert args.seed == 0
+
+    def test_experiment_list_positional(self):
+        args = build_parser().parse_args(["table2", "fig6"])
+        assert args.experiments == ["table2", "fig6"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig8" in out
+
+    def test_taxonomy(self, capsys):
+        assert main(["--taxonomy"]) == 0
+        assert "Miss+Miss" in capsys.readouterr().out
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tablezzz"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_an_experiment(self, capsys):
+        assert main(["table4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "finished in" in out

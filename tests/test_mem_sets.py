@@ -1,0 +1,75 @@
+"""Replacement-set and conflict-line construction."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mem.address import AddressLayout
+from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
+
+
+@pytest.fixture
+def layout():
+    return AddressLayout(line_size=64, num_sets=64)
+
+
+class TestConflictingLines:
+    def test_all_map_to_target_set(self, space, layout):
+        lines = build_set_conflicting_lines(space, layout, target_set=13, count=10)
+        assert all(layout.set_index(line) == 13 for line in lines)
+
+    def test_distinct_tags(self, space, layout):
+        lines = build_set_conflicting_lines(space, layout, target_set=13, count=10)
+        tags = {layout.tag(line) for line in lines}
+        assert len(tags) == 10
+
+    def test_distinct_physical_lines(self, space, layout):
+        lines = build_set_conflicting_lines(space, layout, target_set=5, count=8)
+        physical = {space.translate(line) for line in lines}
+        assert len(physical) == 8
+
+    def test_pages_are_premapped(self, space, layout):
+        lines = build_set_conflicting_lines(space, layout, target_set=5, count=4)
+        assert all(space.is_mapped(line) for line in lines)
+
+    def test_rejects_bad_target_set(self, space, layout):
+        with pytest.raises(ConfigurationError):
+            build_set_conflicting_lines(space, layout, target_set=64, count=4)
+
+    def test_rejects_zero_count(self, space, layout):
+        with pytest.raises(ConfigurationError):
+            build_set_conflicting_lines(space, layout, target_set=0, count=0)
+
+    def test_successive_builds_disjoint(self, space, layout):
+        first = set(build_set_conflicting_lines(space, layout, 3, 10))
+        second = set(build_set_conflicting_lines(space, layout, 3, 10))
+        assert not first & second
+
+
+class TestReplacementSet:
+    def test_size_and_set(self, space, layout):
+        lines = build_replacement_set(space, layout, target_set=21, size=10)
+        assert len(lines) == 10
+        assert all(layout.set_index(line) == 21 for line in lines)
+
+    def test_order_is_permuted(self, space, layout):
+        # With a seeded RNG the shuffled order differs from the natural
+        # stride order (vanishingly unlikely to match for 12 elements).
+        lines = build_replacement_set(
+            space, layout, target_set=21, size=12, rng=random.Random(3)
+        )
+        assert lines != sorted(lines)
+
+    def test_deterministic_for_seed(self, allocator, layout):
+        from repro.mem.address_space import AddressSpace
+
+        one = build_replacement_set(
+            AddressSpace(pid=1, allocator=allocator), layout, 9, 10,
+            rng=random.Random(5),
+        )
+        two_space = AddressSpace(pid=2, allocator=allocator)
+        two = build_replacement_set(two_space, layout, 9, 10, rng=random.Random(5))
+        # Same virtual addresses in the same relative order (different
+        # spaces, so physical addresses differ).
+        assert one == two

@@ -1,0 +1,110 @@
+"""Whole-process sender models used by the Table 6/7 experiments."""
+
+import pytest
+
+from repro.channels.testbench import ChannelTestbench
+from repro.channels.testbench import TestbenchConfig as BenchConfig
+from repro.common.errors import ConfigurationError
+from repro.cpu.noise import SchedulerNoise
+from repro.cpu.perf_counters import PerfReport
+from repro.experiments.process_models import (
+    InstrumentedLRUSender,
+    InstrumentedWBSender,
+    make_activity,
+)
+from repro.mem.sets import build_set_conflicting_lines
+
+
+def make_bench():
+    return ChannelTestbench(
+        BenchConfig(seed=0, scheduler_noise=SchedulerNoise.disabled())
+    )
+
+
+def run_sender(sender_cls, **kwargs):
+    bench = make_bench()
+    space = bench.new_space(pid=0)
+    lines = build_set_conflicting_lines(space, bench.l1_layout, 7, 2)
+    activity = make_activity(space, seed=0)
+    if sender_cls is InstrumentedWBSender:
+        sender = InstrumentedWBSender(
+            activity=activity,
+            lines=lines,
+            schedule=kwargs.pop("schedule", [1, 0, 1, 1]),
+            period=11000,
+            start_time=1_800_000,
+        )
+    else:
+        sender = InstrumentedLRUSender(
+            activity=activity,
+            line=lines[0],
+            message=kwargs.pop("message", [1, 0, 1, 1]),
+            period=11000,
+            start_time=1_800_000,
+        )
+    bench.add_thread(0, space, sender, name="sender")
+    core = bench.run()
+    cycles = max(1.0, core.elapsed_cycles() - 1_800_000)
+    return bench, PerfReport.from_stats(bench.hierarchy.stats, 0, cycles)
+
+
+class TestActivity:
+    def test_validation(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        with pytest.raises(ConfigurationError):
+            make_activity(space, hot_accesses_per_period=-1)
+
+    def test_warmup_covers_tiers(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        activity = make_activity(space, seed=1)
+        ops = list(activity.warmup())
+        assert len(ops) == activity.hot_lines + activity.warm_lines
+
+
+class TestInstrumentedWBSender:
+    def test_counters_exclude_warmup(self):
+        _, report = run_sender(InstrumentedWBSender)
+        # Warm-up touches ~6k warm lines; if counted, L1 accesses would be
+        # in the thousands with a huge miss count.  The measured window
+        # only contains 4 periods of housekeeping (~400 accesses each).
+        assert report.l1_accesses < 4 * 500
+        assert report.l1_miss_rate < 0.2
+
+    def test_channel_dirty_state_produced(self):
+        bench, _ = run_sender(InstrumentedWBSender, schedule=[2, 2])
+        assert bench.hierarchy.dirty_in_l1_set(7) >= 1
+
+    def test_line_validation(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        with pytest.raises(ConfigurationError):
+            InstrumentedWBSender(
+                activity=make_activity(space),
+                lines=[0x0],
+                schedule=[5],
+                period=1000,
+                start_time=0,
+            )
+
+
+class TestInstrumentedLRUSender:
+    def test_generates_more_loads_than_wb(self):
+        # The structural fact behind Table 7.
+        _, wb = run_sender(InstrumentedWBSender)
+        _, lru = run_sender(InstrumentedLRUSender)
+        assert lru.l1_loads_per_ms > wb.l1_loads_per_ms
+
+    def test_modulation_interval_validated(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        with pytest.raises(ConfigurationError):
+            InstrumentedLRUSender(
+                activity=make_activity(space),
+                line=0x0,
+                message=[1],
+                period=1000,
+                start_time=0,
+                modulation_interval=0,
+            )

@@ -1,0 +1,62 @@
+"""The package's top-level public API surface."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quick_channel_run_exported(self):
+        result = repro.quick_channel_run(message_bits=32, seed=1)
+        assert result.rate_kbps > 0
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.analysis
+        import repro.cache
+        import repro.channels
+        import repro.channels.wb
+        import repro.defenses
+        import repro.experiments
+        import repro.mem
+        import repro.noise
+        import repro.replacement
+        import repro.sidechannel
+
+        for module in (
+            repro.analysis, repro.cache, repro.channels, repro.channels.wb,
+            repro.defenses, repro.experiments, repro.mem, repro.noise,
+            repro.replacement, repro.sidechannel,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestDoctests:
+    def test_units_doctests(self):
+        import doctest
+
+        import repro.common.units as units
+
+        failures, _ = doctest.testmod(units)
+        assert failures == 0
+
+    def test_capacity_doctests(self):
+        import doctest
+
+        import repro.analysis.capacity as capacity
+
+        failures, _ = doctest.testmod(capacity)
+        assert failures == 0
+
+    def test_bits_doctests(self):
+        import doctest
+
+        import repro.common.bits as bits
+
+        failures, _ = doctest.testmod(bits)
+        assert failures == 0

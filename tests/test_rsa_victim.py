@@ -1,0 +1,101 @@
+"""Square-and-multiply key recovery (the concrete Section 9 instance)."""
+
+import random
+
+import pytest
+
+from repro.cache.configs import make_xeon_hierarchy
+from repro.common.errors import ConfigurationError
+from repro.mem.address_space import AddressSpace, FrameAllocator
+from repro.sidechannel.rsa_victim import (
+    SquareAndMultiplyVictim,
+    recover_exponent,
+)
+
+
+def make_victim(exponent_bits, modulus=(1 << 61) - 1):
+    hierarchy = make_xeon_hierarchy(rng=random.Random(0))
+    space = AddressSpace(pid=2, allocator=FrameAllocator())
+    return SquareAndMultiplyVictim(
+        hierarchy=hierarchy,
+        space=space,
+        base=0x10001,
+        modulus=modulus,
+        exponent_bits=tuple(exponent_bits),
+    )
+
+
+class TestVictimArithmetic:
+    @pytest.mark.parametrize("exponent", [0, 1, 2, 0b1011, 123456789])
+    def test_modexp_is_correct(self, exponent):
+        bits = tuple(int(b) for b in format(exponent, "b")) if exponent else (0,)
+        victim = make_victim(bits)
+        while not victim.finished:
+            victim.step()
+        assert victim.result() == pow(0x10001, exponent, (1 << 61) - 1)
+
+    def test_step_past_end_rejected(self):
+        victim = make_victim((1,))
+        victim.step()
+        with pytest.raises(ConfigurationError):
+            victim.step()
+
+    def test_result_before_end_rejected(self):
+        victim = make_victim((1, 0))
+        victim.step()
+        with pytest.raises(ConfigurationError):
+            victim.result()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_victim((2,))
+        with pytest.raises(ConfigurationError):
+            make_victim((1,), modulus=1)
+
+
+class TestCacheSideEffects:
+    def test_one_bit_dirties_multiply_buffer(self):
+        victim = make_victim((1,))
+        victim.step()
+        line = victim.space.translate(victim.multiply_buffer)
+        assert victim.hierarchy.l1.is_dirty(line)
+
+    def test_zero_bit_leaves_multiply_buffer_untouched(self):
+        victim = make_victim((0,))
+        victim.step()
+        line = victim.space.translate(victim.multiply_buffer)
+        assert not victim.hierarchy.l1.probe(line)
+
+    def test_buffers_in_different_sets(self):
+        victim = make_victim((1, 0))
+        l1 = victim.hierarchy.l1
+        square_set = l1.set_index(victim.space.translate(victim.square_buffer))
+        assert square_set != victim.multiply_set
+
+
+class TestKeyRecovery:
+    def test_recovers_64_bit_exponent(self):
+        result = recover_exponent(0xDEADBEEFCAFEBABE, bit_width=64, seed=0)
+        assert result.fully_recovered
+        assert result.modexp_result == pow(
+            0x10001, 0xDEADBEEFCAFEBABE, (1 << 61) - 1
+        )
+
+    def test_recovers_across_seeds(self):
+        for seed in range(3):
+            result = recover_exponent(0x5555AAAA, bit_width=32, seed=seed)
+            assert result.accuracy >= 0.95
+
+    def test_all_zero_and_all_one_exponents(self):
+        assert recover_exponent(0, bit_width=16, seed=1).fully_recovered
+        assert recover_exponent(0xFFFF, bit_width=16, seed=1).fully_recovered
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            recover_exponent(-1)
+
+    def test_rejects_overflow(self):
+        from repro.common.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            recover_exponent(1 << 70, bit_width=64)

@@ -1,0 +1,115 @@
+"""Section 9 side channels: gadgets and the three attack scenarios."""
+
+import random
+
+import pytest
+
+from repro.cache.configs import make_xeon_hierarchy
+from repro.common.bits import random_bits
+from repro.common.errors import ConfigurationError
+from repro.mem.address_space import AddressSpace, FrameAllocator
+from repro.sidechannel import (
+    VictimGadgetA,
+    VictimGadgetB,
+    dirty_eviction_attack,
+    dirty_state_attack,
+    execution_time_attack,
+)
+from repro.sidechannel.victim import make_victim
+
+SECRET = random_bits(48, random.Random(77))
+
+
+@pytest.fixture
+def victim_context():
+    hierarchy = make_xeon_hierarchy(rng=random.Random(0))
+    space = AddressSpace(pid=2, allocator=FrameAllocator())
+    return make_victim(hierarchy, space, set0=13, set1=37)
+
+
+class TestGadgets:
+    def test_gadget_a_modifies_on_secret_one(self, victim_context):
+        gadget = VictimGadgetA(victim_context)
+        gadget.call(1)
+        hierarchy = victim_context.hierarchy
+        line0 = victim_context.space.translate(victim_context.line0)
+        assert hierarchy.l1.is_dirty(line0)
+
+    def test_gadget_a_reads_on_secret_zero(self, victim_context):
+        gadget = VictimGadgetA(victim_context)
+        gadget.call(0)
+        hierarchy = victim_context.hierarchy
+        line1 = victim_context.space.translate(victim_context.line1)
+        assert hierarchy.l1.probe(line1)
+        assert not hierarchy.l1.is_dirty(line1)
+
+    def test_gadget_b_never_dirties(self, victim_context):
+        gadget = VictimGadgetB(victim_context)
+        gadget.call(1)
+        gadget.call(0)
+        hierarchy = victim_context.hierarchy
+        for line in (victim_context.line0, victim_context.line1):
+            assert not hierarchy.l1.is_dirty(victim_context.space.translate(line))
+
+    def test_gadgets_reject_non_binary_secret(self, victim_context):
+        with pytest.raises(ConfigurationError):
+            VictimGadgetA(victim_context).call(2)
+        with pytest.raises(ConfigurationError):
+            VictimGadgetB(victim_context).call(-1)
+
+    def test_set_placement(self, victim_context):
+        assert victim_context.set_of_line0() == 13
+        assert victim_context.set_of_line1() == 37
+
+    def test_same_set_placement(self):
+        hierarchy = make_xeon_hierarchy(rng=random.Random(0))
+        space = AddressSpace(pid=2, allocator=FrameAllocator())
+        context = make_victim(hierarchy, space, set0=5)
+        assert context.set_of_line0() == context.set_of_line1() == 5
+        assert context.line0 != context.line1
+
+
+class TestAttacks:
+    def test_dirty_state_recovers_secret(self):
+        result = dirty_state_attack(SECRET, seed=0)
+        assert result.accuracy >= 0.95
+
+    def test_dirty_state_works_with_same_set_lines(self):
+        # The paper's differentiator vs Prime+Probe/LRU channels.
+        result = dirty_state_attack(SECRET, seed=0, same_set=True)
+        assert result.accuracy >= 0.95
+
+    def test_dirty_eviction_recovers_secret(self):
+        result = dirty_eviction_attack(SECRET, seed=0)
+        assert result.accuracy >= 0.95
+
+    def test_dirty_eviction_signal_is_inverted(self):
+        # secret=1 removes a dirty line, so the 1-median is *lower*.
+        result = dirty_eviction_attack(SECRET, seed=0)
+        median_zero, median_one = result.calibration_means
+        assert median_one < median_zero
+
+    def test_execution_time_recovers_secret(self):
+        result = execution_time_attack(SECRET, seed=0)
+        assert result.accuracy >= 0.9
+
+    def test_execution_time_gadget_a(self):
+        result = execution_time_attack(SECRET, seed=0, gadget="a")
+        assert result.accuracy >= 0.9
+
+    def test_execution_time_rejects_unknown_gadget(self):
+        with pytest.raises(ConfigurationError):
+            execution_time_attack(SECRET, gadget="c")
+
+    def test_rejects_non_binary_secret(self):
+        with pytest.raises(ConfigurationError):
+            dirty_state_attack([0, 2, 1])
+
+    def test_result_rendering(self):
+        result = dirty_state_attack(SECRET[:16], seed=1)
+        assert "recovered" in str(result)
+
+    def test_deterministic(self):
+        first = dirty_state_attack(SECRET[:24], seed=3)
+        second = dirty_state_attack(SECRET[:24], seed=3)
+        assert first.recovered == second.recovered

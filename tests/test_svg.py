@@ -1,0 +1,82 @@
+"""SVG chart rendering."""
+
+import pytest
+
+from repro.analysis.svg import Chart, Series, ber_chart, cdf_chart, trace_chart
+from repro.common.errors import ConfigurationError
+
+
+def minimal_chart():
+    chart = Chart(title="T", x_label="x", y_label="y")
+    chart.add_series("s", [(0.0, 1.0), (1.0, 2.0)])
+    return chart
+
+
+class TestChart:
+    def test_svg_structure(self):
+        svg = minimal_chart().to_svg()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert ">T<" in svg  # title text
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Chart(title="T", x_label="x", y_label="y").to_svg()
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(label="s", points=[])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Series(label="s", points=[(0, 0)], mode="sparkles")
+
+    def test_dots_mode_renders_circles(self):
+        chart = Chart(title="T", x_label="x", y_label="y")
+        chart.add_series("s", [(0.0, 1.0), (1.0, 2.0)], mode="dots")
+        assert "circle" in chart.to_svg()
+
+    def test_guides_render_dashed(self):
+        chart = minimal_chart()
+        chart.guides.append(("thr", 1.5))
+        svg = chart.to_svg()
+        assert "stroke-dasharray" in svg
+        assert "thr" in svg
+
+    def test_log_x_requires_positive(self):
+        chart = Chart(title="T", x_label="x", y_label="y", log_x=True)
+        chart.add_series("s", [(0.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(ConfigurationError):
+            chart.to_svg()
+
+    def test_escaping(self):
+        chart = Chart(title="a<b & c", x_label="x", y_label="y")
+        chart.add_series("s", [(0.0, 1.0), (1.0, 2.0)])
+        svg = chart.to_svg()
+        assert "a&lt;b &amp; c" in svg
+
+    def test_deterministic(self):
+        assert minimal_chart().to_svg() == minimal_chart().to_svg()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        minimal_chart().save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestChartBuilders:
+    def test_cdf_chart(self):
+        chart = cdf_chart("c", {"d=0": [1.0, 2.0, 2.0, 3.0]})
+        svg = chart.to_svg()
+        assert "d=0" in svg
+
+    def test_trace_chart_with_thresholds(self):
+        chart = trace_chart("t", [10, 20, 15], thresholds=[12.5])
+        svg = chart.to_svg()
+        assert "threshold 1" in svg
+
+    def test_ber_chart_log_axis(self):
+        chart = ber_chart("b", {"d=1": [(200.0, 0.01), (2750.0, 0.05)]})
+        assert chart.log_x
+        assert "d=1" in chart.to_svg()
