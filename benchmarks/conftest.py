@@ -25,7 +25,7 @@ def run_quick(benchmark):
         result = benchmark.pedantic(
             run_experiment,
             args=(experiment_id,),
-            kwargs={"quick": True},
+            kwargs={"profile": "quick"},
             rounds=1,
             iterations=1,
         )

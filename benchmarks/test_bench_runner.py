@@ -1,0 +1,33 @@
+"""Benchmark the parallel runner against in-process serial execution.
+
+Runs the same three-experiment batch through ``jobs=1`` (in-process) and
+``jobs=2`` (worker pool) so the tracked timings expose the runner's
+dispatch overhead and speedup on a known workload.  Results must be
+bit-identical between the two modes — that assertion rides along with the
+timing.
+"""
+
+import pytest
+
+from repro.runner import run_experiments
+
+BATCH = ["table2", "fig5", "sidechannel"]
+
+
+def _run(jobs: int):
+    return run_experiments(BATCH, profile="quick", jobs=jobs)
+
+
+@pytest.mark.benchmark(group="runner")
+def test_bench_runner_serial(benchmark):
+    manifest = benchmark.pedantic(_run, args=(1,), rounds=1, iterations=1)
+    assert manifest.ok
+
+
+@pytest.mark.benchmark(group="runner")
+def test_bench_runner_parallel_2(benchmark):
+    manifest = benchmark.pedantic(_run, args=(2,), rounds=1, iterations=1)
+    assert manifest.ok
+    serial = _run(1)
+    for task_id, result in serial.results().items():
+        assert manifest.entry(task_id).result.to_json() == result.to_json()

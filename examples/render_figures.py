@@ -5,9 +5,14 @@ Regenerates Figure 4 (latency CDFs), Figure 5 (binary traces), Figure 7
 (multi-bit trace) and Figures 6/8 (BER vs rate) from the experiment
 modules and writes them as SVGs under ``figures/``.
 
+With ``--results DIR`` the figures are rendered from a persisted run
+manifest (``wb-experiments --all --jobs N --out DIR``) instead of being
+recomputed; experiments missing from the manifest fall back to running.
+
 Usage::
 
     python examples/render_figures.py [--outdir figures] [--full]
+    python examples/render_figures.py --results results/
 """
 
 import argparse
@@ -15,6 +20,27 @@ import pathlib
 
 from repro.analysis.svg import ber_chart, cdf_chart, trace_chart
 from repro.experiments import run_experiment
+from repro.runner import RunManifest
+
+
+def make_loader(results_dir, profile):
+    """Result source: the persisted manifest when given, else recompute."""
+    manifest = None
+    if results_dir is not None:
+        manifest = RunManifest.load(results_dir)
+
+    def load(experiment_id):
+        if manifest is not None:
+            try:
+                entry = manifest.entry(experiment_id)
+            except Exception:
+                entry = None
+            if entry is not None and entry.ok:
+                print(f"loaded {experiment_id} from manifest")
+                return entry.result
+        return run_experiment(experiment_id, profile=profile)
+
+    return load
 
 
 def main() -> None:
@@ -22,13 +48,16 @@ def main() -> None:
     parser.add_argument("--outdir", default="figures")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale repetition counts (slower)")
+    parser.add_argument("--results", default=None, metavar="DIR",
+                        help="read results from a run manifest instead of "
+                             "recomputing (see wb-experiments --out)")
     args = parser.parse_args()
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    quick = not args.full
+    load = make_loader(args.results, "full" if args.full else "quick")
 
     # Figure 4 — CDF of replacement latency per dirty-line count.
-    fig4 = run_experiment("fig4", quick=quick)
+    fig4 = load("fig4")
     chart = cdf_chart(
         "Figure 4: replacement latency CDF vs dirty lines",
         {
@@ -39,7 +68,7 @@ def main() -> None:
     chart.save(outdir / "fig4_latency_cdfs.svg")
 
     # Figure 5 — binary traces at 400 Kbps.
-    fig5 = run_experiment("fig5", quick=quick)
+    fig5 = load("fig5")
     for d in (1, 4, 8):
         threshold = fig5.series[f"threshold_d{d}"][0]
         chart = trace_chart(
@@ -50,7 +79,7 @@ def main() -> None:
         chart.save(outdir / f"fig5_trace_d{d}.svg")
 
     # Figure 7 — multi-bit trace at 1100 Kbps.
-    fig7 = run_experiment("fig7", quick=quick)
+    fig7 = load("fig7")
     chart = trace_chart(
         "Figure 7: 2-bit symbol trace at 1100 Kbps (d=0/3/5/8)",
         fig7.series["trace"],
@@ -59,7 +88,7 @@ def main() -> None:
     chart.save(outdir / "fig7_multibit_trace.svg")
 
     # Figure 6 — BER vs rate, binary encodings.
-    fig6 = run_experiment("fig6", quick=quick)
+    fig6 = load("fig6")
     rates = [float(row[1]) for row in fig6.rows]
     curves = {}
     for column, header in enumerate(fig6.columns[2:], start=2):
@@ -69,7 +98,7 @@ def main() -> None:
     chart.save(outdir / "fig6_ber_binary.svg")
 
     # Figure 8 — BER vs rate, 2-bit symbols.
-    fig8 = run_experiment("fig8", quick=quick)
+    fig8 = load("fig8")
     points = [
         (float(row[1]), float(row[2].rstrip("%")) / 100) for row in fig8.rows
     ]

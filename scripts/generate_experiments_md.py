@@ -3,16 +3,17 @@
 
 Usage::
 
-    python scripts/generate_experiments_md.py [--quick] [--out EXPERIMENTS.md]
+    python scripts/generate_experiments_md.py [--profile quick] [--jobs N] \
+        [--out EXPERIMENTS.md]
 """
 
 from __future__ import annotations
 
 import argparse
 import io
-import time
 
-from repro.experiments import available_experiments, run_experiment
+from repro.experiments import available_experiments
+from repro.runner import run_experiments
 
 #: Paper-vs-measured commentary per experiment, maintained alongside the
 #: experiment code.  The measured tables below each entry are regenerated
@@ -172,37 +173,54 @@ calibration anchors (Table 4), by construction.
 
 Reproduce any entry interactively::
 
-    wb-experiments <experiment-id>            # full scale
-    wb-experiments <experiment-id> --quick    # CI scale
+    wb-experiments <experiment-id>                  # full scale
+    wb-experiments <experiment-id> --profile quick  # CI scale
+
+or run everything in parallel, persisting a manifest::
+
+    wb-experiments --all --jobs 4 --out results/
 
 """
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--profile", choices=["full", "quick"], default=None)
+    parser.add_argument(
+        "--quick", action="store_true", help="deprecated alias for --profile quick"
+    )
+    parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--out", default="EXPERIMENTS.md")
     args = parser.parse_args()
+    profile = args.profile or ("quick" if args.quick else "full")
 
+    manifest = run_experiments(
+        available_experiments(), profile=profile, jobs=args.jobs
+    )
     out = io.StringIO()
-    mode = " (quick mode)" if args.quick else ""
+    mode = " (quick mode)" if profile == "quick" else ""
     out.write(HEADER.format(mode=mode))
-    for experiment_id in available_experiments():
-        started = time.time()
-        result = run_experiment(experiment_id, quick=args.quick)
-        elapsed = time.time() - started
-        out.write(f"\n## {experiment_id} — {result.title}\n\n")
+    for entry in manifest.entries:
+        if not entry.ok:
+            raise SystemExit(
+                f"experiment {entry.task_id} failed:\n{entry.error}"
+            )
+        result = entry.result
+        out.write(f"\n## {entry.experiment_id} — {result.title}\n\n")
         out.write(f"*Reproduces {result.paper_reference}.*\n\n")
-        context = PAPER_CONTEXT.get(experiment_id)
+        context = PAPER_CONTEXT.get(entry.experiment_id)
         if context:
             out.write(context + "\n\n")
         out.write("```\n")
         out.write(result.render())
         out.write("\n```\n\n")
         out.write(
-            f"Parameters: `{result.params}`; runtime {elapsed:.1f}s.\n"
+            f"Parameters: `{result.params}`; runtime {entry.wall_seconds:.1f}s.\n"
         )
-        print(f"[{experiment_id}] done in {elapsed:.1f}s", flush=True)
+        print(
+            f"[{entry.experiment_id}] done in {entry.wall_seconds:.1f}s",
+            flush=True,
+        )
     with open(args.out, "w") as handle:
         handle.write(out.getvalue())
     print(f"wrote {args.out}")

@@ -37,6 +37,8 @@ from repro.channels.wb import (
     quick_channel_run,
     run_wb_channel,
 )
+from repro.experiments import ExperimentResult, RunProfile
+from repro.runner import RunManifest, run_experiments
 
 __version__ = "1.0.0"
 
@@ -44,7 +46,10 @@ __all__ = [
     "CPU_FREQUENCY_HZ",
     "CacheHierarchy",
     "ChannelRunResult",
+    "ExperimentResult",
     "LatencyModel",
+    "RunManifest",
+    "RunProfile",
     "WBChannelConfig",
     "XeonE5_2650Config",
     "__version__",
@@ -53,5 +58,6 @@ __all__ = [
     "make_tiny_hierarchy",
     "make_xeon_hierarchy",
     "quick_channel_run",
+    "run_experiments",
     "run_wb_channel",
 ]

@@ -22,6 +22,7 @@ from repro.analysis.capacity import (
     symbol_capacity,
 )
 from repro.analysis.detection import DetectionReport, compare_miss_profiles
+from repro.analysis.run_summary import manifest_table, summarize_manifest
 from repro.analysis.svg import Chart, ber_chart, cdf_chart, trace_chart
 
 __all__ = [
@@ -43,5 +44,7 @@ __all__ = [
     "empirical_cdf",
     "evaluate_transmission",
     "histogram",
+    "manifest_table",
     "summarize_latencies",
+    "summarize_manifest",
 ]

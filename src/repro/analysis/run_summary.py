@@ -1,0 +1,61 @@
+"""Run-manifest summaries: what a multi-experiment run cost and produced.
+
+Turns a :class:`~repro.runner.manifest.RunManifest` into the same
+plain-text table style the experiments themselves render, plus aggregate
+wall-clock/speedup figures — the ``wb-experiments`` CLI prints this after
+multi-task runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def manifest_table(manifest):
+    """The per-task outcome table as an :class:`ExperimentResult`.
+
+    Reusing the result type means the summary renders, serialises and
+    round-trips exactly like any experiment output.  (The import is
+    deferred because :mod:`repro.experiments` pulls in the channel stack,
+    which itself imports :mod:`repro.analysis` — importing at module scope
+    would be circular.)
+    """
+    from repro.experiments.base import ExperimentResult
+    rows: List[List[object]] = []
+    for entry in manifest.entries:
+        rows.append(
+            [
+                entry.task_id,
+                entry.status,
+                f"{entry.wall_seconds:.1f}",
+                "-" if entry.worker_id is None else entry.worker_id,
+                entry.attempts,
+                entry.seed,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="run_summary",
+        title="Run summary",
+        paper_reference=f"{len(manifest.entries)} task(s), "
+        f"profile {manifest.profile_name}, {manifest.jobs} job(s)",
+        columns=["task", "status", "seconds", "worker", "attempts", "seed"],
+        rows=rows,
+        notes=_aggregate_note(manifest),
+    )
+
+
+def _aggregate_note(manifest) -> str:
+    compute = sum(entry.wall_seconds for entry in manifest.entries)
+    wall = manifest.total_wall_seconds
+    note = f"aggregate compute {compute:.1f}s in {wall:.1f}s wall-clock"
+    if wall > 0 and manifest.jobs > 1:
+        note += f" ({compute / wall:.1f}x parallel speedup)"
+    failures = manifest.failures
+    if failures:
+        note += f"; {len(failures)} task(s) failed"
+    return note
+
+
+def summarize_manifest(manifest) -> str:
+    """Rendered text summary of a run manifest."""
+    return manifest_table(manifest).render()

@@ -17,7 +17,12 @@ from repro.cache.cache import (
     Cache,
     WritePolicy,
 )
-from repro.cache.hierarchy import AccessTrace, CacheHierarchy, MEMORY_LEVEL
+from repro.cache.hierarchy import (
+    AccessTrace,
+    CacheHierarchy,
+    HierarchyFactory,
+    MEMORY_LEVEL,
+)
 from repro.cache.stats import CacheStats, LevelCounters
 from repro.cache.configs import (
     XeonE5_2650Config,
@@ -26,6 +31,7 @@ from repro.cache.configs import (
 )
 
 __all__ = [
+    "HierarchyFactory",
     "AccessTrace",
     "AllocationPolicy",
     "Cache",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import ensure_rng
@@ -30,6 +30,21 @@ from repro.cache.stats import CacheStats
 
 #: Pseudo-level number reported when an access went all the way to DRAM.
 MEMORY_LEVEL: int = 99
+
+
+@runtime_checkable
+class HierarchyFactory(Protocol):
+    """Builds a hierarchy from the testbench's derived RNG.
+
+    Defense evaluations inject PLcache/partitioned/write-through variants
+    through this hook (see :class:`~repro.channels.testbench.TestbenchConfig`
+    and :class:`~repro.channels.wb.protocol.WBChannelConfig`); the factory
+    must be deterministic given the RNG it is handed.
+    """
+
+    def __call__(self, rng: random.Random) -> "CacheHierarchy":
+        """Return a fresh hierarchy for one run."""
+        ...
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.configs import XeonE5_2650Config, make_xeon_hierarchy
-from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.hierarchy import CacheHierarchy, HierarchyFactory
 from repro.cpu.noise import SchedulerNoise
 from repro.cpu.smt import SMTCore
 from repro.cpu.thread import HardwareThread, Program
@@ -35,7 +35,7 @@ class TestbenchConfig:
     #: When set, builds the hierarchy instead of :func:`make_xeon_hierarchy`
     #: (the defense evaluations inject PLcache/partitioned/... variants
     #: this way).  Receives the bench's derived RNG.
-    hierarchy_factory: Optional[Callable[[random.Random], CacheHierarchy]] = None
+    hierarchy_factory: Optional[HierarchyFactory] = None
     #: ``None`` enables the default OS noise; pass
     #: :meth:`SchedulerNoise.disabled` for clean-room runs.
     scheduler_noise: Optional[SchedulerNoise] = None

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng
+from repro.cache.hierarchy import HierarchyFactory
 from repro.channels.testbench import ChannelTestbench, TestbenchConfig
 from repro.channels.threshold import ThresholdDecoder
 from repro.cpu.noise import SchedulerNoise
@@ -76,7 +77,7 @@ def measure_latency_distributions(
     target_set: int = 21,
     seed: int = 0,
     hierarchy_overrides: Optional[Dict[str, object]] = None,
-    hierarchy_factory: Optional[object] = None,
+    hierarchy_factory: Optional[HierarchyFactory] = None,
     interleave: bool = True,
     ensure_resident: bool = False,
 ) -> Dict[int, List[int]]:
@@ -144,7 +145,7 @@ def calibrate_decoder(
     target_set: int = 21,
     seed: int = 0,
     hierarchy_overrides: Optional[Dict[str, object]] = None,
-    hierarchy_factory: Optional[object] = None,
+    hierarchy_factory: Optional[HierarchyFactory] = None,
     ensure_resident: bool = False,
 ) -> ThresholdDecoder:
     """Profile the platform and build a threshold decoder for ``levels``."""

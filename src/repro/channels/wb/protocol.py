@@ -19,11 +19,13 @@ from repro.analysis.ber import DEFAULT_PREAMBLE, evaluate_transmission
 from repro.channels.encoding import BinaryDirtyCodec, SymbolCodec
 from repro.channels.testbench import ChannelTestbench, TestbenchConfig
 from repro.channels.threshold import ThresholdDecoder
+from repro.cache.hierarchy import HierarchyFactory
 from repro.channels.wb.calibration import calibrate_decoder
 from repro.channels.wb.receiver import WBReceiverProgram
 from repro.channels.wb.sender import WBSenderProgram
 from repro.cpu.noise import SchedulerNoise
 from repro.cpu.perf_counters import PerfReport
+from repro.cpu.tsc import TimestampCounterLike
 from repro.mem.pointer_chase import PointerChaseList
 from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
 
@@ -64,16 +66,44 @@ class WBChannelConfig:
     seed: int = 0
     scheduler_noise: Optional[SchedulerNoise] = None
     #: TSC model override (ablations disable read jitter through this).
-    tsc: Optional[object] = None
+    tsc: Optional[TimestampCounterLike] = None
     hierarchy_overrides: Dict[str, object] = field(default_factory=dict)
     #: Custom hierarchy builder (defense evaluations); see TestbenchConfig.
-    hierarchy_factory: Optional[object] = None
+    hierarchy_factory: Optional[HierarchyFactory] = None
     #: Adaptive-sender mode against fill-decorrelating defenses.
     sender_ensure_resident: bool = False
     calibration_repetitions: int = 60
     #: Optional decoder reuse: experiments sweeping many messages on one
     #: platform calibrate once and inject the decoder here.
     decoder: Optional[ThresholdDecoder] = None
+
+    def __post_init__(self) -> None:
+        if self.tsc is not None and not isinstance(self.tsc, TimestampCounterLike):
+            raise ConfigurationError(
+                f"tsc must implement TimestampCounterLike (read(), "
+                f"read_overhead, read_jitter); got {type(self.tsc).__name__}"
+            )
+        if self.hierarchy_factory is not None and not callable(
+            self.hierarchy_factory
+        ):
+            raise ConfigurationError(
+                f"hierarchy_factory must be callable (rng -> CacheHierarchy); "
+                f"got {type(self.hierarchy_factory).__name__}"
+            )
+        if self.period_cycles <= 0:
+            raise ConfigurationError(
+                f"period_cycles must be positive, got {self.period_cycles}"
+            )
+        if self.calibration_repetitions <= 0:
+            raise ConfigurationError(
+                f"calibration_repetitions must be positive, "
+                f"got {self.calibration_repetitions}"
+            )
+        if self.replacement_set_size <= 0:
+            raise ConfigurationError(
+                f"replacement_set_size must be positive, "
+                f"got {self.replacement_set_size}"
+            )
 
     def resolve_message(self) -> List[int]:
         """The full bit message: preamble followed by payload."""

@@ -28,7 +28,7 @@ from repro.common.bits import (
     random_bits,
     string_to_bits,
 )
-from repro.common.rng import derive_rng, ensure_rng
+from repro.common.rng import derive_rng, derive_seed, ensure_rng
 
 __all__ = [
     "CPU_FREQUENCY_HZ",
@@ -43,6 +43,7 @@ __all__ = [
     "cycles_to_seconds",
     "cycles_to_us",
     "derive_rng",
+    "derive_seed",
     "ensure_rng",
     "hamming_distance",
     "int_to_bits",

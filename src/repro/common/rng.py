@@ -40,8 +40,24 @@ def derive_rng(parent: random.Random, label: str) -> random.Random:
     per process (PYTHONHASHSEED) and every experiment here must reproduce
     bit-for-bit across runs.
     """
-    seed = parent.getrandbits(32) ^ zlib.crc32(label.encode("utf-8"))
-    return random.Random(seed)
+    return random.Random(derive_seed(parent, label))
+
+
+def derive_seed(parent: RngLike, label: str) -> int:
+    """Derive a child *seed* from ``parent`` and a label.
+
+    Same mixing as :func:`derive_rng` (so ``Random(derive_seed(s, label))``
+    equals ``derive_rng(Random(s), label)`` for a fresh seed ``s``), but
+    returns the integer seed itself — what the parallel runner stores in
+    task specs and manifests so that shard seeds are reproducible from the
+    manifest alone, independent of worker scheduling order.
+
+    Passing an ``int`` (or ``None``) derives from a fresh generator and is
+    therefore order-independent; passing a ``Random`` instance draws from
+    it and advances its state, exactly like :func:`derive_rng`.
+    """
+    parent_rng = ensure_rng(parent)
+    return parent_rng.getrandbits(32) ^ zlib.crc32(label.encode("utf-8"))
 
 
 def maybe_seeded(seed: Optional[int]) -> random.Random:

@@ -11,7 +11,7 @@ than an injected one.
 
 from repro.cpu.ops import Delay, Flush, Load, Op, RdTSC, SpinUntil, Store
 from repro.cpu.thread import HardwareThread, Program
-from repro.cpu.tsc import TimestampCounter
+from repro.cpu.tsc import TimestampCounter, TimestampCounterLike
 from repro.cpu.noise import SchedulerNoise
 from repro.cpu.smt import SMTCore
 from repro.cpu.perf_counters import PerfReport, loads_per_millisecond
@@ -30,5 +30,6 @@ __all__ = [
     "SpinUntil",
     "Store",
     "TimestampCounter",
+    "TimestampCounterLike",
     "loads_per_millisecond",
 ]

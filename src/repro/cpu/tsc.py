@@ -11,8 +11,29 @@ down to.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.common.errors import ConfigurationError
+
+
+@runtime_checkable
+class TimestampCounterLike(Protocol):
+    """What the SMT core (and channel configs) require of a TSC model.
+
+    Any object with these members can replace :class:`TimestampCounter` —
+    the ablation experiments inject jitter-free variants this way, and
+    :class:`~repro.channels.wb.protocol.WBChannelConfig` validates its
+    ``tsc`` override against this protocol instead of accepting ``object``.
+    """
+
+    #: Cycles the reading thread spends executing the instruction.
+    read_overhead: int
+    #: Half-width of the serialisation jitter on each read.
+    read_jitter: int
+
+    def read(self, local_time: float) -> int:
+        """TSC value observed by a thread whose clock shows ``local_time``."""
+        ...
 
 
 @dataclass(frozen=True)

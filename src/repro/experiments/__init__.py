@@ -23,7 +23,15 @@ Run from Python via :func:`run_experiment` / :func:`run_all`, or from the
 shell via ``python -m repro.experiments`` (alias ``wb-experiments``).
 """
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import SCHEMA_VERSION, ExperimentResult
+from repro.experiments.profiles import (
+    FULL,
+    QUICK,
+    ProfileLike,
+    RunProfile,
+    available_profiles,
+    resolve_profile,
+)
 from repro.experiments.registry import (
     available_experiments,
     run_all,
@@ -31,8 +39,15 @@ from repro.experiments.registry import (
 )
 
 __all__ = [
+    "FULL",
+    "QUICK",
     "ExperimentResult",
+    "ProfileLike",
+    "RunProfile",
+    "SCHEMA_VERSION",
     "available_experiments",
+    "available_profiles",
+    "resolve_profile",
     "run_all",
     "run_experiment",
 ]

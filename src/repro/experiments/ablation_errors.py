@@ -28,6 +28,7 @@ from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.cpu.noise import SchedulerNoise
 from repro.cpu.tsc import TimestampCounter
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "ablation_errors"
 
@@ -62,10 +63,13 @@ def _mean_ber(
     return statistics.fmean(bers)
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Decompose the d=1 error rate into its modelled sources."""
-    messages = 6 if quick else 40
-    message_bits = 64 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=6, full=40)
+    message_bits = profile.count(quick=64, full=128)
     quiet_tsc = TimestampCounter(read_jitter=0)
     variants = (
         ("baseline (all sources on)", None, None, None),

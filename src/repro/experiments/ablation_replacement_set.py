@@ -15,12 +15,13 @@ on two L1 policies and reports BER, showing:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.common.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "ablation_replacement_set"
 
@@ -29,10 +30,13 @@ POLICIES = ("tree-plru", "e5-2650")
 PERIOD = 5500
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Sweep the replacement-set size against two L1 policies."""
-    messages = 4 if quick else 24
-    message_bits = 64 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=4, full=24)
+    message_bits = profile.count(quick=64, full=128)
     codec = BinaryDirtyCodec(d_on=3)
     results: Dict[str, Dict[int, float]] = {}
     for policy in POLICIES:

@@ -1,17 +1,28 @@
-"""Experiment framework: structured results and text rendering.
+"""Experiment framework: structured results, serialization, rendering.
 
-Every experiment module exposes ``run(quick=False, seed=0) ->
-ExperimentResult``.  ``quick=True`` shrinks repetition counts so the
-benchmark suite and CI stay fast; the full settings match the paper's
-(e.g. 10 000 trials for Table 2, 1000 measurements for Figure 4).
+Every experiment module exposes ``run(profile=None, seed=0) ->
+ExperimentResult``.  The profile (see :mod:`repro.experiments.profiles`)
+selects repetition counts: ``"quick"`` shrinks them so the benchmark suite
+and CI stay fast; ``"full"`` (the default) matches the paper's settings
+(e.g. 10 000 trials for Table 2, 1000 measurements for Figure 4).  The
+pre-profile ``quick=True`` flag keeps working as a deprecated alias.
+
+Results serialise to JSON (:meth:`ExperimentResult.to_json`) so the
+parallel runner can persist run manifests and figures can be re-rendered
+without recomputation.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.common.errors import ConfigurationError
+
+#: Version stamp embedded in serialised results; bump on breaking changes
+#: to the JSON layout so old manifests fail loudly instead of silently.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -67,6 +78,66 @@ class ExperimentResult:
                 f"no column {key_column!r}; columns are {self.columns}"
             )
         return {row[key_index]: row for row in self.rows}
+
+    # ------------------------------------------------------------------
+    # Serialization (run manifests, persisted figures)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`.
+
+        Tuples (receiver samples and the like) normalise to lists — JSON
+        has no tuple type — so a round trip is lossless at the JSON level:
+        ``from_dict(d).to_dict() == d``.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "columns": list(self.columns),
+            "rows": [_plain(row) for row in self.rows],
+            "notes": self.notes,
+            "params": {key: _plain(value) for key, value in self.params.items()},
+            "series": {key: _plain(list(value)) for key, value in self.series.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported result schema_version {version!r}; "
+                f"this library reads version {SCHEMA_VERSION}"
+            )
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            paper_reference=data["paper_reference"],
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=data.get("notes", ""),
+            params=dict(data.get("params", {})),
+            series={key: list(value) for key, value in data.get("series", {}).items()},
+        )
+
+    def to_json(self, indent: int = None) -> str:
+        """Serialise to a JSON string (``sort_keys`` for stable diffs)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def _plain(value: object) -> object:
+    """Recursively normalise tuples to lists for JSON serialisation."""
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    return value
 
 
 def _format_cell(value: object) -> str:

@@ -4,19 +4,29 @@ Examples::
 
     wb-experiments --list
     wb-experiments table2 fig6
-    wb-experiments --all --quick
+    wb-experiments --all --profile quick
+    wb-experiments --all --profile quick --jobs 4 --out results/
+    wb-experiments fig6 --seeds 5 --jobs 4 --out sweep/
     wb-experiments --taxonomy
+
+``--jobs N`` fans experiments out across worker processes (results are
+bit-identical to a serial run; see :mod:`repro.runner`); ``--out DIR``
+persists a schema-versioned JSON run manifest that
+``examples/render_figures.py --results DIR`` can re-render without
+recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
+from repro.analysis.run_summary import summarize_manifest
 from repro.channels.taxonomy import render_table
-from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.profiles import available_profiles
+from repro.experiments.registry import available_experiments
+from repro.runner import ProgressPrinter, run_experiments
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,11 +49,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument(
+        "--profile",
+        choices=available_profiles(),
+        default=None,
+        help="repetition-count profile: quick (CI-speed) or full (paper-scale)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="reduced repetition counts (CI-speed, noisier estimates)",
+        help="deprecated alias for --profile quick",
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = in-process serial; results are identical)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write a JSON run manifest (results + provenance) to DIR",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="seeds per experiment (shard 0 uses --seed; others are derived)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock budget (parallel runs only)",
+    )
     parser.add_argument(
         "--taxonomy",
         action="store_true",
@@ -65,6 +108,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table())
         return 0
 
+    profile = args.profile
+    if args.quick:
+        if profile not in (None, "quick"):
+            print("--quick conflicts with --profile", file=sys.stderr)
+            return 2
+        print(
+            "warning: --quick is deprecated, use --profile quick",
+            file=sys.stderr,
+        )
+        profile = "quick"
+    if profile is None:
+        profile = "full"
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+
     requested = list(args.experiments)
     if args.all:
         requested = available_experiments()
@@ -78,14 +140,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"available: {', '.join(available_experiments())}", file=sys.stderr)
         return 2
 
-    for experiment_id in requested:
-        started = time.time()
-        result = run_experiment(experiment_id, quick=args.quick, seed=args.seed)
-        elapsed = time.time() - started
-        print(result.render())
-        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+    total_tasks = len(requested) * args.seeds
+    progress = ProgressPrinter() if (args.jobs > 1 or total_tasks > 1) else None
+    manifest = run_experiments(
+        requested,
+        profile=profile,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        seeds_per_experiment=args.seeds,
+        progress=progress,
+    )
+
+    for entry in manifest.entries:
+        if entry.ok:
+            print(entry.result.render())
+            print(f"[{entry.task_id} finished in {entry.wall_seconds:.1f}s]")
+        else:
+            print(
+                f"[{entry.task_id} {entry.status} after "
+                f"{entry.wall_seconds:.1f}s: {_last_line(entry.error)}]",
+                file=sys.stderr,
+            )
         print()
-    return 0
+    if len(manifest.entries) > 1:
+        print(summarize_manifest(manifest))
+        print()
+    if args.out is not None:
+        print(f"manifest written to {manifest.save(args.out)}")
+    return 0 if manifest.ok else 1
+
+
+def _last_line(text: Optional[str]) -> str:
+    if not text:
+        return "unknown error"
+    lines = [line for line in text.strip().splitlines() if line.strip()]
+    return lines[-1] if lines else "unknown error"
 
 
 if __name__ == "__main__":

@@ -16,10 +16,11 @@ Write-through L1       effective (no dirty bit)   no signal
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.defenses.evaluation import evaluate_all
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "defenses"
 
@@ -33,9 +34,12 @@ PAPER_VERDICTS = {
 }
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce the Section 8 defense comparison."""
-    seeds = range(seed, seed + (2 if quick else 6))
+    profile = resolve_profile(profile, quick=quick)
+    seeds = range(seed, seed + (profile.count(quick=2, full=6)))
     reports = evaluate_all(seeds=seeds)
     rows: List[List[object]] = []
     for report in reports:

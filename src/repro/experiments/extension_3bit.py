@@ -19,12 +19,13 @@ high rates.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.units import cycles_to_kbps
 from repro.channels.encoding import MultiBitDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "extension_3bit"
 
@@ -54,13 +55,16 @@ def _codec_curve(codec, periods, messages, message_bits, seed):
     return curve
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Compare the paper's 2-bit codec with the theoretical 3-bit one."""
-    messages = 4 if quick else 30
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=4, full=30)
     two_bit = MultiBitDirtyCodec()
     three_bit = MultiBitDirtyCodec(level_map=dict(THREE_BIT_MAP))
-    two_bits_len = 64 if quick else 256
-    three_bits_len = 48 if quick else 255 * 3 // 3 * 3  # multiple of 3
+    two_bits_len = profile.count(quick=64, full=256)
+    three_bits_len = profile.count(quick=48, full=255 * 3 // 3 * 3)  # multiple of 3
     curve2 = _codec_curve(two_bit, PERIODS, messages, two_bits_len, seed)
     curve3 = _codec_curve(three_bit, PERIODS, messages, three_bits_len, seed)
 

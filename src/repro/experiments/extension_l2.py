@@ -11,20 +11,24 @@ per-symbol operation count (the paper's predicted cost).
 from __future__ import annotations
 
 import statistics
-from typing import List
+from typing import List, Optional
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.channels.wb.l2 import L2WBChannelConfig, run_l2_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "extension_l2"
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Compare the L1 and L2 deployments of the WB channel."""
-    messages = 4 if quick else 20
-    message_bits = 48 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=4, full=20)
+    message_bits = profile.count(quick=48, full=128)
     codec = BinaryDirtyCodec(d_on=4)
 
     l1_decoder = calibrate_decoder(codec.levels, repetitions=40, seed=seed)

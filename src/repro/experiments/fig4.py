@@ -10,20 +10,24 @@ median/step summary the channel's codecs rely on.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.cdf import empirical_cdf, summarize_latencies
 from repro.channels.wb.calibration import measure_latency_distributions
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "fig4"
 
 DIRTY_LEVELS = tuple(range(9))
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Figure 4."""
-    repetitions = 60 if quick else 1000
+    profile = resolve_profile(profile, quick=quick)
+    repetitions = profile.count(quick=60, full=1000)
     samples: Dict[int, List[int]] = measure_latency_distributions(
         levels=list(DIRTY_LEVELS),
         repetitions=repetitions,

@@ -9,11 +9,12 @@ the figure), and the decoded-vs-sent comparison of the 16-bit preamble.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, run_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "fig5"
 
@@ -21,9 +22,12 @@ D_VALUES = (1, 4, 8)
 PERIOD = 5500
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Figure 5."""
-    message_bits = 64 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    message_bits = profile.count(quick=64, full=128)
     rows: List[List[object]] = []
     series = {}
     for d in D_VALUES:
@@ -32,7 +36,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             period_cycles=PERIOD,
             message_bits=message_bits,
             seed=seed,
-            calibration_repetitions=20 if quick else 60,
+            calibration_repetitions=profile.count(quick=20, full=60),
         )
         result = run_wb_channel(config)
         threshold = result.decoder.thresholds[0]

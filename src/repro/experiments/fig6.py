@@ -14,12 +14,13 @@ reproduction preserves:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.units import cycles_to_kbps
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "fig6"
 
@@ -58,17 +59,20 @@ def ber_curve(
     return curve
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Figure 6."""
-    messages = 6 if quick else 90
-    d_values = (1, 4, 8) if quick else D_VALUES
-    message_bits = 64 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=6, full=90)
+    d_values = (1, 4, 8) if profile.is_reduced else D_VALUES
+    message_bits = profile.count(quick=64, full=128)
     curves = {
         d: ber_curve(
             d,
             messages=messages,
             message_bits=message_bits,
-            calibration_repetitions=20 if quick else 60,
+            calibration_repetitions=profile.count(quick=20, full=60),
             base_seed=seed,
         )
         for d in d_values

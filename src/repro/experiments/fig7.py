@@ -7,27 +7,31 @@ The paper transmits 256-bit random messages as 128 two-bit symbols with
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.channels.encoding import MultiBitDirtyCodec
 from repro.channels.wb import WBChannelConfig, run_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "fig7"
 
 PERIOD = 4000
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Figure 7."""
-    message_bits = 64 if quick else 256
+    profile = resolve_profile(profile, quick=quick)
+    message_bits = profile.count(quick=64, full=256)
     codec = MultiBitDirtyCodec()
     config = WBChannelConfig(
         codec=codec,
         period_cycles=PERIOD,
         message_bits=message_bits,
         seed=seed,
-        calibration_repetitions=20 if quick else 60,
+        calibration_repetitions=profile.count(quick=20, full=60),
     )
     result = run_wb_channel(config)
     rows: List[List[object]] = []

@@ -9,25 +9,29 @@ far above the 1375-2700 Kbps practical range of binary encoding.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.units import cycles_to_kbps
 from repro.channels.encoding import MultiBitDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "fig8"
 
 PERIODS = (800, 1000, 1600, 2200, 5500, 11000)
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Figure 8."""
-    messages = 6 if quick else 45
-    message_bits = 64 if quick else 256
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=6, full=45)
+    message_bits = profile.count(quick=64, full=256)
     codec = MultiBitDirtyCodec()
     decoder = calibrate_decoder(
-        codec.levels, repetitions=20 if quick else 60, seed=seed
+        codec.levels, repetitions=profile.count(quick=20, full=60), seed=seed
     )
     curve: Dict[int, float] = {}
     for period in PERIODS:

@@ -1,0 +1,138 @@
+"""Typed run profiles: how much work an experiment run should do.
+
+Historically every experiment took an untyped ``quick: bool`` knob.  A
+:class:`RunProfile` replaces it with a value object that carries the
+repetition-count policy explicitly, can be extended (scaled-down smoke
+profiles, scaled-up precision profiles) and serialises into run manifests.
+
+Experiments resolve their repetition counts through
+:meth:`RunProfile.count`::
+
+    trials = profile.count(quick=400, full=10000)
+
+so the profile — not the experiment — decides which budget applies, and a
+custom ``scale`` shrinks or grows every budget uniformly.
+
+``quick=`` keeps working everywhere as a deprecated alias; see
+:func:`resolve_profile`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """A named repetition-count policy for experiment runs.
+
+    ``reduced`` selects the experiments' CI-speed budgets (what
+    ``quick=True`` used to mean); ``scale`` multiplies whichever budget is
+    selected, so ``RunProfile("smoke", reduced=True, scale=0.5)`` runs at
+    half the quick counts.
+    """
+
+    name: str
+    #: True → experiments use their reduced (CI-speed) repetition counts.
+    reduced: bool = False
+    #: Multiplier applied to every resolved repetition count (min 1).
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("profile name must be non-empty")
+        if self.scale <= 0:
+            raise ConfigurationError(
+                f"profile scale must be positive, got {self.scale}"
+            )
+
+    @property
+    def is_reduced(self) -> bool:
+        """True when the profile selects reduced repetition counts."""
+        return self.reduced
+
+    def count(self, quick: int, full: int) -> int:
+        """Resolve a repetition count: the quick or full budget, scaled."""
+        base = quick if self.reduced else full
+        return max(1, round(base * self.scale))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by run manifests)."""
+        return {"name": self.name, "reduced": self.reduced, "scale": self.scale}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunProfile":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            reduced=bool(data["reduced"]),
+            scale=float(data.get("scale", 1.0)),
+        )
+
+
+#: The two canonical profiles (the old ``quick=False`` / ``quick=True``).
+FULL = RunProfile("full", reduced=False)
+QUICK = RunProfile("quick", reduced=True)
+
+_NAMED_PROFILES: Dict[str, RunProfile] = {"full": FULL, "quick": QUICK}
+
+#: What experiment ``run()`` functions accept for their ``profile`` argument.
+ProfileLike = Union[RunProfile, str, bool, None]
+
+
+def available_profiles() -> list:
+    """Names accepted by :func:`resolve_profile` as strings."""
+    return sorted(_NAMED_PROFILES)
+
+
+def resolve_profile(
+    profile: ProfileLike = None, quick: Optional[bool] = None
+) -> RunProfile:
+    """Normalise the ``profile`` / legacy ``quick`` arguments to a profile.
+
+    - ``RunProfile`` instances pass through.
+    - Strings look up the named profiles (``"quick"`` / ``"full"``).
+    - ``None`` (with no ``quick``) means :data:`FULL`.
+    - ``quick=True/False`` — and a bare bool passed positionally where the
+      profile now goes — keep the pre-profile API working, but emit a
+      :class:`DeprecationWarning`.
+    """
+    if isinstance(profile, bool):
+        # Legacy positional call: run(True) used to mean run(quick=True).
+        if quick is not None:
+            raise ConfigurationError(
+                "pass either a profile or quick=, not both"
+            )
+        profile, quick = None, profile
+    if quick is not None:
+        if profile is not None:
+            raise ConfigurationError(
+                "pass either a profile or quick=, not both"
+            )
+        warnings.warn(
+            "the quick= flag is deprecated; pass profile='quick' or "
+            "profile='full' (repro.experiments.profiles) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return QUICK if quick else FULL
+    if profile is None:
+        return FULL
+    if isinstance(profile, RunProfile):
+        return profile
+    if isinstance(profile, str):
+        try:
+            return _NAMED_PROFILES[profile]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown profile {profile!r}; available: "
+                f"{', '.join(available_profiles())}"
+            )
+    raise ConfigurationError(
+        f"profile must be a RunProfile, profile name or None, "
+        f"got {type(profile).__name__}"
+    )

@@ -17,11 +17,12 @@ eviction probability for context.
 from __future__ import annotations
 
 import statistics
-from typing import List
+from typing import List, Optional
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.experiments.table5 import analytic_probability
 
 EXPERIMENT_ID = "random_policy"
@@ -30,17 +31,20 @@ CONFIGS = ((1, 10), (2, 10), (3, 10), (3, 12), (8, 12))
 PERIOD = 5500
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce the Section 6.1 random-replacement channel study."""
-    messages = 4 if quick else 30
-    message_bits = 64 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=4, full=30)
+    message_bits = profile.count(quick=64, full=128)
     overrides = {"l1_policy": "random"}
     rows: List[List[object]] = []
     for d_on, replacement_size in CONFIGS:
         codec = BinaryDirtyCodec(d_on=d_on)
         decoder = calibrate_decoder(
             codec.levels,
-            repetitions=20 if quick else 60,
+            repetitions=profile.count(quick=20, full=60),
             replacement_set_size=replacement_size,
             seed=seed,
             hierarchy_overrides=overrides,

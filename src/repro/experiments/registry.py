@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.experiments import (
     ablation_errors,
     ablation_replacement_set,
@@ -27,7 +28,7 @@ from repro.experiments import (
     table7,
 )
 
-#: ``run(quick, seed)`` callables keyed by experiment id.
+#: ``run(profile, seed)`` callables keyed by experiment id.
 _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table2": table2.run,
     "table4": table4.run,
@@ -57,9 +58,19 @@ def available_experiments() -> List[str]:
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, seed: int = 0
+    experiment_id: str,
+    profile: ProfileLike = None,
+    seed: int = 0,
+    *,
+    quick: Optional[bool] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``profile`` selects repetition counts (see
+    :mod:`repro.experiments.profiles`); the legacy ``quick=`` flag keeps
+    working as a deprecated alias.
+    """
+    resolved = resolve_profile(profile, quick=quick)
     try:
         runner = _EXPERIMENTS[experiment_id]
     except KeyError:
@@ -67,12 +78,19 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; available: "
             f"{', '.join(available_experiments())}"
         )
-    return runner(quick=quick, seed=seed)
+    return runner(profile=resolved, seed=seed)
 
 
-def run_all(quick: bool = False, seed: int = 0) -> List[ExperimentResult]:
-    """Run every registered experiment in order."""
+def run_all(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> List[ExperimentResult]:
+    """Run every registered experiment in order, in this process.
+
+    For multi-core execution with persisted manifests use
+    :func:`repro.runner.run_experiments` instead.
+    """
+    resolved = resolve_profile(profile, quick=quick)
     return [
-        run_experiment(experiment_id, quick=quick, seed=seed)
+        run_experiment(experiment_id, profile=resolved, seed=seed)
         for experiment_id in available_experiments()
     ]

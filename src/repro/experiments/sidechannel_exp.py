@@ -7,11 +7,12 @@ qualitatively; the reproduction quantifies it on the simulated machine.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.common.bits import random_bits
 from repro.common.rng import ensure_rng
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.sidechannel import (
     dirty_eviction_attack,
     dirty_state_attack,
@@ -21,9 +22,12 @@ from repro.sidechannel import (
 EXPERIMENT_ID = "sidechannel"
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce the Section 9 attack scenarios."""
-    secret_bits = 32 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    secret_bits = profile.count(quick=32, full=128)
     secret = random_bits(secret_bits, ensure_rng(seed + 1))
     attacks = (
         (

@@ -11,7 +11,7 @@ are rare; the experiment includes that column too.
 from __future__ import annotations
 
 import statistics
-from typing import List
+from typing import List, Optional
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.lru_channel import LRUChannelConfig, run_lru_channel
@@ -19,6 +19,7 @@ from repro.channels.prime_probe import PrimeProbeConfig, run_prime_probe_channel
 from repro.channels.testbench import ChannelTestbench, TestbenchConfig
 from repro.channels.wb import calibrate_decoder
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 
 EXPERIMENT_ID = "stability"
 
@@ -30,10 +31,13 @@ NOISE_TID = 7
 NOISE_INTERVAL = 2 * PERIOD
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce the Figure 9 stability comparison."""
-    messages = 4 if quick else 24
-    message_bits = 64 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    messages = profile.count(quick=4, full=24)
+    message_bits = profile.count(quick=64, full=128)
 
     rows: List[List[object]] = []
     scenarios = (

@@ -22,11 +22,12 @@ properties and match structurally.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.cache_set import CacheSet
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.replacement.registry import make_policy_factory
 
 EXPERIMENT_ID = "table2"
@@ -72,9 +73,12 @@ def eviction_probability(
     return evicted / trials
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Table 2."""
-    trials = 400 if quick else 10000
+    profile = resolve_profile(profile, quick=quick)
+    trials = profile.count(quick=400, full=10000)
     rng = ensure_rng(seed)
     probabilities: Dict[str, Dict[int, float]] = {}
     for policy in POLICIES:

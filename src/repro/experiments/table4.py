@@ -18,11 +18,12 @@ drifts and the channel silently weakens.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.configs import make_xeon_hierarchy
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.mem.address_space import AddressSpace, FrameAllocator
 from repro.mem.sets import build_set_conflicting_lines
 
@@ -74,9 +75,12 @@ def measure_latency_classes(
     return l1_hits, clean_replacements, dirty_replacements
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Table 4."""
-    repetitions = 60 if quick else 1000
+    profile = resolve_profile(profile, quick=quick)
+    repetitions = profile.count(quick=60, full=1000)
     l1_hits, clean, dirty = measure_latency_classes(repetitions, seed)
 
     def band(samples: List[int]) -> str:

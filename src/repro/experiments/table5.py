@@ -21,12 +21,13 @@ gem5's generator).
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.cache_set import CacheSet
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.replacement.registry import make_policy_factory
 
 EXPERIMENT_ID = "table5"
@@ -88,9 +89,12 @@ def simulated_probability(
     return hits / trials
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Table 5 (plus the analytic row the paper derives)."""
-    trials = 300 if quick else 10000
+    profile = resolve_profile(profile, quick=quick)
+    trials = profile.count(quick=300, full=10000)
     rng = ensure_rng(seed)
     rows: List[List[object]] = []
     for dirty in DIRTY_COUNTS:

@@ -19,7 +19,7 @@ the *pattern across scenarios*.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.bits import random_bits
 from repro.common.rng import derive_rng, ensure_rng
@@ -28,6 +28,7 @@ from repro.channels.testbench import ChannelTestbench, TestbenchConfig
 from repro.channels.wb.receiver import WBReceiverProgram
 from repro.cpu.perf_counters import PerfReport
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.experiments.process_models import InstrumentedWBSender, make_activity
 from repro.mem.pointer_chase import PointerChaseList
 from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
@@ -108,9 +109,12 @@ def _sender_report(
     return PerfReport.from_stats(bench.hierarchy.stats, SENDER_TID, measured_cycles)
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Table 6."""
-    num_symbols = 24 if quick else 128
+    profile = resolve_profile(profile, quick=quick)
+    num_symbols = profile.count(quick=24, full=128)
     codecs: Dict[str, SymbolCodec] = {
         "binary (d=1)": BinaryDirtyCodec(d_on=1),
         "multi-bit (d=0/3/5/8)": MultiBitDirtyCodec(),

@@ -13,7 +13,7 @@ exactly the channel-protocol traffic.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.common.bits import random_bits
 from repro.common.rng import derive_rng, ensure_rng
@@ -21,6 +21,7 @@ from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.testbench import ChannelTestbench, TestbenchConfig
 from repro.cpu.perf_counters import PerfReport
 from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.experiments.process_models import (
     InstrumentedLRUSender,
     InstrumentedWBSender,
@@ -70,9 +71,12 @@ def _sender_loads(channel: str, num_symbols: int, seed: int) -> PerfReport:
     return PerfReport.from_stats(bench.hierarchy.stats, SENDER_TID, measured_cycles)
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
     """Reproduce Table 7."""
-    num_symbols = 32 if quick else 256
+    profile = resolve_profile(profile, quick=quick)
+    num_symbols = profile.count(quick=32, full=256)
     wb = _sender_loads("wb", num_symbols, seed)
     lru = _sender_loads("lru", num_symbols, seed)
     rows: List[List[object]] = [

@@ -1,0 +1,129 @@
+"""Parallel experiment runner: fan experiments out, persist run manifests.
+
+The one-call API::
+
+    from repro.runner import run_experiments
+
+    manifest = run_experiments(
+        ["table2", "fig6"], profile="quick", jobs=4, out_dir="results"
+    )
+    print(manifest.result_for("fig6").render())
+
+Seeds are pinned per task before anything executes (see
+:mod:`repro.runner.sharding`), so a parallel run is bit-identical to a
+serial one; the manifest (:mod:`repro.runner.manifest`) records every
+result with enough provenance — seed, profile, wall-clock, worker id,
+attempts — to audit or re-render a run without recomputing it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import List, Optional, Sequence, Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.experiments.registry import available_experiments
+from repro.runner.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ManifestEntry,
+    RunManifest,
+)
+from repro.runner.pool import (
+    CRASH_RETRIES,
+    execute_serial,
+    execute_task_payload,
+    execute_tasks,
+)
+from repro.runner.progress import NullProgress, ProgressListener, ProgressPrinter
+from repro.runner.sharding import (
+    EXPERIMENT_WEIGHTS,
+    TaskSpec,
+    dispatch_order,
+    plan_tasks,
+)
+
+__all__ = [
+    "CRASH_RETRIES",
+    "EXPERIMENT_WEIGHTS",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "ManifestEntry",
+    "NullProgress",
+    "ProgressListener",
+    "ProgressPrinter",
+    "RunManifest",
+    "TaskSpec",
+    "dispatch_order",
+    "execute_serial",
+    "execute_task_payload",
+    "execute_tasks",
+    "plan_tasks",
+    "run_experiments",
+    "run_tasks",
+]
+
+
+def run_tasks(
+    tasks: Sequence[TaskSpec],
+    jobs: int = 1,
+    out_dir: Optional[Union[str, pathlib.Path]] = None,
+    progress: Optional[ProgressListener] = None,
+) -> RunManifest:
+    """Execute an explicit task plan and assemble (and persist) a manifest."""
+    started = time.perf_counter()
+    entries = execute_tasks(tasks, jobs=jobs, progress=progress)
+    profile_names = {task.profile.name for task in tasks}
+    manifest = RunManifest(
+        entries=entries,
+        jobs=max(1, jobs),
+        base_seed=tasks[0].seed if tasks else 0,
+        profile_name=profile_names.pop() if len(profile_names) == 1 else "mixed",
+        total_wall_seconds=time.perf_counter() - started,
+    )
+    if out_dir is not None:
+        manifest.save(out_dir)
+    return manifest
+
+
+def run_experiments(
+    experiment_ids: Optional[Sequence[str]] = None,
+    profile: ProfileLike = None,
+    seed: int = 0,
+    jobs: int = 1,
+    out_dir: Optional[Union[str, pathlib.Path]] = None,
+    timeout: Optional[float] = None,
+    seeds_per_experiment: int = 1,
+    progress: Optional[ProgressListener] = None,
+) -> RunManifest:
+    """Plan and run experiments (all of them by default) across workers.
+
+    This is what ``wb-experiments --jobs N --out DIR`` calls.  Unknown ids
+    are rejected up front, before any worker starts.
+    """
+    if experiment_ids is None:
+        experiment_ids = available_experiments()
+    known = set(available_experiments())
+    unknown = [eid for eid in experiment_ids if eid not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment(s): {', '.join(unknown)}; available: "
+            f"{', '.join(available_experiments())}"
+        )
+    resolved = resolve_profile(profile)
+    tasks: List[TaskSpec] = plan_tasks(
+        experiment_ids,
+        profile=resolved,
+        base_seed=seed,
+        seeds_per_experiment=seeds_per_experiment,
+        timeout=timeout,
+    )
+    return run_tasks(tasks, jobs=jobs, out_dir=out_dir, progress=progress)

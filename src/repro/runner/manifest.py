@@ -1,0 +1,199 @@
+"""Run manifests: the persisted record of one experiment run.
+
+A manifest is what makes a run resumable and auditable: for every task it
+records the seed, profile, wall-clock, worker id, attempt count and either
+the full serialised :class:`~repro.experiments.base.ExperimentResult` or a
+failure record.  ``examples/render_figures.py --results DIR`` re-renders
+figures from a manifest without recomputing anything.
+
+The JSON layout is schema-versioned independently of the result schema so
+either can evolve; loading an unknown version fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import RunProfile
+
+#: Bump on breaking changes to the manifest JSON layout.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: File name written inside the results directory.
+MANIFEST_FILENAME = "manifest.json"
+
+#: Task terminal states.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class ManifestEntry:
+    """Outcome of one task: result or failure, plus provenance."""
+
+    task_id: str
+    experiment_id: str
+    seed: int
+    profile: RunProfile
+    status: str
+    wall_seconds: float
+    #: Worker slot that produced the result; ``None`` for in-process runs.
+    worker_id: Optional[int] = None
+    attempts: int = 1
+    shard_index: int = 0
+    num_shards: int = 1
+    error: Optional[str] = None
+    result: Optional[ExperimentResult] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a result."""
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "task_id": self.task_id,
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "profile": self.profile.to_dict(),
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+            "shard_index": self.shard_index,
+            "num_shards": self.num_shards,
+            "error": self.error,
+            "result": None if self.result is None else self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ManifestEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        result = data.get("result")
+        return cls(
+            task_id=data["task_id"],
+            experiment_id=data["experiment_id"],
+            seed=data["seed"],
+            profile=RunProfile.from_dict(data["profile"]),
+            status=data["status"],
+            wall_seconds=data["wall_seconds"],
+            worker_id=data.get("worker_id"),
+            attempts=data.get("attempts", 1),
+            shard_index=data.get("shard_index", 0),
+            num_shards=data.get("num_shards", 1),
+            error=data.get("error"),
+            result=None if result is None else ExperimentResult.from_dict(result),
+        )
+
+
+@dataclass
+class RunManifest:
+    """Everything one runner invocation produced, in task-plan order."""
+
+    entries: List[ManifestEntry] = field(default_factory=list)
+    jobs: int = 1
+    base_seed: int = 0
+    profile_name: str = "full"
+    #: Wall-clock of the whole run (parallel, so < sum of entry times).
+    total_wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every task produced a result."""
+        return all(entry.ok for entry in self.entries)
+
+    @property
+    def failures(self) -> List[ManifestEntry]:
+        """Entries that did not produce a result."""
+        return [entry for entry in self.entries if not entry.ok]
+
+    def entry(self, task_id: str) -> ManifestEntry:
+        """Look up one entry by its task id."""
+        for candidate in self.entries:
+            if candidate.task_id == task_id:
+                return candidate
+        raise ConfigurationError(
+            f"no task {task_id!r} in manifest; tasks: "
+            f"{', '.join(entry.task_id for entry in self.entries)}"
+        )
+
+    def results(self) -> Dict[str, ExperimentResult]:
+        """Successful results keyed by task id."""
+        return {
+            entry.task_id: entry.result for entry in self.entries if entry.ok
+        }
+
+    def result_for(self, experiment_id: str) -> ExperimentResult:
+        """The shard-0 result of ``experiment_id`` (raises if absent/failed)."""
+        entry = self.entry(experiment_id)
+        if not entry.ok:
+            raise ConfigurationError(
+                f"task {experiment_id!r} did not succeed: "
+                f"{entry.status} ({entry.error})"
+            )
+        return entry.result
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "jobs": self.jobs,
+            "base_seed": self.base_seed,
+            "profile_name": self.profile_name,
+            "total_wall_seconds": self.total_wall_seconds,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
+        version = data.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported manifest schema_version {version!r}; "
+                f"this library reads version {MANIFEST_SCHEMA_VERSION}"
+            )
+        return cls(
+            entries=[ManifestEntry.from_dict(entry) for entry in data["entries"]],
+            jobs=data.get("jobs", 1),
+            base_seed=data.get("base_seed", 0),
+            profile_name=data.get("profile_name", "full"),
+            total_wall_seconds=data.get("total_wall_seconds", 0.0),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise to a JSON string (``sort_keys`` for stable diffs)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, out_dir: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write ``manifest.json`` under ``out_dir`` (created if missing)."""
+        directory = pathlib.Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_FILENAME
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "RunManifest":
+        """Read a manifest from a file or a results directory."""
+        location = pathlib.Path(path)
+        if location.is_dir():
+            location = location / MANIFEST_FILENAME
+        if not location.exists():
+            raise ConfigurationError(f"no manifest at {location}")
+        return cls.from_json(location.read_text())

@@ -1,0 +1,303 @@
+"""Process-pool execution engine for experiment task shards.
+
+Each task runs in its own worker process (at most ``jobs`` alive at once),
+which buys three properties a shared long-lived pool cannot give cheaply:
+
+* **timeouts** — a stuck task is killed without poisoning other workers;
+* **crash isolation** — a worker dying (OOM, segfault in a native wheel,
+  ``os._exit``) is detected per task and retried once on a fresh process;
+* **determinism** — every task computes from its pinned ``(experiment_id,
+  profile, seed)`` alone, so results are bit-identical to a serial run
+  regardless of scheduling.
+
+Results cross the process boundary as ``ExperimentResult.to_dict()``
+payloads.  The in-process serial path round-trips through the same
+serialization so that ``--jobs 1`` and ``--jobs N`` produce byte-identical
+manifests.  When worker processes cannot be created at all (exotic
+platforms, sandboxes without ``fork``/pipes) the engine degrades to that
+serial path instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.runner.manifest import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ManifestEntry,
+)
+from repro.runner.progress import NullProgress, ProgressListener
+from repro.runner.sharding import TaskSpec, dispatch_order
+
+#: How often the scheduler polls running workers, in seconds.
+POLL_INTERVAL = 0.02
+
+#: Extra attempts granted when a worker process dies without reporting.
+CRASH_RETRIES = 1
+
+
+def resolve_entry_point(task: TaskSpec) -> Callable[..., ExperimentResult]:
+    """The callable a task executes: registry lookup or dotted override."""
+    if task.entry_point is None:
+        from repro.experiments.registry import run_experiment
+
+        def registry_runner(profile, seed):
+            return run_experiment(task.experiment_id, profile=profile, seed=seed)
+
+        return registry_runner
+    module_name, separator, attribute = task.entry_point.partition(":")
+    if not separator or not module_name or not attribute:
+        raise ConfigurationError(
+            f"entry_point must look like 'package.module:function', "
+            f"got {task.entry_point!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attribute)
+    except AttributeError:
+        raise ConfigurationError(
+            f"module {module_name!r} has no attribute {attribute!r}"
+        )
+
+
+def execute_task_payload(task: TaskSpec) -> Dict[str, object]:
+    """Run one task to a serialisable payload (used in worker and parent).
+
+    Routing both execution modes through ``to_dict`` is what makes serial
+    and parallel manifests byte-identical: tuples normalise to lists in
+    both, not just in the one that crossed a pipe.
+    """
+    runner = resolve_entry_point(task)
+    started = time.perf_counter()
+    result = runner(profile=task.profile, seed=task.seed)
+    wall = time.perf_counter() - started
+    if not isinstance(result, ExperimentResult):
+        raise ConfigurationError(
+            f"task {task.task_id!r} returned {type(result).__name__}, "
+            f"expected ExperimentResult"
+        )
+    return {"result": result.to_dict(), "wall_seconds": wall}
+
+
+def _worker_main(task: TaskSpec, channel) -> None:
+    """Child-process entry: report a payload or a formatted error."""
+    try:
+        channel.put(("ok", execute_task_payload(task)))
+    except BaseException:  # noqa: BLE001 - the parent needs *any* failure
+        channel.put(("error", traceback.format_exc()))
+
+
+def _entry_from_payload(
+    task: TaskSpec, payload: Dict[str, object], worker_id: Optional[int], attempts: int
+) -> ManifestEntry:
+    return ManifestEntry(
+        task_id=task.task_id,
+        experiment_id=task.experiment_id,
+        seed=task.seed,
+        profile=task.profile,
+        status=STATUS_OK,
+        wall_seconds=payload["wall_seconds"],
+        worker_id=worker_id,
+        attempts=attempts,
+        shard_index=task.shard_index,
+        num_shards=task.num_shards,
+        result=ExperimentResult.from_dict(payload["result"]),
+    )
+
+
+def _failure_entry(
+    task: TaskSpec,
+    status: str,
+    error: str,
+    wall: float,
+    worker_id: Optional[int],
+    attempts: int,
+) -> ManifestEntry:
+    return ManifestEntry(
+        task_id=task.task_id,
+        experiment_id=task.experiment_id,
+        seed=task.seed,
+        profile=task.profile,
+        status=status,
+        wall_seconds=wall,
+        worker_id=worker_id,
+        attempts=attempts,
+        shard_index=task.shard_index,
+        num_shards=task.num_shards,
+        error=error,
+    )
+
+
+def execute_serial(
+    tasks: Sequence[TaskSpec], progress: Optional[ProgressListener] = None
+) -> List[ManifestEntry]:
+    """In-process execution, in plan order (the ``--jobs 1`` path)."""
+    progress = progress or NullProgress()
+    entries: List[ManifestEntry] = []
+    for task in tasks:
+        progress.task_started(task, None)
+        started = time.perf_counter()
+        try:
+            payload = execute_task_payload(task)
+            entry = _entry_from_payload(task, payload, None, attempts=1)
+        except Exception:  # noqa: BLE001 - record, keep running the rest
+            entry = _failure_entry(
+                task,
+                STATUS_FAILED,
+                traceback.format_exc(),
+                time.perf_counter() - started,
+                None,
+                attempts=1,
+            )
+        entries.append(entry)
+        progress.task_finished(entry, len(entries), len(tasks))
+    return entries
+
+
+@dataclass
+class _Running:
+    """Bookkeeping for one live worker process."""
+
+    task: TaskSpec
+    process: multiprocessing.Process
+    channel: object
+    worker_id: int
+    started: float
+    attempt: int
+
+
+def execute_tasks(
+    tasks: Sequence[TaskSpec],
+    jobs: int = 1,
+    progress: Optional[ProgressListener] = None,
+    mp_context: Optional[object] = None,
+) -> List[ManifestEntry]:
+    """Run every task; returns entries in the original plan order.
+
+    ``jobs <= 1`` — or a platform where worker processes cannot be spawned
+    — uses :func:`execute_serial`.  Results are identical either way; only
+    wall-clock and the recorded ``worker_id`` differ.
+    """
+    progress = progress or NullProgress()
+    total = len(tasks)
+    started_run = time.perf_counter()
+    progress.run_started(total, max(1, jobs))
+    if jobs <= 1 or total == 0:
+        entries = execute_serial(tasks, progress)
+    else:
+        try:
+            context = mp_context or multiprocessing.get_context()
+            entries_by_id = _execute_pool(tasks, jobs, context, progress)
+        except (OSError, ValueError, ImportError):
+            # No usable multiprocessing (sandboxed /dev/shm, missing
+            # primitives): degrade to in-process execution.
+            entries = execute_serial(tasks, progress)
+        else:
+            entries = [entries_by_id[task.task_id] for task in tasks]
+    done = sum(1 for entry in entries if entry.ok)
+    progress.run_finished(done, total, time.perf_counter() - started_run)
+    return entries
+
+
+def _execute_pool(
+    tasks: Sequence[TaskSpec],
+    jobs: int,
+    context,
+    progress: ProgressListener,
+) -> Dict[str, ManifestEntry]:
+    """The scheduling loop: at most ``jobs`` single-task workers alive."""
+    pending = deque((task, 1) for task in dispatch_order(tasks))
+    free_workers = list(range(min(jobs, len(tasks))))
+    running: List[_Running] = []
+    finished: Dict[str, ManifestEntry] = {}
+    total = len(tasks)
+
+    def launch(task: TaskSpec, attempt: int) -> None:
+        worker_id = free_workers.pop(0)
+        channel = context.SimpleQueue()
+        process = context.Process(
+            target=_worker_main, args=(task, channel), daemon=True
+        )
+        process.start()
+        running.append(
+            _Running(task, process, channel, worker_id, time.perf_counter(), attempt)
+        )
+        progress.task_started(task, worker_id)
+
+    def finish(slot: _Running, entry: ManifestEntry) -> None:
+        running.remove(slot)
+        free_workers.append(slot.worker_id)
+        free_workers.sort()
+        finished[slot.task.task_id] = entry
+        progress.task_finished(entry, len(finished), total)
+
+    try:
+        while pending or running:
+            while pending and free_workers:
+                task, attempt = pending.popleft()
+                launch(task, attempt)
+            time.sleep(POLL_INTERVAL)
+            for slot in list(running):
+                elapsed = time.perf_counter() - slot.started
+                if not slot.channel.empty():
+                    verdict, payload = slot.channel.get()
+                    slot.process.join()
+                    if verdict == "ok":
+                        entry = _entry_from_payload(
+                            slot.task, payload, slot.worker_id, slot.attempt
+                        )
+                    else:
+                        # A Python-level exception is deterministic: no retry.
+                        entry = _failure_entry(
+                            slot.task, STATUS_FAILED, payload, elapsed,
+                            slot.worker_id, slot.attempt,
+                        )
+                    finish(slot, entry)
+                elif slot.task.timeout is not None and elapsed > slot.task.timeout:
+                    slot.process.terminate()
+                    slot.process.join()
+                    finish(
+                        slot,
+                        _failure_entry(
+                            slot.task,
+                            STATUS_TIMEOUT,
+                            f"timed out after {slot.task.timeout:.1f}s",
+                            elapsed,
+                            slot.worker_id,
+                            slot.attempt,
+                        ),
+                    )
+                elif not slot.process.is_alive():
+                    # Died without reporting: a genuine crash.  Retry once
+                    # on a fresh process, then record the failure.
+                    error = (
+                        f"worker crashed (exit code {slot.process.exitcode})"
+                    )
+                    running.remove(slot)
+                    free_workers.append(slot.worker_id)
+                    free_workers.sort()
+                    if slot.attempt <= CRASH_RETRIES:
+                        progress.task_retried(slot.task, slot.attempt + 1, error)
+                        pending.appendleft((slot.task, slot.attempt + 1))
+                    else:
+                        entry = _failure_entry(
+                            slot.task, STATUS_FAILED, error, elapsed,
+                            slot.worker_id, slot.attempt,
+                        )
+                        finished[slot.task.task_id] = entry
+                        progress.task_finished(entry, len(finished), total)
+    finally:
+        for slot in running:
+            slot.process.terminate()
+            slot.process.join()
+    return finished

@@ -1,0 +1,68 @@
+"""Progress reporting for runner executions.
+
+The engine calls a :class:`ProgressListener` from the parent process only
+(workers never print), so output interleaves cleanly even at high job
+counts.  :class:`ProgressPrinter` is the CLI's line-per-event reporter;
+:class:`NullProgress` swallows everything (library use, tests).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.runner.manifest import ManifestEntry
+from repro.runner.sharding import TaskSpec
+
+
+class ProgressListener:
+    """Callback interface; all methods are optional no-ops."""
+
+    def run_started(self, total_tasks: int, jobs: int) -> None:
+        """Called once before the first task dispatches."""
+
+    def task_started(self, task: TaskSpec, worker_id: Optional[int]) -> None:
+        """Called when a task is handed to a worker (or run in-process)."""
+
+    def task_retried(self, task: TaskSpec, attempt: int, error: str) -> None:
+        """Called when a crashed task is about to be retried."""
+
+    def task_finished(self, entry: ManifestEntry, done: int, total: int) -> None:
+        """Called when a task reaches a terminal state."""
+
+    def run_finished(self, done: int, total: int, wall_seconds: float) -> None:
+        """Called once after the last task completes."""
+
+
+class NullProgress(ProgressListener):
+    """Reports nothing."""
+
+
+class ProgressPrinter(ProgressListener):
+    """Line-per-event progress on a stream (stderr by default)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self.stream, flush=True)
+
+    def run_started(self, total_tasks: int, jobs: int) -> None:
+        noun = "job" if jobs == 1 else "jobs"
+        self._emit(f"running {total_tasks} task(s) on {jobs} {noun}")
+
+    def task_started(self, task: TaskSpec, worker_id: Optional[int]) -> None:
+        where = "in-process" if worker_id is None else f"worker {worker_id}"
+        self._emit(f"  start  {task.task_id} (seed {task.seed}) on {where}")
+
+    def task_retried(self, task: TaskSpec, attempt: int, error: str) -> None:
+        self._emit(f"  retry  {task.task_id} (attempt {attempt}): {error}")
+
+    def task_finished(self, entry: ManifestEntry, done: int, total: int) -> None:
+        self._emit(
+            f"  [{done}/{total}] {entry.task_id} {entry.status} "
+            f"in {entry.wall_seconds:.1f}s"
+        )
+
+    def run_finished(self, done: int, total: int, wall_seconds: float) -> None:
+        self._emit(f"finished {done}/{total} task(s) in {wall_seconds:.1f}s")

@@ -1,0 +1,62 @@
+"""Deliberately misbehaving experiments for runner fault-injection tests.
+
+These are referenced by dotted ``entry_point`` strings in
+:class:`repro.runner.TaskSpec`, so they must live in an importable module
+— worker processes resolve them by import, not by pickled closure.
+"""
+
+import os
+import time
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import resolve_profile
+
+#: Environment variable naming the marker file ``crash_once`` uses to
+#: remember (across processes) that it already crashed.
+CRASH_MARKER_ENV = "REPRO_TEST_CRASH_MARKER"
+
+
+def _result(seed: int) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fake",
+        title="fake experiment",
+        paper_reference="tests",
+        columns=["seed"],
+        rows=[[seed]],
+    )
+
+
+def well_behaved(profile=None, seed=0, *, quick=None):
+    """Returns a tiny result; sanity baseline for entry-point tasks."""
+    resolve_profile(profile, quick=quick)
+    return _result(seed)
+
+
+def always_crash(profile=None, seed=0, *, quick=None):
+    """Kills the worker process outright on every attempt."""
+    os._exit(21)
+
+
+def crash_once(profile=None, seed=0, *, quick=None):
+    """Crashes the first attempt, succeeds on the retry.
+
+    Cross-process memory is a marker file named by ``CRASH_MARKER_ENV``
+    (workers inherit the environment).
+    """
+    marker = os.environ[CRASH_MARKER_ENV]
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(22)
+    return _result(seed)
+
+
+def sleeps_forever(profile=None, seed=0, *, quick=None):
+    """Overstays any reasonable timeout."""
+    time.sleep(600)
+    return _result(seed)
+
+
+def raises_error(profile=None, seed=0, *, quick=None):
+    """Fails with a deterministic Python exception (no retry expected)."""
+    raise ValueError("deliberate failure for tests")

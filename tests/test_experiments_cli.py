@@ -9,11 +9,23 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args([])
         assert not args.quick
+        assert args.profile is None
         assert args.seed == 0
+        assert args.jobs == 1
+        assert args.out is None
+        assert args.seeds == 1
 
     def test_experiment_list_positional(self):
         args = build_parser().parse_args(["table2", "fig6"])
         assert args.experiments == ["table2", "fig6"]
+
+    def test_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["--all", "--profile", "quick", "--jobs", "4", "--out", "res"]
+        )
+        assert args.profile == "quick"
+        assert args.jobs == 4
+        assert args.out == "res"
 
 
 class TestMain:
@@ -35,7 +47,51 @@ class TestMain:
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_runs_an_experiment(self, capsys):
-        assert main(["table4", "--quick"]) == 0
+        assert main(["table4", "--profile", "quick"]) == 0
         out = capsys.readouterr().out
         assert "Table 4" in out
         assert "finished in" in out
+
+    def test_quick_flag_still_works_with_warning(self, capsys):
+        assert main(["table4", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 4" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_quick_conflicts_with_full_profile(self, capsys):
+        assert main(["table4", "--quick", "--profile", "full"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_bad_jobs_and_seeds_rejected(self, capsys):
+        assert main(["table4", "--jobs", "0"]) == 2
+        assert main(["table4", "--seeds", "0"]) == 2
+
+    def test_parallel_run_writes_manifest(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(
+            ["table4", "fig7", "--profile", "quick", "--jobs", "2",
+             "--out", str(out_dir)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Run summary" in captured.out
+        assert "manifest written" in captured.out
+        from repro.runner import RunManifest
+
+        manifest = RunManifest.load(out_dir)
+        assert manifest.ok
+        assert [e.task_id for e in manifest.entries] == ["table4", "fig7"]
+
+    def test_parallel_matches_serial_output_rows(self, tmp_path):
+        from repro.runner import RunManifest
+
+        serial_dir, parallel_dir = tmp_path / "s", tmp_path / "p"
+        assert main(["table4", "fig7", "--profile", "quick",
+                     "--out", str(serial_dir)]) == 0
+        assert main(["table4", "fig7", "--profile", "quick", "--jobs", "2",
+                     "--out", str(parallel_dir)]) == 0
+        serial = RunManifest.load(serial_dir)
+        parallel = RunManifest.load(parallel_dir)
+        for task_id in ("table4", "fig7"):
+            assert serial.entry(task_id).result.to_json() == \
+                parallel.entry(task_id).result.to_json()

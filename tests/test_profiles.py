@@ -1,0 +1,98 @@
+"""The RunProfile API and the deprecated quick= compatibility path."""
+
+import warnings
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.experiments.profiles import (
+    FULL,
+    QUICK,
+    RunProfile,
+    available_profiles,
+    resolve_profile,
+)
+
+
+class TestRunProfile:
+    def test_canonical_profiles(self):
+        assert QUICK.is_reduced and not FULL.is_reduced
+        assert available_profiles() == ["full", "quick"]
+
+    def test_count_selects_budget(self):
+        assert QUICK.count(quick=400, full=10000) == 400
+        assert FULL.count(quick=400, full=10000) == 10000
+
+    def test_scale_shrinks_budgets_with_floor(self):
+        smoke = RunProfile("smoke", reduced=True, scale=0.5)
+        assert smoke.count(quick=400, full=10000) == 200
+        assert smoke.count(quick=1, full=10) == 1  # never below one
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunProfile("", reduced=True)
+        with pytest.raises(ConfigurationError):
+            RunProfile("x", scale=0)
+
+    def test_dict_round_trip(self):
+        profile = RunProfile("smoke", reduced=True, scale=0.25)
+        assert RunProfile.from_dict(profile.to_dict()) == profile
+
+
+class TestResolveProfile:
+    def test_none_means_full(self):
+        assert resolve_profile(None) is FULL
+
+    def test_names_resolve(self):
+        assert resolve_profile("quick") is QUICK
+        assert resolve_profile("full") is FULL
+
+    def test_instances_pass_through(self):
+        custom = RunProfile("custom", reduced=True, scale=2.0)
+        assert resolve_profile(custom) is custom
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_profile("warp-speed")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_profile(3.14)
+
+    def test_quick_flag_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_profile(quick=True) is QUICK
+        with pytest.warns(DeprecationWarning):
+            assert resolve_profile(quick=False) is FULL
+
+    def test_legacy_positional_bool_warns(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_profile(True) is QUICK
+
+    def test_profile_and_quick_conflict(self):
+        with pytest.raises(ConfigurationError):
+            resolve_profile("quick", quick=True)
+
+
+class TestDeprecatedQuickEndToEnd:
+    def test_run_experiment_quick_alias_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_experiment("table4", quick=True)
+        modern = run_experiment("table4", profile="quick")
+        assert legacy.to_json() == modern.to_json()
+
+    def test_module_run_quick_alias_still_works(self):
+        from repro.experiments import table4
+
+        with pytest.warns(DeprecationWarning):
+            legacy = table4.run(quick=True)
+        modern = table4.run(profile=QUICK)
+        assert legacy.to_json() == modern.to_json()
+
+    def test_profile_threads_through_params(self):
+        result = run_experiment("table2", profile="quick")
+        assert result.params["trials"] == 400
+        # full profile picks the paper-scale budget (not executed here:
+        # the profile maths alone proves the wiring).
+        assert QUICK.count(quick=400, full=10000) == 400

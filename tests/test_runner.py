@@ -1,0 +1,229 @@
+"""The parallel runner: determinism, manifests, fault handling."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import FULL, QUICK
+from repro.runner import (
+    ManifestEntry,
+    RunManifest,
+    TaskSpec,
+    dispatch_order,
+    plan_tasks,
+    run_experiments,
+    run_tasks,
+)
+
+#: Cheap quick-mode experiments (fractions of a second each).
+CHEAP = ["table4", "fig7", "fig4"]
+
+
+class TestPlanning:
+    def test_one_task_per_experiment_by_default(self):
+        tasks = plan_tasks(CHEAP, profile=QUICK, base_seed=3)
+        assert [task.task_id for task in tasks] == CHEAP
+        assert all(task.seed == 3 for task in tasks)
+
+    def test_shard_seeds_are_derived_and_order_independent(self):
+        tasks = plan_tasks(["fig7"], profile=QUICK, base_seed=5,
+                           seeds_per_experiment=3)
+        assert tasks[0].seed == 5  # shard 0 matches the serial run
+        assert tasks[1].seed == derive_seed(5, "fig7/shard1")
+        assert tasks[2].seed == derive_seed(5, "fig7/shard2")
+        assert len({task.seed for task in tasks}) == 3
+
+    def test_dispatch_order_is_heaviest_first(self):
+        tasks = plan_tasks(["table4", "defenses", "fig6"], profile=QUICK)
+        ordered = [task.experiment_id for task in dispatch_order(tasks)]
+        assert ordered == ["defenses", "fig6", "table4"]
+
+    def test_unknown_experiment_rejected_before_running(self):
+        with pytest.raises(ConfigurationError, match="tablezzz"):
+            run_experiments(["tablezzz"], profile=QUICK)
+
+    def test_bad_shard_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec("x", "x", 0, QUICK, shard_index=2, num_shards=2)
+        with pytest.raises(ConfigurationError):
+            TaskSpec("x", "x", 0, QUICK, timeout=0)
+        with pytest.raises(ConfigurationError):
+            plan_tasks(["table4"], seeds_per_experiment=0)
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_experiments(CHEAP, profile=QUICK, seed=0, jobs=1)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_experiments(CHEAP, profile=QUICK, seed=0, jobs=3)
+
+    def test_parallel_equals_serial(self, serial, parallel):
+        for experiment_id in CHEAP:
+            assert (
+                parallel.entry(experiment_id).result.to_json()
+                == serial.entry(experiment_id).result.to_json()
+            ), experiment_id
+
+    def test_entries_keep_plan_order(self, parallel):
+        assert [entry.task_id for entry in parallel.entries] == CHEAP
+
+    def test_parallel_entries_ran_on_workers(self, parallel):
+        assert all(entry.worker_id is not None for entry in parallel.entries)
+
+    def test_serial_entries_ran_in_process(self, serial):
+        assert all(entry.worker_id is None for entry in serial.entries)
+
+
+class TestManifest:
+    @pytest.fixture(scope="class")
+    def manifest(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("results")
+        return run_experiments(
+            ["table4"], profile=QUICK, jobs=1, out_dir=out
+        ), out
+
+    def test_round_trips_losslessly(self, manifest):
+        run, _ = manifest
+        rebuilt = RunManifest.from_json(run.to_json())
+        assert rebuilt.to_json() == run.to_json()
+        assert rebuilt.entry("table4").result.to_json() == \
+            run.entry("table4").result.to_json()
+
+    def test_persisted_and_loadable(self, manifest):
+        run, out = manifest
+        loaded = RunManifest.load(out)
+        assert loaded.to_json() == run.to_json()
+        # The file itself is valid, schema-stamped JSON.
+        data = json.loads((out / "manifest.json").read_text())
+        assert data["schema_version"] == 1
+        assert data["entries"][0]["result"]["schema_version"] == 1
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunManifest.load(tmp_path / "nowhere")
+
+    def test_unknown_schema_version_raises(self, manifest):
+        run, _ = manifest
+        data = run.to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(ConfigurationError):
+            RunManifest.from_dict(data)
+
+    def test_entry_lookup_unknown_task(self, manifest):
+        run, _ = manifest
+        with pytest.raises(ConfigurationError):
+            run.entry("nope")
+        with pytest.raises(ConfigurationError):
+            run.result_for("nope")
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_json(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            paper_reference="r",
+            columns=["k", "v"],
+            rows=[["a", 1.5], ["b", (1, 2)]],
+            notes="n",
+            params={"trials": 10, "nested": (3, 4)},
+            series={"samples": [(0, 1), (2, 3)]},
+        )
+        text = result.to_json()
+        rebuilt = ExperimentResult.from_json(text)
+        assert rebuilt.to_json() == text
+        # Tuples normalise to lists, values survive.
+        assert rebuilt.series["samples"] == [[0, 1], [2, 3]]
+        assert rebuilt.params["trials"] == 10
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult.from_json('{"schema_version": 42}')
+
+
+class TestFaultHandling:
+    def test_crash_is_retried_once_then_failed(self):
+        tasks = [TaskSpec("boom", "fake", 0, QUICK,
+                          entry_point="tests.fake_experiments:always_crash")]
+        manifest = run_tasks(tasks, jobs=2)
+        entry = manifest.entry("boom")
+        assert entry.status == "failed"
+        assert entry.attempts == 2
+        assert "crashed" in entry.error
+
+    def test_crash_once_recovers_on_retry(self, tmp_path):
+        marker = tmp_path / "crashed-once"
+        os.environ["REPRO_TEST_CRASH_MARKER"] = str(marker)
+        try:
+            tasks = [TaskSpec("flaky", "fake", 7, QUICK,
+                              entry_point="tests.fake_experiments:crash_once")]
+            manifest = run_tasks(tasks, jobs=2)
+        finally:
+            del os.environ["REPRO_TEST_CRASH_MARKER"]
+        entry = manifest.entry("flaky")
+        assert entry.ok
+        assert entry.attempts == 2
+        assert entry.result.rows == [[7]]
+
+    def test_timeout_kills_the_task(self):
+        tasks = [
+            TaskSpec("slow", "fake", 0, QUICK, timeout=1.0,
+                     entry_point="tests.fake_experiments:sleeps_forever"),
+            TaskSpec("fine", "fake", 1, QUICK,
+                     entry_point="tests.fake_experiments:well_behaved"),
+        ]
+        manifest = run_tasks(tasks, jobs=2)
+        assert manifest.entry("slow").status == "timeout"
+        assert manifest.entry("slow").attempts == 1
+        assert manifest.entry("fine").ok
+        assert not manifest.ok
+        assert [entry.task_id for entry in manifest.failures] == ["slow"]
+
+    def test_deterministic_exception_not_retried(self):
+        tasks = [TaskSpec("err", "fake", 0, QUICK,
+                          entry_point="tests.fake_experiments:raises_error")]
+        manifest = run_tasks(tasks, jobs=2)
+        entry = manifest.entry("err")
+        assert entry.status == "failed"
+        assert entry.attempts == 1
+        assert "deliberate failure" in entry.error
+
+    def test_serial_path_records_failures_too(self):
+        tasks = [TaskSpec("err", "fake", 0, QUICK,
+                          entry_point="tests.fake_experiments:raises_error")]
+        manifest = run_tasks(tasks, jobs=1)
+        assert manifest.entry("err").status == "failed"
+        assert "deliberate failure" in manifest.entry("err").error
+
+    def test_bad_entry_point_strings(self):
+        bad = TaskSpec("x", "fake", 0, QUICK, entry_point="no-colon")
+        manifest = run_tasks([bad], jobs=1)
+        assert manifest.entry("x").status == "failed"
+        missing = TaskSpec("x", "fake", 0, QUICK,
+                           entry_point="tests.fake_experiments:nope")
+        manifest = run_tasks([missing], jobs=1)
+        assert manifest.entry("x").status == "failed"
+
+
+class TestMultiSeedSweep:
+    def test_sweep_produces_distinct_shard_results(self):
+        manifest = run_experiments(
+            ["table2"], profile=QUICK, seed=0, jobs=2, seeds_per_experiment=2
+        )
+        assert [entry.task_id for entry in manifest.entries] == \
+            ["table2", "table2#s1"]
+        base = manifest.entry("table2")
+        shard = manifest.entry("table2#s1")
+        assert base.seed == 0
+        assert shard.seed == derive_seed(0, "table2/shard1")
+        # Shard 0 is exactly the serial single-seed result.
+        from repro.experiments import run_experiment
+        assert base.result.to_json() == \
+            run_experiment("table2", profile=QUICK, seed=0).to_json()
