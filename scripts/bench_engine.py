@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Benchmark the fast struct-of-arrays engine against the reference core.
+
+Replays the Figure 6 covert-channel workload and a mixed random workload
+through both engines, verifies the result fingerprints are identical
+(parity failure is a hard error), and reports the throughput ratio.
+Writes ``BENCH_engine.json`` so the speedup is tracked in-repo.
+
+Usage::
+
+    python scripts/bench_engine.py                       # full measurement
+    python scripts/bench_engine.py --quick               # CI smoke sizes
+    python scripts/bench_engine.py --baseline BENCH_engine.json
+        # additionally gate: fail if the fast/reference speedup dropped
+        # more than --max-regression (default 30%) below the baseline
+
+The regression gate compares *speedup ratios*, not absolute seconds:
+both engines run on the same machine in a single invocation, so the
+ratio is hardware-neutral and safe to compare against a committed
+baseline measured elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cache.configs import make_xeon_hierarchy
+from repro.engine import fig6_workload, random_workload, run_trace
+
+#: Workload builders keyed by name; each returns a list of (address, is_write).
+WORKLOADS: Dict[str, Callable[[bool], List[Tuple[int, bool]]]] = {
+    "fig6": lambda quick: fig6_workload(
+        num_symbols=64 if quick else 1024, d=4, seed=0
+    ),
+    "random": lambda quick: list(
+        random_workload(
+            num_accesses=10_000 if quick else 200_000,
+            working_set_lines=2048,
+            write_ratio=0.3,
+            seed=0,
+        )
+    ),
+}
+
+SCHEMA_VERSION = 1
+
+
+def time_engine(
+    engine: str, trace: List[Tuple[int, bool]], repeats: int
+) -> Tuple[float, Tuple[int, int, int, int]]:
+    """Best-of-``repeats`` wall time and the result fingerprint."""
+    best = float("inf")
+    fingerprint = None
+    for _ in range(repeats):
+        hierarchy = make_xeon_hierarchy(rng=random.Random(0), engine=engine)
+        start = time.perf_counter()
+        result = run_trace(hierarchy, trace, owner=0)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        current = result.fingerprint()
+        if fingerprint is None:
+            fingerprint = current
+        elif fingerprint != current:
+            raise AssertionError(
+                f"{engine} engine is non-deterministic on repeats: "
+                f"{fingerprint} != {current}"
+            )
+    return best, fingerprint
+
+
+def bench_workload(name: str, quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure one workload on both engines and check parity."""
+    trace = WORKLOADS[name](quick)
+    ref_seconds, ref_fp = time_engine("reference", trace, repeats)
+    fast_seconds, fast_fp = time_engine("fast", trace, repeats)
+    if ref_fp != fast_fp:
+        raise AssertionError(
+            f"PARITY FAILURE on workload {name!r}: "
+            f"reference={ref_fp} fast={fast_fp}"
+        )
+    return {
+        "workload": name,
+        "accesses": len(trace),
+        "fingerprint": list(ref_fp),
+        "reference_seconds": round(ref_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "reference_accesses_per_second": round(len(trace) / ref_seconds),
+        "fast_accesses_per_second": round(len(trace) / fast_seconds),
+        "speedup": round(ref_seconds / fast_seconds, 3),
+    }
+
+
+def check_baseline(
+    report: Dict[str, object], baseline_path: str, max_regression: float
+) -> List[str]:
+    """Speedup-ratio regression gate against a committed baseline."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_by_name = {
+        entry["workload"]: entry for entry in baseline["workloads"]
+    }
+    failures = []
+    for entry in report["workloads"]:
+        name = entry["workload"]
+        reference_entry = baseline_by_name.get(name)
+        if reference_entry is None:
+            continue
+        floor = reference_entry["speedup"] * (1.0 - max_regression)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x is more than "
+                f"{max_regression:.0%} below the baseline "
+                f"{reference_entry['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trace sizes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repeats per engine; best-of-N is reported (default 3)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report here (default BENCH_engine.json, "
+        "suppressed in --quick runs unless given explicitly)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_engine.json to gate speedup regressions against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="allowed fractional speedup drop vs the baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "workloads": [],
+    }
+    for name in WORKLOADS:
+        entry = bench_workload(name, args.quick, args.repeats)
+        report["workloads"].append(entry)
+        print(
+            f"{name:>8}: {entry['accesses']:>7} accesses | "
+            f"reference {entry['reference_seconds']:.3f}s | "
+            f"fast {entry['fast_seconds']:.3f}s | "
+            f"speedup {entry['speedup']:.2f}x (parity ok)"
+        )
+
+    out_path = args.out
+    if out_path is None and not args.quick:
+        out_path = "BENCH_engine.json"
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {out_path}")
+
+    if args.baseline is not None:
+        failures = check_baseline(report, args.baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate ok (vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,6 +180,11 @@ or run everything in parallel, persisting a manifest::
 
     wb-experiments --all --jobs 4 --out results/
 
+Every experiment also runs on the fast struct-of-arrays engine
+(``--engine fast``); results are bit-identical to the reference engine
+(enforced by ``tests/test_engine_parity.py``), only faster — see the
+committed ``BENCH_engine.json`` from ``scripts/bench_engine.py``.
+
 """
 
 

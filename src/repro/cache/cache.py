@@ -84,9 +84,22 @@ class Cache:
         self.allocation_policy = allocation_policy
         master = ensure_rng(rng)
         self.sets: List[CacheSet] = [
-            CacheSet(associativity, policy_factory(associativity, derive_rng(master, f"{name}/set{i}")))
+            self._make_set(
+                associativity,
+                policy_factory(associativity, derive_rng(master, f"{name}/set{i}")),
+            )
             for i in range(num_sets)
         ]
+
+    def _make_set(self, ways: int, policy) -> CacheSet:
+        """Set-construction hook; the fast engine substitutes its SoA set.
+
+        Overriders must return an object with the :class:`CacheSet` public
+        surface (``find``/``fill``/``invalidate``/counters/locking); the
+        per-set policy RNG derivation above is shared so both engines draw
+        identical random streams.
+        """
+        return CacheSet(ways, policy)
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -139,7 +152,7 @@ class Cache:
             return False
         cache_set.touch(way)
         if owner is not None:
-            cache_set.lines[way].owner = owner
+            cache_set.set_owner(way, owner)
         return True
 
     def mark_dirty(self, address: int) -> None:
@@ -150,7 +163,7 @@ class Cache:
             raise ConfigurationError(
                 f"{self.name}: mark_dirty on non-resident {address:#x}"
             )
-        cache_set.lines[way].dirty = True
+        cache_set.mark_dirty(way)
 
     def allowed_ways(self, owner: Optional[int]) -> Optional[Sequence[int]]:
         """Way mask for ``owner`` (None = all ways).

@@ -9,12 +9,21 @@ defense models):
    caches) by re-querying the policy after a forced touch of the forbidden
    way — bounded, and falling back to a linear scan if the policy keeps
    pointing at forbidden ways.
+
+Lookup is O(1): a ``tag -> way`` dict index shadows the line array and is
+kept in sync by every state transition (fill, invalidate, full clear), so
+``find`` never scans.  ``dirty_count``/``valid_count`` are maintained
+incrementally for the same reason — experiments poll them every period.
+All line-state changes must therefore go through this class; mutating a
+:class:`~repro.cache.line.CacheLine` directly would desynchronise the
+index and the counters (``scan_counts`` exists so tests can verify they
+never drift).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Converts (tag, set_index) back into a line-aligned address so the
 #: hierarchy can route write-backs of evicted victims.
@@ -38,16 +47,17 @@ class CacheSet:
         self.ways = ways
         self.policy = policy
         self.lines: List[CacheLine] = [CacheLine() for _ in range(ways)]
+        #: O(1) lookup index over the valid lines.
+        self._index: Dict[int, int] = {}
+        self._valid_count = 0
+        self._dirty_count = 0
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def find(self, tag: int) -> Optional[int]:
         """Way index holding ``tag``, or None."""
-        for way, line in enumerate(self.lines):
-            if line.matches(tag):
-                return way
-        return None
+        return self._index.get(tag)
 
     def touch(self, way: int) -> None:
         """Record a hit on ``way`` with the replacement policy."""
@@ -57,6 +67,8 @@ class CacheSet:
     # Fill / eviction
     # ------------------------------------------------------------------
     def _invalid_way(self, allowed_ways: Optional[Sequence[int]]) -> Optional[int]:
+        if self._valid_count == self.ways:
+            return None
         candidates = range(self.ways) if allowed_ways is None else allowed_ways
         for way in candidates:
             if not self.lines[way].valid:
@@ -85,10 +97,12 @@ class CacheSet:
             )
 
         # Dirty-state hint for policies that model write-back-averse victim
-        # selection (the E5-2650 surrogate).
-        self.policy.notify_dirty_ways(
-            tuple(line.valid and line.dirty for line in self.lines)
-        )
+        # selection (the E5-2650 surrogate).  Policies opt in through
+        # ``wants_dirty_hint`` so the common path skips the tuple build.
+        if self.policy.wants_dirty_hint:
+            self.policy.notify_dirty_ways(
+                tuple(line.valid and line.dirty for line in self.lines)
+            )
         # Let the policy choose; nudge it off forbidden ways a bounded
         # number of times (a locked/foreign way behaves as "most recently
         # used" from the policy's viewpoint because it can never leave).
@@ -115,7 +129,7 @@ class CacheSet:
         ``address_of`` converts (tag, set_index) back into a line address so
         the hierarchy can route the write-back.
         """
-        if self.find(tag) is not None:
+        if tag in self._index:
             raise SimulationError(
                 f"fill of tag {tag:#x} that is already present in the set"
             )
@@ -128,44 +142,110 @@ class CacheSet:
                 dirty=line.dirty,
                 owner=line.owner,
             )
+            del self._index[line.tag]
+            self._valid_count -= 1
+            if line.dirty:
+                self._dirty_count -= 1
             self.policy.on_invalidate(way)
         line.tag = tag
         line.valid = True
         line.dirty = dirty
         line.locked = False
         line.owner = owner
+        self._index[tag] = way
+        self._valid_count += 1
+        if dirty:
+            self._dirty_count += 1
         self.policy.on_fill(way)
         return evicted
 
     def invalidate(self, tag: int) -> Optional[EvictedLine]:
         """Drop ``tag`` from the set (clflush), reporting its final state."""
-        way = self.find(tag)
+        way = self._index.get(tag)
         if way is None:
             return None
         line = self.lines[way]
         snapshot = EvictedLine(address=-1, dirty=line.dirty, owner=line.owner)
+        del self._index[tag]
+        self._valid_count -= 1
+        if line.dirty:
+            self._dirty_count -= 1
         line.invalidate()
         self.policy.on_invalidate(way)
         return snapshot
+
+    def invalidate_all(self) -> None:
+        """Drop every line (cache-wide flush, e.g. a rekey).
+
+        Dirty data is discarded without a write-back; callers model flushes
+        whose write-back traffic is not observable (defense rekeys).
+        """
+        for way, line in enumerate(self.lines):
+            if line.valid:
+                line.invalidate()
+                self.policy.on_invalidate(way)
+        self._index.clear()
+        self._valid_count = 0
+        self._dirty_count = 0
+
+    def mark_dirty(self, way: int) -> None:
+        """Set the dirty bit of the (valid) line in ``way``."""
+        line = self.lines[way]
+        if not line.valid:
+            raise SimulationError(f"mark_dirty on invalid way {way}")
+        if not line.dirty:
+            line.dirty = True
+            self._dirty_count += 1
+
+    def set_owner(self, way: int, owner: Optional[int]) -> None:
+        """Record the hardware thread that last touched ``way``."""
+        self.lines[way].owner = owner
 
     # ------------------------------------------------------------------
     # Introspection used by experiments, defenses and tests
     # ------------------------------------------------------------------
     def dirty_count(self) -> int:
-        """Number of valid dirty lines currently in the set."""
-        return sum(1 for line in self.lines if line.valid and line.dirty)
+        """Number of valid dirty lines currently in the set (O(1))."""
+        return self._dirty_count
 
     def valid_count(self) -> int:
-        """Number of valid lines currently in the set."""
-        return sum(1 for line in self.lines if line.valid)
+        """Number of valid lines currently in the set (O(1))."""
+        return self._valid_count
+
+    def scan_counts(self) -> Tuple[int, int]:
+        """(valid, dirty) recomputed by a fresh scan of the line array.
+
+        Exists so tests can assert the incremental counters never drift
+        from the ground truth; production code uses the O(1) counters.
+        """
+        valid = sum(1 for line in self.lines if line.valid)
+        dirty = sum(1 for line in self.lines if line.valid and line.dirty)
+        return valid, dirty
+
+    def index_snapshot(self) -> Dict[int, int]:
+        """Copy of the tag -> way index (exposed for the staleness tests)."""
+        return dict(self._index)
 
     def resident_tags(self) -> List[int]:
         """Tags of all valid lines (unordered semantics, way order)."""
         return [line.tag for line in self.lines if line.valid]
 
+    def way_states(self) -> Tuple[Tuple[bool, Optional[int], bool, bool, Optional[int]], ...]:
+        """Normalised per-way snapshot for cross-engine comparisons.
+
+        Invalid ways report ``(False, None, False, False, None)`` so stale
+        tag values cannot create spurious differences between engines.
+        """
+        return tuple(
+            (True, line.tag, line.dirty, line.locked, line.owner)
+            if line.valid
+            else (False, None, False, False, None)
+            for line in self.lines
+        )
+
     def lock(self, tag: int) -> bool:
         """Lock ``tag`` against eviction (PLcache); False if absent."""
-        way = self.find(tag)
+        way = self._index.get(tag)
         if way is None:
             return False
         self.lines[way].locked = True
@@ -173,7 +253,7 @@ class CacheSet:
 
     def unlock(self, tag: int) -> bool:
         """Unlock ``tag``; False if absent."""
-        way = self.find(tag)
+        way = self._index.get(tag)
         if way is None:
             return False
         self.lines[way].locked = False

@@ -52,23 +52,42 @@ class XeonE5_2650Config:
         return self.l1_size // (self.l1_ways * self.line_size)
 
 
+def _cache_class(engine: Optional[str]):
+    """Resolve the Cache class for ``engine`` (None = process default).
+
+    Imported lazily so ``repro.cache`` does not depend on ``repro.engine``
+    at import time; the fast engine's class has the exact constructor
+    signature of :class:`Cache`.
+    """
+    from repro.engine.selection import cache_class
+
+    return cache_class(engine)
+
+
 def make_xeon_hierarchy(
     config: Optional[XeonE5_2650Config] = None,
     rng: Optional[random.Random] = None,
+    engine: Optional[str] = None,
     **overrides: object,
 ) -> CacheHierarchy:
     """Build the modelled Xeon E5-2650 hierarchy.
 
     ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
     ``make_xeon_hierarchy(l1_policy="random")`` for the Section 6.1
-    experiments.
+    experiments.  ``engine`` picks the cache core ("reference" or "fast",
+    see :mod:`repro.engine.selection`); ``None`` defers to the process-wide
+    selection, so profiles/CLI control it without threading the knob
+    through every call site.  Both engines consume identical RNG streams,
+    so results are bit-identical either way.
     """
     if config is None:
         config = XeonE5_2650Config()
+    engine = overrides.pop("engine", engine)  # type: ignore[assignment]
     if overrides:
         config = dataclass_replace(config, **overrides)
+    cache_cls = _cache_class(engine)
     master = ensure_rng(rng)
-    l1 = Cache(
+    l1 = cache_cls(
         name="L1D",
         size_bytes=config.l1_size,
         associativity=config.l1_ways,
@@ -78,7 +97,7 @@ def make_xeon_hierarchy(
         allocation_policy=config.l1_allocation_policy,
         rng=derive_rng(master, "l1"),
     )
-    l2 = Cache(
+    l2 = cache_cls(
         name="L2",
         size_bytes=config.l2_size,
         associativity=config.l2_ways,
@@ -86,7 +105,7 @@ def make_xeon_hierarchy(
         policy_factory=make_policy_factory(config.l2_policy),
         rng=derive_rng(master, "l2"),
     )
-    llc = Cache(
+    llc = cache_cls(
         name="LLC",
         size_bytes=config.llc_size,
         associativity=config.llc_ways,
@@ -105,10 +124,12 @@ def make_tiny_hierarchy(
     l1_policy: str = "lru",
     rng: Optional[random.Random] = None,
     l1_write_policy: WritePolicy = WritePolicy.WRITE_BACK,
+    engine: Optional[str] = None,
 ) -> CacheHierarchy:
     """A 2-level, 4-set hierarchy small enough to exhaust in unit tests."""
+    cache_cls = _cache_class(engine)
     master = ensure_rng(rng)
-    l1 = Cache(
+    l1 = cache_cls(
         name="L1-tiny",
         size_bytes=512,
         associativity=2,
@@ -117,7 +138,7 @@ def make_tiny_hierarchy(
         write_policy=l1_write_policy,
         rng=derive_rng(master, "l1"),
     )
-    l2 = Cache(
+    l2 = cache_cls(
         name="L2-tiny",
         size_bytes=4096,
         associativity=4,

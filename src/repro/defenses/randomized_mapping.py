@@ -94,9 +94,10 @@ class RandomizedMappingCache(Cache):
         self._accesses_since_rekey += 1
         if self._accesses_since_rekey >= self.rekey_period_accesses:
             # Re-keying flushes the cache in real designs; model the same.
+            # invalidate_all keeps the per-set tag index and dirty/valid
+            # counters in sync (direct line mutation would desync them).
             for cache_set in self.sets:
-                for line in cache_set.lines:
-                    line.invalidate()
+                cache_set.invalidate_all()
             self.key = self._rekey_rng.randrange(1, 1 << 16)
             self._accesses_since_rekey = 0
             self.rekey_count += 1

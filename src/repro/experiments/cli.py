@@ -24,7 +24,8 @@ from typing import List, Optional
 
 from repro.analysis.run_summary import summarize_manifest
 from repro.channels.taxonomy import render_table
-from repro.experiments.profiles import available_profiles
+from repro.engine.selection import available_engines
+from repro.experiments.profiles import available_profiles, resolve_profile
 from repro.experiments.registry import available_experiments
 from repro.runner import ProgressPrinter, run_experiments
 
@@ -58,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="deprecated alias for --profile quick",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help=(
+            "simulation engine: reference (object-per-line oracle) or fast "
+            "(struct-of-arrays core); results are bit-identical"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument(
@@ -120,6 +130,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         profile = "quick"
     if profile is None:
         profile = "full"
+    profile = resolve_profile(profile).with_engine(args.engine)
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2

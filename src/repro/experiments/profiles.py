@@ -41,6 +41,11 @@ class RunProfile:
     reduced: bool = False
     #: Multiplier applied to every resolved repetition count (min 1).
     scale: float = 1.0
+    #: Simulation engine ("reference" or "fast", see
+    #: :mod:`repro.engine.selection`); ``None`` keeps the process default.
+    #: Results are bit-identical across engines — this knob trades nothing
+    #: but wall-clock time.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -49,6 +54,10 @@ class RunProfile:
             raise ConfigurationError(
                 f"profile scale must be positive, got {self.scale}"
             )
+        if self.engine is not None:
+            from repro.engine.selection import resolve_engine
+
+            resolve_engine(self.engine)
 
     @property
     def is_reduced(self) -> bool:
@@ -60,17 +69,32 @@ class RunProfile:
         base = quick if self.reduced else full
         return max(1, round(base * self.scale))
 
+    def with_engine(self, engine: Optional[str]) -> "RunProfile":
+        """Copy of this profile pinned to ``engine`` (None = unchanged)."""
+        if engine is None:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(self, engine=engine)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (used by run manifests)."""
-        return {"name": self.name, "reduced": self.reduced, "scale": self.scale}
+        return {
+            "name": self.name,
+            "reduced": self.reduced,
+            "scale": self.scale,
+            "engine": self.engine,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunProfile":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (pre-engine manifests load as None)."""
+        engine = data.get("engine")
         return cls(
             name=str(data["name"]),
             reduced=bool(data["reduced"]),
             scale=float(data.get("scale", 1.0)),
+            engine=None if engine is None else str(engine),
         )
 
 

@@ -78,7 +78,14 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; available: "
             f"{', '.join(available_experiments())}"
         )
-    return runner(profile=resolved, seed=seed)
+    # The profile's engine choice is applied process-wide around the run,
+    # so every hierarchy the experiment builds — directly or through the
+    # channel testbench — picks it up without plumbing.  Results are
+    # bit-identical across engines.
+    from repro.engine.selection import engine_context
+
+    with engine_context(resolved.engine):
+        return runner(profile=resolved, seed=seed)
 
 
 def run_all(

@@ -26,6 +26,11 @@ class ReplacementPolicy(abc.ABC):
     deterministic policies simply ignore it.
     """
 
+    #: Set True by policies whose :meth:`notify_dirty_ways` actually
+    #: consumes the hint.  The hosting cache set skips building the
+    #: per-miss dirty-ways tuple for everyone else (the common path).
+    wants_dirty_hint: bool = False
+
     def __init__(self, ways: int, rng: random.Random) -> None:
         if ways <= 0:
             raise ConfigurationError(f"ways must be positive, got {ways}")
@@ -50,8 +55,10 @@ class ReplacementPolicy(abc.ABC):
     def notify_dirty_ways(self, dirty_mask: "tuple[bool, ...]") -> None:
         """Hint from the cache set: which ways are currently dirty.
 
-        Called immediately before :meth:`victim`.  Most policies ignore
-        line state entirely; the E5-2650 behavioural surrogate
+        Called immediately before :meth:`victim`, but only for policies
+        that declare ``wants_dirty_hint = True`` — building the mask tuple
+        on every miss is measurable overhead, so consumers must opt in.
+        The E5-2650 behavioural surrogate
         (:class:`~repro.replacement.dirty_protect.DirtyProtectingPLRU`)
         uses it to model the measured reluctance to evict dirty victims.
         """

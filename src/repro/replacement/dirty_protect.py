@@ -36,6 +36,8 @@ class DirtyProtectingLRU(TrueLRU):
     #: Calibrated per-attempt diversion probabilities (see module doc).
     DEFAULT_PROTECT_PROBS = (0.312, 0.587)
 
+    wants_dirty_hint = True
+
     def __init__(
         self,
         ways: int,
@@ -86,6 +88,15 @@ class DirtyProtectingLRU(TrueLRU):
         # Every way protected this round (possible when all are dirty):
         # fall back to plain LRU.
         return super().victim()
+
+    def protections_used(self) -> List[int]:
+        """Per-way diversion counts (exposed for the fast engine/tests)."""
+        return list(self._protections_used)
+
+    @property
+    def dirty_mask(self) -> Tuple[bool, ...]:
+        """Most recent dirty-ways hint received from the cache set."""
+        return self._dirty_mask
 
 
 #: Backwards-compatible alias used before the surrogate moved to an

@@ -1,0 +1,574 @@
+"""Integer-encoded fast paths for the replacement policies.
+
+The reference policies (:mod:`repro.replacement`) are written for clarity:
+per-way Python lists, defensive ``_check_way`` validation, small helper
+methods.  On the simulation hot path those costs dominate — every cache
+access funnels through ``on_hit``/``on_fill``/``victim`` — so the fast
+engine (:mod:`repro.engine`) swaps each policy object for one of the state
+machines below: bit-packed integer state, precomputed touch masks, shared
+victim lookup tables, and no per-call validation.
+
+Parity contract
+---------------
+Every fast state must be *bit-identical* to its reference policy: the same
+victim sequence, the same metadata transitions, and — critically — the same
+draws from the same ``random.Random`` instance in the same order (the
+reference engine stays the semantic oracle; ``tests/test_engine_parity.py``
+fuzzes this equivalence for every registered policy).  States are built
+*from* a live policy instance and copy its current metadata, so conversion
+is valid at any point, not just on a fresh set.
+
+Policies without a registered fast path fall back to
+:class:`AdapterState`, which simply forwards to the reference object — the
+fast engine still wins on its struct-of-arrays set layout, just not on
+policy dispatch.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Dict, List, Tuple, Type
+
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.bit_plru import BitPLRU
+from repro.replacement.dirty_protect import DirtyProtectingLRU
+from repro.replacement.fifo import FIFO
+from repro.replacement.noisy_plru import NoisyTreePLRU
+from repro.replacement.nru import NRU
+from repro.replacement.random_policy import LFSRPseudoRandom, UniformRandom
+from repro.replacement.srrip import SRRIP
+from repro.replacement.tree_plru import TreePLRU
+from repro.replacement.true_lru import TrueLRU
+
+
+class FastPolicyState:
+    """Interface of a fast policy state (duck-typed, no abc overhead).
+
+    Mirrors the :class:`~repro.replacement.base.ReplacementPolicy` hooks
+    minus argument validation; the hosting set only ever passes in-range
+    ways.
+    """
+
+    __slots__ = ()
+
+    wants_dirty_hint = False
+
+    def on_fill(self, way: int) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, way: int) -> None:
+        raise NotImplementedError
+
+    def on_invalidate(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        raise NotImplementedError
+
+    def notify_dirty_ways(self, dirty_mask: Tuple[bool, ...]) -> None:
+        pass
+
+    def randomize(self) -> None:
+        """Mirror of the reference policy's ``randomize_state``."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Tree-PLRU: W-1 tree bits packed into one int, O(1) touch via masks.
+# ----------------------------------------------------------------------
+
+#: (clear_masks, set_masks) per way, keyed by way count; shared across sets.
+_TREE_MASKS: Dict[int, Tuple[List[int], List[int]]] = {}
+
+#: state -> victim lookup tables, keyed by way count; shared across sets.
+_TREE_VICTIMS: Dict[int, List[int]] = {}
+
+
+def _tree_masks(ways: int) -> Tuple[List[int], List[int]]:
+    try:
+        return _TREE_MASKS[ways]
+    except KeyError:
+        pass
+    levels = ways.bit_length() - 1
+    clear_masks: List[int] = []
+    set_masks: List[int] = []
+    all_bits = (1 << (ways - 1)) - 1
+    for way in range(ways):
+        node = 0
+        touched = 0
+        ones = 0
+        for level in range(levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            touched |= 1 << node
+            if not went_right:  # bit becomes 1: LRU side is the right subtree
+                ones |= 1 << node
+            node = 2 * node + 1 + went_right
+        clear_masks.append(all_bits & ~touched)
+        set_masks.append(ones)
+    _TREE_MASKS[ways] = (clear_masks, set_masks)
+    return clear_masks, set_masks
+
+
+def _tree_victims(ways: int) -> List[int]:
+    try:
+        return _TREE_VICTIMS[ways]
+    except KeyError:
+        pass
+    levels = ways.bit_length() - 1
+    table: List[int] = []
+    for state in range(1 << (ways - 1)):
+        node = 0
+        way = 0
+        for _ in range(levels):
+            direction = (state >> node) & 1
+            way = (way << 1) | direction
+            node = 2 * node + 1 + direction
+        table.append(way)
+    _TREE_VICTIMS[ways] = table
+    return table
+
+
+class TreePLRUState(FastPolicyState):
+    """Tree-PLRU with packed bits and a shared state->victim table."""
+
+    __slots__ = ("ways", "rng", "state", "_clear", "_set", "_victims")
+
+    def __init__(self, policy: TreePLRU) -> None:
+        self.ways = policy.ways
+        self.rng = policy.rng
+        bits = policy.tree_bits()
+        self.state = 0
+        for node, bit in enumerate(bits):
+            if bit:
+                self.state |= 1 << node
+        self._clear, self._set = _tree_masks(self.ways)
+        self._victims = _tree_victims(self.ways)
+
+    def on_fill(self, way: int) -> None:
+        self.state = (self.state & self._clear[way]) | self._set[way]
+
+    on_hit = on_fill
+
+    def victim(self) -> int:
+        return self._victims[self.state]
+
+    def randomize(self) -> None:
+        # Reference: self._bits = [rng.randrange(2) for each node].
+        rng = self.rng
+        state = 0
+        for node in range(self.ways - 1):
+            if rng.randrange(2):
+                state |= 1 << node
+        self.state = state
+
+
+class NoisyTreePLRUState(TreePLRUState):
+    """Tree-PLRU whose fills update each path node only probabilistically."""
+
+    __slots__ = ("update_prob", "_levels")
+
+    def __init__(self, policy: NoisyTreePLRU) -> None:
+        super().__init__(policy)
+        self.update_prob = policy.update_prob
+        self._levels = self.ways.bit_length() - 1
+
+    def on_fill(self, way: int) -> None:
+        # Mirrors NoisyTreePLRU._touch_noisy: one rng.random() per level.
+        rng_random = self.rng.random
+        prob = self.update_prob
+        node = 0
+        state = self.state
+        for level in range(self._levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            if rng_random() < prob:
+                if went_right:
+                    state &= ~(1 << node)
+                else:
+                    state |= 1 << node
+            node = 2 * node + 1 + went_right
+        self.state = state
+
+    def on_hit(self, way: int) -> None:
+        self.state = (self.state & self._clear[way]) | self._set[way]
+
+
+# ----------------------------------------------------------------------
+# Bit-PLRU / NRU: one reference bit per way, packed.
+# ----------------------------------------------------------------------
+
+
+class BitPLRUState(FastPolicyState):
+    """MRU-bit pseudo-LRU on a packed bit mask."""
+
+    __slots__ = ("ways", "rng", "mru", "count", "_full")
+
+    def __init__(self, policy: BitPLRU) -> None:
+        self.ways = policy.ways
+        self.rng = policy.rng
+        self.mru = 0
+        self.count = 0
+        for way, used in enumerate(policy.mru_bits()):
+            if used:
+                self.mru |= 1 << way
+                self.count += 1
+        self._full = (1 << self.ways) - 1
+
+    def _touch(self, way: int) -> None:
+        bit = 1 << way
+        if not self.mru & bit:
+            if self.count == self.ways - 1:
+                self.mru = 0
+                self.count = 0
+            self.mru |= bit
+            self.count += 1
+
+    on_fill = _touch
+    on_hit = _touch
+
+    def victim(self) -> int:
+        clear = ~self.mru & self._full
+        if not clear:
+            return 0  # reference fallback, unreachable via the touch rule
+        return (clear & -clear).bit_length() - 1
+
+    def on_invalidate(self, way: int) -> None:
+        bit = 1 << way
+        if self.mru & bit:
+            self.mru &= ~bit
+            self.count -= 1
+
+    def randomize(self) -> None:
+        rng = self.rng
+        mru = 0
+        count = 0
+        for way in range(self.ways):
+            if rng.random() < 0.5:
+                mru |= 1 << way
+                count += 1
+        if count == self.ways:
+            mru &= ~(1 << rng.randrange(self.ways))
+            count -= 1
+        self.mru = mru
+        self.count = count
+
+
+class NRUState(FastPolicyState):
+    """NRU reference bits packed into an int, plus the rotating pointer."""
+
+    __slots__ = ("ways", "rng", "ref", "scan", "_full")
+
+    def __init__(self, policy: NRU) -> None:
+        self.ways = policy.ways
+        self.rng = policy.rng
+        self.ref = 0
+        for way, used in enumerate(policy.referenced_bits()):
+            if used:
+                self.ref |= 1 << way
+        self.scan = policy.scan_start
+        self._full = (1 << self.ways) - 1
+
+    def _touch(self, way: int) -> None:
+        self.ref |= 1 << way
+        if self.ref == self._full:
+            self.ref = 1 << way
+
+    on_fill = _touch
+    on_hit = _touch
+
+    def victim(self) -> int:
+        ways = self.ways
+        ref = self.ref
+        scan = self.scan
+        for offset in range(ways):
+            way = scan + offset
+            if way >= ways:
+                way -= ways
+            if not (ref >> way) & 1:
+                self.scan = (way + 1) % ways
+                return way
+        self.ref = 0
+        way = scan
+        self.scan = (way + 1) % ways
+        return way
+
+    def on_invalidate(self, way: int) -> None:
+        self.ref &= ~(1 << way)
+
+    def randomize(self) -> None:
+        rng = self.rng
+        ref = 0
+        for way in range(self.ways):
+            if rng.random() < 0.5:
+                ref |= 1 << way
+        self.ref = ref
+        self.scan = rng.randrange(self.ways)
+
+
+# ----------------------------------------------------------------------
+# Random policies.
+# ----------------------------------------------------------------------
+
+
+class UniformRandomState(FastPolicyState):
+    """Stateless uniform victim; one rng draw per victim request."""
+
+    __slots__ = ("ways", "rng")
+
+    def __init__(self, policy: UniformRandom) -> None:
+        self.ways = policy.ways
+        self.rng = policy.rng
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    on_hit = on_fill
+
+    def victim(self) -> int:
+        return self.rng.randrange(self.ways)
+
+    def randomize(self) -> None:
+        pass
+
+
+class LFSRState(FastPolicyState):
+    """Free-running 8-bit Galois LFSR (matches LFSRPseudoRandom)."""
+
+    __slots__ = ("rng", "state", "_mask")
+
+    _TAPS = LFSRPseudoRandom._TAPS
+
+    def __init__(self, policy: LFSRPseudoRandom) -> None:
+        self.rng = policy.rng
+        self.state = policy.lfsr_state
+        self._mask = policy.ways - 1
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    on_hit = on_fill
+
+    def victim(self) -> int:
+        state = self.state
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= self._TAPS
+        self.state = state
+        return state & self._mask
+
+    def randomize(self) -> None:
+        self.state = self.rng.randrange(1, 256)
+
+
+# ----------------------------------------------------------------------
+# Ordered policies: LRU family, FIFO, SRRIP.
+# ----------------------------------------------------------------------
+
+
+class TrueLRUState(FastPolicyState):
+    """Exact LRU order, least-recently-used first."""
+
+    __slots__ = ("rng", "order")
+
+    def __init__(self, policy: TrueLRU) -> None:
+        self.rng = policy.rng
+        self.order = policy.recency_order()
+
+    def _touch(self, way: int) -> None:
+        order = self.order
+        order.remove(way)
+        order.append(way)
+
+    on_fill = _touch
+    on_hit = _touch
+
+    def victim(self) -> int:
+        return self.order[0]
+
+    def on_invalidate(self, way: int) -> None:
+        order = self.order
+        order.remove(way)
+        order.insert(0, way)
+
+    def randomize(self) -> None:
+        self.rng.shuffle(self.order)
+
+
+class DirtyProtectState(TrueLRUState):
+    """LRU with bounded probabilistic dirty-victim protection."""
+
+    __slots__ = ("probs", "max_protections", "dirty_mask", "used")
+
+    wants_dirty_hint = True
+
+    def __init__(self, policy: DirtyProtectingLRU) -> None:
+        super().__init__(policy)
+        self.probs = policy.protect_probs
+        self.max_protections = policy.max_protections
+        self.dirty_mask = policy.dirty_mask
+        self.used = policy.protections_used()
+
+    def on_fill(self, way: int) -> None:
+        self._touch(way)
+        self.used[way] = 0
+
+    def notify_dirty_ways(self, dirty_mask: Tuple[bool, ...]) -> None:
+        self.dirty_mask = dirty_mask
+
+    def victim(self) -> int:
+        # Mirrors DirtyProtectingLRU.victim, including the rng.random()
+        # draw per protected dirty candidate.
+        rng_random = self.rng.random
+        dirty = self.dirty_mask
+        used = self.used
+        for way in self.order:
+            count = used[way]
+            if (
+                dirty[way]
+                and count < self.max_protections
+                and rng_random() < self.probs[count]
+            ):
+                used[way] = count + 1
+                continue
+            return way
+        return self.order[0]
+
+
+class FIFOState(FastPolicyState):
+    """Round-robin insertion order; hits do not refresh."""
+
+    __slots__ = ("rng", "queue")
+
+    def __init__(self, policy: FIFO) -> None:
+        self.rng = policy.rng
+        self.queue = deque(policy.queue_order())
+
+    def on_fill(self, way: int) -> None:
+        queue = self.queue
+        if way in queue:
+            queue.remove(way)
+        queue.append(way)
+
+    def on_hit(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self.queue[0]
+
+    def on_invalidate(self, way: int) -> None:
+        queue = self.queue
+        if way in queue:
+            queue.remove(way)
+            queue.appendleft(way)
+
+    def randomize(self) -> None:
+        order = list(self.queue)
+        self.rng.shuffle(order)
+        self.queue = deque(order)
+
+
+class SRRIPState(FastPolicyState):
+    """2-bit (configurable) RRPV values in a plain list."""
+
+    __slots__ = ("ways", "rng", "rrpv", "max_rrpv")
+
+    def __init__(self, policy: SRRIP) -> None:
+        self.ways = policy.ways
+        self.rng = policy.rng
+        self.rrpv = policy.rrpv_values()
+        self.max_rrpv = policy.max_rrpv
+
+    def on_fill(self, way: int) -> None:
+        self.rrpv[way] = self.max_rrpv - 1
+
+    def on_hit(self, way: int) -> None:
+        self.rrpv[way] = 0
+
+    def victim(self) -> int:
+        rrpv = self.rrpv
+        max_rrpv = self.max_rrpv
+        while True:
+            try:
+                return rrpv.index(max_rrpv)
+            except ValueError:
+                for way in range(self.ways):
+                    rrpv[way] += 1
+
+    def on_invalidate(self, way: int) -> None:
+        self.rrpv[way] = self.max_rrpv
+
+    def randomize(self) -> None:
+        rng = self.rng
+        self.rrpv = [rng.randrange(self.max_rrpv + 1) for _ in range(self.ways)]
+
+
+# ----------------------------------------------------------------------
+# Fallback adapter and the registry.
+# ----------------------------------------------------------------------
+
+
+class AdapterState(FastPolicyState):
+    """Forwarder for policies without a registered fast path.
+
+    Keeps the reference policy object as the single source of truth, so any
+    subclass (including ones defined outside this repo) runs unmodified on
+    the fast engine.
+    """
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy: ReplacementPolicy) -> None:
+        self.policy = policy
+
+    @property  # type: ignore[misc]
+    def wants_dirty_hint(self) -> bool:  # type: ignore[override]
+        return self.policy.wants_dirty_hint
+
+    def on_fill(self, way: int) -> None:
+        self.policy.on_fill(way)
+
+    def on_hit(self, way: int) -> None:
+        self.policy.on_hit(way)
+
+    def on_invalidate(self, way: int) -> None:
+        self.policy.on_invalidate(way)
+
+    def victim(self) -> int:
+        return self.policy.victim()
+
+    def notify_dirty_ways(self, dirty_mask: Tuple[bool, ...]) -> None:
+        self.policy.notify_dirty_ways(dirty_mask)
+
+    def randomize(self) -> None:
+        self.policy.randomize_state()
+
+
+#: Exact-type dispatch: subclasses must NOT inherit a parent's fast path
+#: (NoisyTreePLRU subclasses TreePLRU but consumes extra rng draws), so
+#: lookups match ``type(policy)`` exactly and fall back to AdapterState.
+_FAST_STATES: Dict[Type[ReplacementPolicy], Callable[..., FastPolicyState]] = {
+    TreePLRU: TreePLRUState,
+    NoisyTreePLRU: NoisyTreePLRUState,
+    BitPLRU: BitPLRUState,
+    NRU: NRUState,
+    UniformRandom: UniformRandomState,
+    LFSRPseudoRandom: LFSRState,
+    TrueLRU: TrueLRUState,
+    DirtyProtectingLRU: DirtyProtectState,
+    FIFO: FIFOState,
+    SRRIP: SRRIPState,
+}
+
+
+def fast_state_for(policy: ReplacementPolicy) -> FastPolicyState:
+    """The fast state machine for ``policy`` (adapter if unregistered)."""
+    maker = _FAST_STATES.get(type(policy))
+    if maker is None:
+        return AdapterState(policy)
+    return maker(policy)
+
+
+def has_fast_state(policy_cls: Type[ReplacementPolicy]) -> bool:
+    """Whether ``policy_cls`` has a dedicated (non-adapter) fast path."""
+    return policy_cls in _FAST_STATES

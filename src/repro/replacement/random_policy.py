@@ -78,3 +78,8 @@ class LFSRPseudoRandom(ReplacementPolicy):
 
     def randomize_state(self) -> None:
         self._state = self.rng.randrange(1, 256)
+
+    @property
+    def lfsr_state(self) -> int:
+        """Current shift-register contents (exposed for the fast engine)."""
+        return self._state

@@ -167,3 +167,123 @@ class TestConstruction:
     def test_zero_ways(self):
         with pytest.raises(ConfigurationError):
             CacheSet(0, TrueLRU(1, random.Random(0)))
+
+
+class TestDirtyHintGating:
+    """The dirty-ways hint is built only for policies that opted in."""
+
+    def test_default_policy_never_receives_hint(self):
+        calls = []
+
+        class SpyLRU(TrueLRU):
+            def notify_dirty_ways(self, dirty_mask):
+                calls.append(dirty_mask)
+
+        cache_set = CacheSet(4, SpyLRU(4, random.Random(0)))
+        for tag in range(4):
+            cache_set.fill(tag, True, None, 0, addr)
+        cache_set.fill(99, False, None, 0, addr)  # forces a victim choice
+        assert calls == []  # wants_dirty_hint defaults to False
+
+    def test_opted_in_policy_receives_current_dirty_mask(self):
+        calls = []
+
+        class HintedLRU(TrueLRU):
+            wants_dirty_hint = True
+
+            def notify_dirty_ways(self, dirty_mask):
+                calls.append(dirty_mask)
+
+        cache_set = CacheSet(4, HintedLRU(4, random.Random(0)))
+        for tag in range(4):
+            cache_set.fill(tag, tag % 2 == 0, None, 0, addr)
+        cache_set.fill(99, False, None, 0, addr)
+        assert len(calls) == 1
+        # The mask describes the set at victim-selection time: the dirty
+        # fills (tags 0, 2) were dirty, the clean ones were not.
+        assert len(calls[0]) == 4
+        assert sum(calls[0]) == 2
+
+    def test_dirty_protecting_policy_opts_in(self):
+        from repro.replacement.dirty_protect import DirtyProtectingLRU
+
+        assert DirtyProtectingLRU.wants_dirty_hint
+        assert not TrueLRU.wants_dirty_hint
+
+
+class TestIncrementalCounters:
+    def test_counters_follow_fill_markdirty_invalidate(self):
+        cache_set = make_set()
+        cache_set.fill(0, False, None, 0, addr)
+        cache_set.fill(1, True, None, 0, addr)
+        assert (cache_set.valid_count(), cache_set.dirty_count()) == (2, 1)
+        cache_set.mark_dirty(cache_set.find(0))
+        assert cache_set.dirty_count() == 2
+        cache_set.mark_dirty(cache_set.find(0))  # idempotent
+        assert cache_set.dirty_count() == 2
+        cache_set.invalidate(1)
+        assert (cache_set.valid_count(), cache_set.dirty_count()) == (1, 1)
+        cache_set.invalidate_all()
+        assert (cache_set.valid_count(), cache_set.dirty_count()) == (0, 0)
+
+    def test_mark_dirty_on_invalid_way_raises(self):
+        cache_set = make_set()
+        with pytest.raises(SimulationError):
+            cache_set.mark_dirty(0)
+
+    def test_counters_never_drift_from_scan(self):
+        rng = random.Random(42)
+        cache_set = make_set(ways=4, seed=1)
+        for step in range(600):
+            op = rng.randrange(4)
+            if op == 0:
+                tag = rng.randrange(12)
+                if cache_set.find(tag) is None:
+                    cache_set.fill(tag, rng.random() < 0.5, None, 0, addr)
+            elif op == 1:
+                cache_set.invalidate(rng.randrange(12))
+            elif op == 2:
+                way = rng.randrange(4)
+                if cache_set.lines[way].valid:
+                    cache_set.mark_dirty(way)
+            else:
+                if rng.random() < 0.05:
+                    cache_set.invalidate_all()
+            assert cache_set.scan_counts() == (
+                cache_set.valid_count(),
+                cache_set.dirty_count(),
+            )
+
+
+class TestTagIndex:
+    def test_index_never_goes_stale(self):
+        """The tag -> way index always equals a fresh scan of the lines."""
+        rng = random.Random(7)
+        cache_set = make_set(ways=4, seed=2)
+        for step in range(600):
+            op = rng.randrange(3)
+            tag = rng.randrange(10)
+            if op == 0 and cache_set.find(tag) is None:
+                cache_set.fill(tag, rng.random() < 0.3, None, 0, addr)
+            elif op == 1:
+                cache_set.invalidate(tag)
+            elif op == 2 and rng.random() < 0.05:
+                cache_set.invalidate_all()
+            rebuilt = {
+                line.tag: way
+                for way, line in enumerate(cache_set.lines)
+                if line.valid
+            }
+            assert cache_set.index_snapshot() == rebuilt
+            # find() answers exactly like a scan would, for every tag.
+            for probe in range(10):
+                assert cache_set.find(probe) == rebuilt.get(probe)
+
+    def test_eviction_removes_victim_tag_from_index(self):
+        cache_set = make_set()
+        for tag in range(4):
+            cache_set.fill(tag, False, None, 0, addr)
+        evicted = cache_set.fill(99, False, None, 0, addr)
+        assert evicted is not None
+        assert cache_set.find(evicted.address) is None  # addr() returns tag
+        assert 99 in cache_set.index_snapshot()
