@@ -39,3 +39,29 @@ def test_bench_engine(benchmark, engine, trace, reference_fingerprint):
 
     result = benchmark.pedantic(replay, rounds=1, iterations=1)
     assert result.fingerprint() == reference_fingerprint
+
+
+def test_bench_fast_engine_idle_bus(benchmark, trace, reference_fingerprint):
+    """Telemetry attached but disabled: must cost ~nothing on the fast path."""
+    from repro.telemetry import TelemetryBus
+
+    def replay():
+        hierarchy = make_xeon_hierarchy(rng=random.Random(0), engine="fast")
+        hierarchy.attach_telemetry(TelemetryBus(enabled=False))
+        return run_trace(hierarchy, trace, owner=0)
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert result.fingerprint() == reference_fingerprint
+
+
+def test_bench_fast_engine_telemetry_on(benchmark, trace, reference_fingerprint):
+    """Full observability: the pay-for-what-you-use upper bound."""
+    from repro.telemetry import TelemetryBus, TraceRecorder
+
+    def replay():
+        hierarchy = make_xeon_hierarchy(rng=random.Random(0), engine="fast")
+        hierarchy.attach_telemetry(TelemetryBus()).subscribe(TraceRecorder())
+        return run_trace(hierarchy, trace, owner=0)
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert result.fingerprint() == reference_fingerprint

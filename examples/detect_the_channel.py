@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Detect the channel: can an online monitor see the WB sender at all?
+
+The paper's Section 7 claims the WB channel is stealthy because its
+per-bit footprint is one posted store, while the classic LRU channel
+must keep re-touching its line for every 1-bit.  This example puts both
+senders — and a benign co-runner with the identical whole-process
+activity — under two live detectors at the same bandwidth:
+
+* a CloudRadar-style windowed counter monitor, and
+* a CC-Hunter-style autocorrelation detector over the conflict train,
+
+both calibrated on benign execution with thresholds three sigmas above
+the benign scores.  Expected outcome: the LRU sender lights up both
+detectors; the WB sender stays inside the benign envelope.
+
+Usage::
+
+    python examples/detect_the_channel.py [--full] [--seed N]
+"""
+
+import argparse
+
+from repro.experiments.registry import run_experiment
+
+#: Eight shade levels for the score sparklines.
+BLOCKS = " .:-=+*#"
+
+
+def sparkline(values, ceiling):
+    if not values:
+        return "(no complete windows)"
+    scale = max(ceiling, 1e-9)
+    out = []
+    for value in values:
+        index = min(int(len(BLOCKS) * value / (2.0 * scale)), len(BLOCKS) - 1)
+        out.append(BLOCKS[index])
+    return "".join(out)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale run (192 symbols per scenario; ~4x slower)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    args = parser.parse_args()
+
+    result = run_experiment(
+        "online_detection",
+        profile="full" if args.full else "quick",
+        seed=args.seed,
+    )
+    rates = result.params["detection_rates"]
+
+    print("Online detection at matched bandwidth "
+          f"(Ts = {result.params['period']} cycles, "
+          f"{result.params['num_symbols']} symbols per scenario)")
+    print("=" * 66)
+    print(result.render())
+
+    for name, label in (
+        ("monitor", "windowed counter monitor (CloudRadar-style)"),
+        ("burst", "conflict-train autocorrelation (CC-Hunter-style)"),
+    ):
+        threshold = float(result.row_dict("detector")[name][1])
+        print(f"{label}")
+        print(f"  scores per window, '{BLOCKS[-1]}' = 2x the operating "
+              f"threshold ({threshold:.2f}):")
+        for scenario in ("benign", "wb", "lru"):
+            scores = result.series[f"{name}_scores_{scenario}"]
+            print(f"    {scenario:>6}: {sparkline(scores, threshold)}")
+        print()
+
+    wb_hidden = all(
+        rates[name]["wb"] <= rates[name]["benign"] for name in ("monitor", "burst")
+    )
+    lru_caught = all(
+        rates[name]["lru"] > rates[name]["benign"] for name in ("monitor", "burst")
+    )
+    print("verdict:")
+    print(f"  LRU sender flagged above benign FPR on both views: "
+          f"{'yes' if lru_caught else 'NO'}")
+    print(f"  WB sender indistinguishable from benign traffic:   "
+          f"{'yes' if wb_hidden else 'NO'}")
+    if result.params["stealth_holds"]:
+        print("  -> the paper's stealth claim holds against live monitors.")
+    else:
+        print("  -> stealth claim NOT reproduced at these settings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,12 @@ The regression gate compares *speedup ratios*, not absolute seconds:
 both engines run on the same machine in a single invocation, so the
 ratio is hardware-neutral and safe to compare against a committed
 baseline measured elsewhere.
+
+The fast engine is additionally timed with a telemetry bus attached but
+disabled (``speedup_with_idle_bus``).  Telemetry is designed to be
+zero-cost when off — a disabled bus keeps the specialised SoA loop
+eligible — so this ratio must track ``speedup``; the gate fails if the
+bus's mere presence starts costing throughput.
 """
 
 from __future__ import annotations
@@ -48,17 +54,28 @@ WORKLOADS: Dict[str, Callable[[bool], List[Tuple[int, bool]]]] = {
     ),
 }
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def time_engine(
-    engine: str, trace: List[Tuple[int, bool]], repeats: int
+    engine: str,
+    trace: List[Tuple[int, bool]],
+    repeats: int,
+    idle_bus: bool = False,
 ) -> Tuple[float, Tuple[int, int, int, int]]:
-    """Best-of-``repeats`` wall time and the result fingerprint."""
+    """Best-of-``repeats`` wall time and the result fingerprint.
+
+    ``idle_bus=True`` attaches a disabled telemetry bus first — the
+    "merely present" configuration the overhead gate watches.
+    """
     best = float("inf")
     fingerprint = None
     for _ in range(repeats):
         hierarchy = make_xeon_hierarchy(rng=random.Random(0), engine=engine)
+        if idle_bus:
+            from repro.telemetry import TelemetryBus
+
+            hierarchy.attach_telemetry(TelemetryBus(enabled=False))
         start = time.perf_counter()
         result = run_trace(hierarchy, trace, owner=0)
         elapsed = time.perf_counter() - start
@@ -79,10 +96,16 @@ def bench_workload(name: str, quick: bool, repeats: int) -> Dict[str, object]:
     trace = WORKLOADS[name](quick)
     ref_seconds, ref_fp = time_engine("reference", trace, repeats)
     fast_seconds, fast_fp = time_engine("fast", trace, repeats)
+    idle_seconds, idle_fp = time_engine("fast", trace, repeats, idle_bus=True)
     if ref_fp != fast_fp:
         raise AssertionError(
             f"PARITY FAILURE on workload {name!r}: "
             f"reference={ref_fp} fast={fast_fp}"
+        )
+    if idle_fp != fast_fp:
+        raise AssertionError(
+            f"PARITY FAILURE on workload {name!r}: an idle telemetry bus "
+            f"changed the fast engine's results: {fast_fp} != {idle_fp}"
         )
     return {
         "workload": name,
@@ -90,9 +113,11 @@ def bench_workload(name: str, quick: bool, repeats: int) -> Dict[str, object]:
         "fingerprint": list(ref_fp),
         "reference_seconds": round(ref_seconds, 6),
         "fast_seconds": round(fast_seconds, 6),
+        "fast_idle_bus_seconds": round(idle_seconds, 6),
         "reference_accesses_per_second": round(len(trace) / ref_seconds),
         "fast_accesses_per_second": round(len(trace) / fast_seconds),
         "speedup": round(ref_seconds / fast_seconds, 3),
+        "speedup_with_idle_bus": round(ref_seconds / idle_seconds, 3),
     }
 
 
@@ -117,6 +142,17 @@ def check_baseline(
                 f"{name}: speedup {entry['speedup']:.2f}x is more than "
                 f"{max_regression:.0%} below the baseline "
                 f"{reference_entry['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+        # The telemetry-off overhead guard: an idle bus must not erode
+        # the speedup.  Gated against the *plain* baseline speedup so
+        # schema-1 baselines (no idle-bus field) still enforce it.
+        if entry["speedup_with_idle_bus"] < floor:
+            failures.append(
+                f"{name}: speedup with an idle telemetry bus "
+                f"{entry['speedup_with_idle_bus']:.2f}x is more than "
+                f"{max_regression:.0%} below the baseline "
+                f"{reference_entry['speedup']:.2f}x (floor {floor:.2f}x) — "
+                "the disabled bus is costing throughput"
             )
     return failures
 
@@ -171,7 +207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{name:>8}: {entry['accesses']:>7} accesses | "
             f"reference {entry['reference_seconds']:.3f}s | "
             f"fast {entry['fast_seconds']:.3f}s | "
-            f"speedup {entry['speedup']:.2f}x (parity ok)"
+            f"speedup {entry['speedup']:.2f}x "
+            f"(idle bus {entry['speedup_with_idle_bus']:.2f}x, parity ok)"
         )
 
     out_path = args.out

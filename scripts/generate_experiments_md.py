@@ -158,6 +158,19 @@ PAPER_CONTEXT = {
         "(victim-call timing) succeeds more cleanly here than on real "
         "hardware, where the paper needed two serial loads per branch."
     ),
+    "online_detection": (
+        "Extension of the paper's Section 7 stealth argument from "
+        "end-of-run counter totals (Table 7) to *online* monitors: a "
+        "CloudRadar-style windowed counter monitor and a CC-Hunter-style "
+        "conflict-train autocorrelation detector, both calibrated on a "
+        "benign co-runner carrying the identical whole-process activity "
+        "and applied at matched bit period (Ts=11000). Measured: the LRU "
+        "sender's continuous modulation is flagged at a far higher rate "
+        "than the WB sender on both views, while the WB sender's flag "
+        "rate equals the benign false-positive rate — the stealth claim "
+        "in its strongest online form. Built on the repro.telemetry "
+        "event bus; see DESIGN.md for the detector design."
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs measured

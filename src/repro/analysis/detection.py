@@ -6,14 +6,29 @@ benign co-runners.  This module quantifies that claim: given per-level miss
 profiles of a suspect process under two scenarios, it computes a simple
 distinguishability score a counter-based detector (CloudRadar-style) would
 rely on.
+
+Profiles come from :class:`repro.telemetry.subscribers.WindowedCounters`
+(pass the counters directly, optionally with ``owner=`` to select one
+thread) — its :meth:`miss_profile` view is the canonical source.  Plain
+``Mapping[str, float]`` profiles are still accepted for backward
+compatibility but deprecated; for *online* (windowed, calibrated) detection
+see :mod:`repro.telemetry.detectors`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.common.errors import ConfigurationError
+from repro.telemetry.subscribers import WindowedCounters
+
+#: Either the live counters or a pre-extracted per-level miss-rate mapping.
+ProfileSource = Union[WindowedCounters, Mapping[str, float]]
+
+#: Level names used when extracting a profile from counters.
+DEFAULT_LEVEL_NAMES = ("L1D", "L2", "LLC")
 
 
 @dataclass(frozen=True)
@@ -33,29 +48,62 @@ class DetectionReport:
         return f"{verdict} (max |delta| {self.max_delta:.3f}; {deltas})"
 
 
+def _as_profile(
+    source: ProfileSource,
+    role: str,
+    owner: Optional[int],
+    level_names: Sequence[str],
+) -> Dict[str, float]:
+    if isinstance(source, WindowedCounters):
+        return source.miss_profile(level_names=level_names, owner=owner)
+    if isinstance(source, Mapping):
+        warnings.warn(
+            f"passing a plain mapping as the {role} profile is deprecated; "
+            "pass the telemetry WindowedCounters instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return dict(source)
+    raise ConfigurationError(
+        f"{role} profile must be WindowedCounters or a mapping, "
+        f"got {type(source).__name__}"
+    )
+
+
 def compare_miss_profiles(
-    suspect: Mapping[str, float],
-    baseline: Mapping[str, float],
+    suspect: ProfileSource,
+    baseline: ProfileSource,
     threshold: float = 0.10,
+    *,
+    owner: Optional[int] = None,
+    level_names: Sequence[str] = DEFAULT_LEVEL_NAMES,
 ) -> DetectionReport:
     """Compare two per-level miss-rate profiles.
 
-    ``suspect`` and ``baseline`` map level names (``"L1D"``, ``"L2"``,
-    ``"LLC"``) to miss rates in [0, 1].  The profiles are *distinguishable*
-    when any level's absolute miss-rate difference exceeds ``threshold`` —
-    a deliberately generous detector model: if even this flags nothing, a
-    real detector with measurement noise certainly will not.
+    ``suspect`` and ``baseline`` are the telemetry
+    :class:`~repro.telemetry.subscribers.WindowedCounters` of the two
+    runs (``owner`` selects one thread's view; ``level_names`` label the
+    hierarchy levels outer-to-inner) — or, deprecated, plain mappings
+    from level names (``"L1D"``, ``"L2"``, ``"LLC"``) to miss rates in
+    [0, 1].  The profiles are *distinguishable* when any level's absolute
+    miss-rate difference exceeds ``threshold`` — a deliberately generous
+    detector model: if even this flags nothing, a real detector with
+    measurement noise certainly will not.
     """
-    if not suspect:
+    suspect_profile = _as_profile(suspect, "suspect", owner, level_names)
+    baseline_profile = _as_profile(baseline, "baseline", owner, level_names)
+    if not suspect_profile:
         raise ConfigurationError("suspect profile is empty")
-    if set(suspect) != set(baseline):
+    if set(suspect_profile) != set(baseline_profile):
         raise ConfigurationError(
-            f"profiles cover different levels: {sorted(suspect)} vs {sorted(baseline)}"
+            f"profiles cover different levels: {sorted(suspect_profile)} "
+            f"vs {sorted(baseline_profile)}"
         )
     if not 0 < threshold < 1:
         raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
     deltas = {
-        level: suspect[level] - baseline[level] for level in sorted(suspect)
+        level: suspect_profile[level] - baseline_profile[level]
+        for level in sorted(suspect_profile)
     }
     max_delta = max(abs(delta) for delta in deltas.values())
     return DetectionReport(

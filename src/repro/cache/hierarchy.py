@@ -27,9 +27,18 @@ from repro.cache.cache import AllocationPolicy, Cache, WritePolicy
 from repro.cache.latency import LatencyModel
 from repro.cache.line import EvictedLine
 from repro.cache.stats import CacheStats
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import CacheEvent, EventKind
+from repro.telemetry.session import session_bus
 
 #: Pseudo-level number reported when an access went all the way to DRAM.
 MEMORY_LEVEL: int = 99
+
+_HIT = EventKind.HIT
+_MISS = EventKind.MISS
+_EVICT = EventKind.EVICT
+_WRITEBACK = EventKind.WRITEBACK
+_FLUSH = EventKind.FLUSH
 
 
 @runtime_checkable
@@ -73,6 +82,7 @@ class CacheHierarchy:
         latency: Optional[LatencyModel] = None,
         rng: Optional[random.Random] = None,
         charge_deep_writebacks: bool = False,
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         if not levels:
             raise ConfigurationError("hierarchy needs at least one cache level")
@@ -87,6 +97,10 @@ class CacheHierarchy:
         self.rng = ensure_rng(rng)
         self.charge_deep_writebacks = charge_deep_writebacks
         self.stats = CacheStats()
+        # Explicit bus wins; otherwise adopt the active telemetry
+        # session's bus (None when no session is open — the zero-cost
+        # default: hot paths then perform one attribute test and move on).
+        self.telemetry = telemetry if telemetry is not None else session_bus()
 
     # ------------------------------------------------------------------
     # Public API
@@ -95,6 +109,29 @@ class CacheHierarchy:
     def l1(self) -> Cache:
         """The innermost cache level."""
         return self.levels[0]
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """Whether cache events are being emitted right now.
+
+        This is the one flag everything gates on: the per-access
+        emission sites below and the specialised struct-of-arrays
+        replay loop's eligibility check (telemetry forces the generic,
+        instrumented path — see :mod:`repro.engine.trace`).
+        """
+        bus = self.telemetry
+        return bus is not None and bus.enabled
+
+    def attach_telemetry(self, bus: TelemetryBus) -> TelemetryBus:
+        """Attach ``bus`` (replacing any current one); returns it."""
+        self.telemetry = bus
+        return bus
+
+    def detach_telemetry(self) -> Optional[TelemetryBus]:
+        """Remove and return the current bus, if any."""
+        bus = self.telemetry
+        self.telemetry = None
+        return bus
 
     def load(self, address: int, owner: Optional[int] = None) -> AccessTrace:
         """Demand load of ``address`` by hardware thread ``owner``."""
@@ -107,11 +144,25 @@ class CacheHierarchy:
     def access(
         self, address: int, write: bool, owner: Optional[int] = None
     ) -> AccessTrace:
-        """Perform one demand access and return its trace."""
+        """Perform one demand access and return its trace.
+
+        Telemetry: with an enabled bus attached, the access advances the
+        logical clock once and every observable action along the walk,
+        fill and write-back paths emits a :class:`CacheEvent` stamped
+        with that tick.  Emission never touches the RNG, so traced and
+        untraced runs are bit-identical in every simulated observable.
+        """
         evictions: List[Tuple[int, EvictedLine]] = []
         latency = self.latency.sample_jitter(self.rng)
+        bus = self.telemetry
+        if bus is not None and bus.enabled:
+            emit = bus.emit
+            now = bus.tick()
+        else:
+            emit = None
+            now = 0
 
-        hit_level = self._walk(address, owner, write=write)
+        hit_level = self._walk(address, owner, write=write, emit=emit, now=now)
         if hit_level == 1:
             latency += self.latency.hit_latency(1)
             l1_victim_dirty = False
@@ -129,7 +180,7 @@ class CacheHierarchy:
             l1_victim_dirty = False
             if allocate:
                 l1_victim_dirty, extra = self._fill_path(
-                    address, hit_level, owner, evictions
+                    address, hit_level, owner, evictions, emit=emit, now=now
                 )
                 latency += extra
                 if write:
@@ -155,18 +206,40 @@ class CacheHierarchy:
         plus write-back penalties for dirty copies.
         """
         cost = self.latency.flush_base + self.latency.sample_jitter(self.rng)
+        bus = self.telemetry
+        if bus is not None and bus.enabled:
+            emit = bus.emit
+            now = bus.tick()
+        else:
+            emit = None
+            now = 0
         was_present = False
         for index, level in enumerate(self.levels):
             snapshot = level.invalidate(address)
             if snapshot is None:
                 continue
             was_present = True
+            if emit is not None:
+                emit(
+                    CacheEvent(
+                        now, _FLUSH, index + 1, level.set_index(address),
+                        owner, address, False, snapshot.dirty,
+                    )
+                )
             if snapshot.dirty:
                 # clflush forces dirty data all the way to memory (it will
                 # be invalid at every cache level afterwards).
                 self.stats.record_writeback(index + 1, owner)
                 self.stats.memory_writes += 1
                 cost += self.latency.writeback_penalty(index + 1)
+                if emit is not None:
+                    emit(
+                        CacheEvent(
+                            now, _WRITEBACK, index + 1,
+                            level.set_index(address), owner, address,
+                            False, True,
+                        )
+                    )
         if was_present:
             cost += self.latency.flush_present_extra
         return cost
@@ -188,11 +261,31 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _walk(self, address: int, owner: Optional[int], write: bool = False) -> int:
-        """Find the hit level, recording access stats along the walk."""
+    def _walk(
+        self,
+        address: int,
+        owner: Optional[int],
+        write: bool = False,
+        emit=None,
+        now: int = 0,
+    ) -> int:
+        """Find the hit level, recording access stats along the walk.
+
+        With ``emit`` set, every level visited produces a HIT or MISS
+        event; a HIT carries the resident line's dirty bit *before* any
+        store of this access lands (the walk precedes the store path).
+        """
         for index, level in enumerate(self.levels):
             hit = level.lookup(address, owner)
             self.stats.record_access(index + 1, owner, hit, write=write)
+            if emit is not None:
+                emit(
+                    CacheEvent(
+                        now, _HIT if hit else _MISS, index + 1,
+                        level.set_index(address), owner, address, write,
+                        level.is_dirty(address) if hit else False,
+                    )
+                )
             if hit:
                 return index + 1
         return MEMORY_LEVEL
@@ -203,10 +296,15 @@ class CacheHierarchy:
         hit_level: int,
         owner: Optional[int],
         evictions: List[Tuple[int, EvictedLine]],
+        emit=None,
+        now: int = 0,
     ) -> Tuple[bool, int]:
         """Install ``address`` into every level above ``hit_level``.
 
-        Returns (L1 victim was dirty, extra latency charged).
+        Returns (L1 victim was dirty, extra latency charged).  With
+        ``emit`` set, every victim produces an EVICT (clean) or
+        WRITEBACK (dirty) event attributed to the victim's owner, in
+        the set the incoming address maps to.
         """
         deepest_fill = (
             len(self.levels) if hit_level == MEMORY_LEVEL else hit_level - 1
@@ -221,9 +319,20 @@ class CacheHierarchy:
             if evicted is None:
                 continue
             evictions.append((index + 1, evicted))
+            if emit is not None:
+                emit(
+                    CacheEvent(
+                        now, _WRITEBACK if evicted.dirty else _EVICT,
+                        index + 1, level.set_index(address), evicted.owner,
+                        evicted.address, False, evicted.dirty,
+                    )
+                )
             if evicted.dirty:
                 self.stats.record_writeback(index + 1, evicted.owner)
-                self._writeback(index + 1, evicted.address, evicted.owner)
+                self._writeback(
+                    index + 1, evicted.address, evicted.owner,
+                    emit=emit, now=now,
+                )
                 if index == 0:
                     l1_victim_dirty = True
                     extra += self.latency.writeback_penalty(1)
@@ -231,7 +340,14 @@ class CacheHierarchy:
                     extra += self.latency.writeback_penalty(index + 1)
         return l1_victim_dirty, extra
 
-    def _writeback(self, from_level: int, address: int, owner: Optional[int]) -> None:
+    def _writeback(
+        self,
+        from_level: int,
+        address: int,
+        owner: Optional[int],
+        emit=None,
+        now: int = 0,
+    ) -> None:
         """Land a dirty victim evicted from ``from_level`` one level deeper."""
         index = from_level  # levels list index of the next deeper level
         if index >= len(self.levels):
@@ -242,9 +358,21 @@ class CacheHierarchy:
             level.mark_dirty(address)
             return
         evicted = level.fill(address, dirty=True, owner=owner)
-        if evicted is not None and evicted.dirty:
+        if evicted is None:
+            return
+        if emit is not None:
+            emit(
+                CacheEvent(
+                    now, _WRITEBACK if evicted.dirty else _EVICT,
+                    index + 1, level.set_index(address), evicted.owner,
+                    evicted.address, False, evicted.dirty,
+                )
+            )
+        if evicted.dirty:
             self.stats.record_writeback(index + 1, evicted.owner)
-            self._writeback(index + 1, evicted.address, evicted.owner)
+            self._writeback(
+                index + 1, evicted.address, evicted.owner, emit=emit, now=now
+            )
 
     def _store_hit(self, address: int, owner: Optional[int]) -> int:
         """Apply a store to the (normally resident) L1 line; returns cost.

@@ -163,6 +163,11 @@ class SMTCore:
             return None
         if isinstance(op, ResetStats):
             self.hierarchy.stats.reset()
+            bus = self.hierarchy.telemetry
+            if bus is not None and bus.enabled:
+                # Telemetry subscribers observe the same measurement
+                # epoch the counters do: windowing restarts here.
+                bus.mark("reset-stats")
             return None
         raise ConfigurationError(f"unknown operation {op!r}")
 

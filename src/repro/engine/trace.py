@@ -82,10 +82,16 @@ def _soa_eligible(hierarchy: CacheHierarchy) -> bool:
 
     Exact FastCache levels only (defense subclasses carry extra hooks the
     inline loop would bypass) with the write-back + write-allocate pairing
-    the inline store path assumes.
+    the inline store path assumes — and telemetry off: with an enabled
+    bus the replay routes through the generic per-access path, which
+    carries the emission sites.  That split is what keeps observability
+    pay-for-what-you-use: the SoA loop never checks a bus per access,
+    and ``scripts/bench_engine.py`` gates the telemetry-off speedup.
     """
     from repro.engine.fast_cache import FastCache
 
+    if hierarchy.telemetry_enabled:
+        return False
     return all(
         type(level) is FastCache
         and level.write_policy is WritePolicy.WRITE_BACK

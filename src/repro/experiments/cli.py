@@ -7,6 +7,8 @@ Examples::
     wb-experiments --all --profile quick
     wb-experiments --all --profile quick --jobs 4 --out results/
     wb-experiments fig6 --seeds 5 --jobs 4 --out sweep/
+    wb-experiments online_detection --telemetry
+    wb-experiments fig7 --profile quick --trace-out traces/
     wb-experiments --taxonomy
 
 ``--jobs N`` fans experiments out across worker processes (results are
@@ -98,6 +100,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-experiment wall-clock budget (parallel runs only)",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "stream cache events through a telemetry session per run "
+            "(windowed counters + trace ring + profiler); the summary "
+            "lands in the result params and run manifest"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "export each run's retained event trace as DIR/<id>-seed<N>"
+            ".jsonl (implies --telemetry; requires --jobs 1)"
+        ),
+    )
+    parser.add_argument(
         "--taxonomy",
         action="store_true",
         help="print the paper's Table 1 channel classification",
@@ -131,9 +151,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if profile is None:
         profile = "full"
     profile = resolve_profile(profile).with_engine(args.engine)
+    if args.telemetry or args.trace_out is not None:
+        profile = profile.with_telemetry(True)
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.trace_out is not None:
+        if args.jobs != 1:
+            # Trace export rides the in-process session default config;
+            # worker processes would not see it.
+            print("--trace-out requires --jobs 1", file=sys.stderr)
+            return 2
+        from repro.telemetry.session import TelemetryConfig, configure
+
+        configure(TelemetryConfig(trace_out=args.trace_out))
     if args.seeds < 1:
         print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
         return 2

@@ -161,6 +161,36 @@ class InstrumentedLRUSender(Program):
             t_last = yield SpinUntil(t_last + self.period)
 
 
+@dataclass
+class InstrumentedBenignProcess(Program):
+    """The senders' whole-process model with the channel traffic removed.
+
+    Structurally identical to :class:`InstrumentedWBSender` — warm-up,
+    stats reset at ``start_time``, one housekeeping batch per period —
+    so any counter difference a monitor sees between this and a sender
+    is exactly the channel protocol's own traffic.  The online-detection
+    experiment calibrates its detectors on this process and reports its
+    false-positive rate.
+    """
+
+    activity: _ProcessActivity
+    periods: int
+    period: int
+    start_time: int
+
+    def __post_init__(self) -> None:
+        if self.periods < 0:
+            raise ConfigurationError("periods must be >= 0")
+
+    def run(self) -> OpGenerator:
+        yield from self.activity.warmup()
+        t_last = yield SpinUntil(self.start_time)
+        yield ResetStats()
+        for _ in range(self.periods):
+            yield from self.activity.housekeeping()
+            t_last = yield SpinUntil(t_last + self.period)
+
+
 def make_activity(
     space: AddressSpace,
     seed: int = 0,
@@ -183,6 +213,7 @@ def idle_spin_program(duration: int) -> Program:
 
 
 __all__: List[str] = [
+    "InstrumentedBenignProcess",
     "InstrumentedLRUSender",
     "InstrumentedWBSender",
     "idle_spin_program",

@@ -46,6 +46,11 @@ class RunProfile:
     #: Results are bit-identical across engines — this knob trades nothing
     #: but wall-clock time.
     engine: Optional[str] = None
+    #: Stream cache events through a telemetry session around the run
+    #: (see :mod:`repro.telemetry.session`).  Simulated observables are
+    #: bit-identical with or without it; it adds wall-clock cost and a
+    #: ``telemetry`` summary in the result params / run manifest.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -77,6 +82,14 @@ class RunProfile:
 
         return dataclasses.replace(self, engine=engine)
 
+    def with_telemetry(self, telemetry: bool = True) -> "RunProfile":
+        """Copy of this profile with telemetry streaming on (or off)."""
+        if telemetry == self.telemetry:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(self, telemetry=telemetry)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (used by run manifests)."""
         return {
@@ -84,17 +97,23 @@ class RunProfile:
             "reduced": self.reduced,
             "scale": self.scale,
             "engine": self.engine,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunProfile":
-        """Inverse of :meth:`to_dict` (pre-engine manifests load as None)."""
+        """Inverse of :meth:`to_dict`.
+
+        Manifests written before a knob existed load with its default
+        (``engine=None``, ``telemetry=False``).
+        """
         engine = data.get("engine")
         return cls(
             name=str(data["name"]),
             reduced=bool(data["reduced"]),
             scale=float(data.get("scale", 1.0)),
             engine=None if engine is None else str(engine),
+            telemetry=bool(data.get("telemetry", False)),
         )
 
 

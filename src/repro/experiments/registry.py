@@ -18,6 +18,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    online_detection,
     random_policy,
     sidechannel_exp,
     stability,
@@ -44,6 +45,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "stability": stability.run,
     "defenses": defenses_exp.run,
     "sidechannel": sidechannel_exp.run,
+    "online_detection": online_detection.run,
     # Extensions and ablations beyond the paper's own evaluation.
     "extension_3bit": extension_3bit.run,
     "extension_l2": extension_l2.run,
@@ -81,11 +83,30 @@ def run_experiment(
     # The profile's engine choice is applied process-wide around the run,
     # so every hierarchy the experiment builds — directly or through the
     # channel testbench — picks it up without plumbing.  Results are
-    # bit-identical across engines.
+    # bit-identical across engines.  The telemetry session works the same
+    # way: every hierarchy constructed inside the block attaches to the
+    # session bus, and the observed summary rides back in the params
+    # (hence into run manifests).
     from repro.engine.selection import engine_context
+    from repro.telemetry.session import telemetry_session
 
     with engine_context(resolved.engine):
-        return runner(profile=resolved, seed=seed)
+        with telemetry_session(enabled=resolved.telemetry) as session:
+            result = runner(profile=resolved, seed=seed)
+    if session is not None:
+        summary = session.summary()
+        trace_dir = session.config.trace_out
+        if trace_dir:
+            import os
+
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(
+                trace_dir, f"{experiment_id}-seed{seed}.jsonl"
+            )
+            summary["trace_path"] = trace_path
+            summary["trace_events"] = session.export_trace(trace_path)
+        result.params["telemetry"] = summary
+    return result
 
 
 def run_all(

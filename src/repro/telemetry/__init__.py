@@ -1,0 +1,69 @@
+"""Streaming cache-event telemetry: bus, subscribers, online detectors.
+
+The observability subsystem for the reproduction.  A zero-cost-when-
+disabled event bus (:mod:`repro.telemetry.bus`) receives structured
+cache events (:mod:`repro.telemetry.events`) from the shared hierarchy
+walk, fans them out to composable subscribers
+(:mod:`repro.telemetry.subscribers`), and feeds the online
+covert-channel detectors (:mod:`repro.telemetry.detectors`) that the
+``online_detection`` experiment uses to test the paper's Section 7
+stealth claim dynamically.  Process-global session plumbing lives in
+:mod:`repro.telemetry.session`.
+
+Import discipline: this package never imports from :mod:`repro.cache`
+(the hierarchy imports the session hook from here, and the cache
+package initialises first).
+"""
+
+from repro.telemetry.bus import Subscriber, TelemetryBus
+from repro.telemetry.detectors import (
+    Baseline,
+    MissRateMonitor,
+    WritebackBurstDetector,
+    autocorrelation,
+    detection_rate,
+    suggest_threshold,
+    threshold_sweep,
+)
+from repro.telemetry.events import AGGREGATE_OWNER, CacheEvent, EventKind
+from repro.telemetry.session import (
+    TelemetryConfig,
+    TelemetrySession,
+    active_session,
+    configure,
+    default_config,
+    session_bus,
+    telemetry_session,
+)
+from repro.telemetry.subscribers import (
+    BusProfiler,
+    TraceRecorder,
+    WindowCounts,
+    WindowedCounters,
+)
+
+__all__ = [
+    "AGGREGATE_OWNER",
+    "Baseline",
+    "BusProfiler",
+    "CacheEvent",
+    "EventKind",
+    "MissRateMonitor",
+    "Subscriber",
+    "TelemetryBus",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "TraceRecorder",
+    "WindowCounts",
+    "WindowedCounters",
+    "WritebackBurstDetector",
+    "active_session",
+    "autocorrelation",
+    "configure",
+    "default_config",
+    "detection_rate",
+    "session_bus",
+    "suggest_threshold",
+    "telemetry_session",
+    "threshold_sweep",
+]

@@ -1,0 +1,247 @@
+"""Online detectors: synthetic periodic bursts flagged, benign traffic not."""
+
+import random
+
+import pytest
+
+from repro.telemetry import (
+    Baseline,
+    CacheEvent,
+    EventKind,
+    MissRateMonitor,
+    WritebackBurstDetector,
+    autocorrelation,
+    detection_rate,
+    suggest_threshold,
+    threshold_sweep,
+)
+
+SUSPECT = 0
+CLOCK = 1
+
+
+def event(time, kind, level=1, owner=SUSPECT):
+    return CacheEvent(time, kind, level, 0, owner, 0x1000 + 64 * time, False, False)
+
+
+def feed_counts(detector, counts, kind=EventKind.WRITEBACK):
+    """One logical tick per entry; ``counts[t]`` events of ``kind`` at t."""
+    for t, count in enumerate(counts):
+        # An access event anchors every tick so empty ticks still form
+        # windows via gap-filling from the next event's timestamp.
+        detector.on_event(event(t, EventKind.HIT))
+        for _ in range(count):
+            detector.on_event(event(t, kind))
+    detector.finish()
+
+
+def periodic_counts(length, period=4, burst=3):
+    """A burst of ``burst`` write-backs at the start of every period."""
+    return [burst if t % period == 0 else 0 for t in range(length)]
+
+
+def benign_counts(length, rate=0.25, seed=42):
+    rng = random.Random(seed)
+    return [1 if rng.random() < rate else 0 for t in range(length)]
+
+
+class TestAutocorrelation:
+    def test_periodic_series_peaks_at_period(self):
+        series = periodic_counts(64, period=4)
+        spectrum = autocorrelation(series, max_lag=8)
+        assert spectrum[3] == max(spectrum)  # r_4 is spectrum[3]
+        assert spectrum[3] > 0.5
+
+    def test_constant_series_is_all_zeros(self):
+        assert autocorrelation([5.0] * 32, max_lag=4) == (0.0,) * 4
+
+    def test_empty_series_is_all_zeros(self):
+        assert autocorrelation([], max_lag=3) == (0.0,) * 3
+
+    def test_lags_beyond_length_are_zero(self):
+        spectrum = autocorrelation([1.0, 2.0], max_lag=4)
+        assert spectrum[2] == 0.0 and spectrum[3] == 0.0
+
+
+class TestBaseline:
+    def test_fit_mean_and_floored_std(self):
+        baseline = Baseline.fit([(0.0, 10.0), (2.0, 10.0)])
+        assert baseline.mean == (1.0, 10.0)
+        assert baseline.std == (1.0, 1.0)  # dim 2 floored up to 1.0
+
+    def test_deviation_is_max_abs_z(self):
+        baseline = Baseline.fit([(0.0, 0.0), (2.0, 0.0)])
+        assert baseline.deviation((5.0, 0.5)) == pytest.approx(4.0)
+
+    def test_fit_rejects_empty_and_ragged(self):
+        with pytest.raises(ValueError):
+            Baseline.fit([])
+        with pytest.raises(ValueError):
+            Baseline.fit([(1.0,), (1.0, 2.0)])
+
+    def test_deviation_rejects_wrong_dimension(self):
+        baseline = Baseline.fit([(1.0, 2.0)])
+        with pytest.raises(ValueError):
+            baseline.deviation((1.0,))
+
+
+class TestWritebackBurstDetector:
+    def make(self, baseline=None):
+        return WritebackBurstDetector(
+            window=1, segment=32, max_lag=8, owner=SUSPECT, baseline=baseline
+        )
+
+    def calibrate(self, length=1280, seed=7):
+        detector = self.make()
+        feed_counts(detector, benign_counts(length, seed=seed))
+        return Baseline.fit(detector.features)
+
+    def test_periodic_bursts_flagged_benign_not(self):
+        baseline = self.calibrate()
+        # Threshold from a *disjoint* benign run's own scores.
+        holdout = self.make(baseline)
+        feed_counts(holdout, benign_counts(1280, seed=11))
+        threshold = suggest_threshold(holdout.scores, sigmas=3.0)
+
+        flagged = self.make(baseline)
+        feed_counts(flagged, periodic_counts(1280))
+        benign = self.make(baseline)
+        feed_counts(benign, benign_counts(1280, seed=23))
+
+        assert detection_rate(flagged.scores, threshold) == 1.0
+        assert detection_rate(benign.scores, threshold) <= 0.1
+
+    def test_shuffled_bursts_lose_the_signature(self):
+        baseline = self.calibrate()
+        counts = periodic_counts(1280)
+        shuffled = list(counts)
+        random.Random(5).shuffle(shuffled)
+
+        periodic = self.make(baseline)
+        feed_counts(periodic, counts)
+        aperiodic = self.make(baseline)
+        feed_counts(aperiodic, shuffled)
+
+        # Same event totals, same marginal rate — only the periodicity
+        # differs, and that is exactly what the autocorrelation sees.
+        assert sum(counts) == sum(shuffled)
+        assert max(aperiodic.scores) < min(periodic.scores)
+
+    def test_segment_must_exceed_max_lag(self):
+        with pytest.raises(ValueError):
+            WritebackBurstDetector(window=1, segment=8, max_lag=8)
+
+    def test_mark_resets_measurement(self):
+        detector = self.make()
+        feed_counts(detector, periodic_counts(64))
+        assert detector.features
+        detector.on_mark("reset-stats")
+        assert detector.features == []
+        assert detector.windows_seen == 0
+
+
+class TestMissRateMonitor:
+    def make(self, baseline=None):
+        return MissRateMonitor(
+            window=8, owner=SUSPECT, levels=(1,), baseline=baseline
+        )
+
+    def run_trace(self, detector, miss_pattern, seed=3):
+        """Per tick: one access; ``miss_pattern(t)`` decides hit/miss."""
+        rng = random.Random(seed)
+        for t in range(512):
+            kind = EventKind.MISS if miss_pattern(t, rng) else EventKind.HIT
+            detector.on_event(event(t, kind))
+        detector.finish()
+
+    def test_burst_misses_flagged(self):
+        benign_pattern = lambda t, rng: rng.random() < 0.05
+        detector = self.make()
+        self.run_trace(detector, benign_pattern, seed=3)
+        baseline = Baseline.fit(detector.features)
+
+        holdout = self.make(baseline)
+        self.run_trace(holdout, benign_pattern, seed=4)
+        threshold = suggest_threshold(holdout.scores, sigmas=3.0)
+
+        # An LRU-style sender misses its whole window during 1-bits.
+        bursty = self.make(baseline)
+        self.run_trace(bursty, lambda t, rng: (t // 64) % 2 == 0, seed=5)
+        quiet = self.make(baseline)
+        self.run_trace(quiet, benign_pattern, seed=6)
+
+        assert detection_rate(bursty.scores, threshold) >= 0.4
+        assert detection_rate(quiet.scores, threshold) <= 0.1
+
+    def test_ignores_other_owners(self):
+        detector = self.make()
+        for t in range(16):
+            detector.on_event(event(t, EventKind.MISS, owner=9))
+        detector.finish()
+        assert detector.features == []
+
+
+class TestClockOwnerWindows:
+    def test_clock_thread_paces_windows(self):
+        monitor = MissRateMonitor(
+            window=2, owner=SUSPECT, levels=(1,), clock_owner=CLOCK
+        )
+        # Three suspect misses land before the first clock boundary...
+        for t in range(3):
+            monitor.on_event(event(t, EventKind.MISS))
+        monitor.on_event(event(3, EventKind.HIT, owner=CLOCK))
+        monitor.on_event(event(4, EventKind.HIT, owner=CLOCK))
+        # ...one more suspect miss after it.
+        monitor.on_event(event(5, EventKind.MISS))
+        monitor.on_event(event(6, EventKind.HIT, owner=CLOCK))
+        monitor.on_event(event(7, EventKind.HIT, owner=CLOCK))
+        monitor.finish()
+        assert [f[1] for f in monitor.features] == [3.0, 1.0]
+
+    def test_clock_events_are_not_counted(self):
+        monitor = MissRateMonitor(
+            window=1, owner=None, levels=(1,), clock_owner=CLOCK
+        )
+        monitor.on_event(event(0, EventKind.MISS, owner=CLOCK))
+        monitor.on_event(event(1, EventKind.HIT, owner=CLOCK))
+        monitor.on_event(event(2, EventKind.HIT, owner=CLOCK))
+        monitor.finish()
+        # Each clock access closes a window=1 window; all empty of counts.
+        assert monitor.features == [(0.0, 0.0, 0.0)] * 3
+
+    def test_clock_writebacks_do_not_tick(self):
+        monitor = MissRateMonitor(
+            window=1, owner=SUSPECT, levels=(1,), clock_owner=CLOCK
+        )
+        monitor.on_event(event(0, EventKind.WRITEBACK, owner=CLOCK))
+        monitor.on_event(event(1, EventKind.EVICT, owner=CLOCK))
+        monitor.finish()
+        assert monitor.windows_seen == 0
+
+    def test_clock_owner_must_differ(self):
+        with pytest.raises(ValueError):
+            MissRateMonitor(window=4, owner=SUSPECT, clock_owner=SUSPECT)
+
+
+class TestThresholdHelpers:
+    def test_detection_rate(self):
+        assert detection_rate([0.1, 0.9, 1.5], 0.5) == pytest.approx(2 / 3)
+        assert detection_rate([], 0.5) == 0.0
+        assert detection_rate([0.5], 0.5) == 0.0  # strictly above
+
+    def test_suggest_threshold(self):
+        assert suggest_threshold([1.0, 1.0], sigmas=3.0) == pytest.approx(1.0)
+        assert suggest_threshold([0.0, 2.0], sigmas=1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            suggest_threshold([])
+
+    def test_threshold_sweep_shape(self):
+        rows = threshold_sweep(
+            [0.0, 1.0],
+            benign_scores=[0.5, 1.5],
+            channel_scores={"wb": [0.2], "lru": [2.0]},
+        )
+        assert rows[0]["benign_fpr"] == 1.0
+        assert rows[1]["benign_fpr"] == 0.5
+        assert rows[1]["lru"] == 1.0
+        assert rows[1]["wb"] == 0.0

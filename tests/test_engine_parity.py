@@ -135,6 +135,54 @@ def test_wb_channel_transmission_parity():
     assert reference.bit_error_rate == fast.bit_error_rate
 
 
+@pytest.mark.parametrize("policy", available_policies())
+def test_telemetry_event_stream_parity(policy):
+    """With telemetry on, both engines emit bit-identical event streams.
+
+    The emission sites live in the shared hierarchy walk, so this holds
+    by construction for the generic path — and enabling telemetry forces
+    run_trace off the specialised SoA loop, so the batched API is covered
+    too.  NamedTuple equality compares every field of every event.
+    """
+    from repro.telemetry import EventKind, TelemetryBus, TraceRecorder
+
+    trace = list(
+        random_workload(
+            num_accesses=4_000,
+            working_set_lines=1024,
+            write_ratio=0.3,
+            seed=SEED,
+        )
+    )
+    reference, fast = build_pair(policy)
+    recorders = {}
+    for name, hierarchy in (("reference", reference), ("fast", fast)):
+        recorder = TraceRecorder(capacity=None)
+        hierarchy.attach_telemetry(TelemetryBus()).subscribe(recorder)
+        recorders[name] = recorder
+    run_trace(reference, trace, owner=0)
+    run_trace(fast, trace, owner=0)
+    flushed = sorted({address for address, _ in trace})[:64]
+    for address in flushed:
+        reference.flush(address, owner=0)
+        fast.flush(address, owner=0)
+
+    events_ref = recorders["reference"].events
+    events_fast = recorders["fast"].events
+    assert events_ref, "telemetry-on run produced no events"
+    assert events_ref == events_fast
+    assert_state_identical(reference, fast)
+    assert reference.stats.snapshot() == fast.stats.snapshot()
+    # The stream is internally consistent too: L1 misses reconstructed
+    # from events match the hierarchy's own statistics counters.
+    misses_l1 = sum(
+        1
+        for event in events_ref
+        if event.kind == EventKind.MISS and event.level == 1
+    )
+    assert misses_l1 == reference.stats.snapshot()["L1"]["misses"]
+
+
 def test_experiment_results_identical_across_engines():
     """A full registered experiment is engine-invariant."""
     from repro.experiments.profiles import QUICK

@@ -41,6 +41,11 @@ class TestExamples:
         assert "Scenario 1" in out
         assert "accuracy" in out
 
+    def test_detect_the_channel(self):
+        out = run_example("detect_the_channel.py")
+        assert "stealth claim holds" in out
+        assert "CC-Hunter" in out
+
     @pytest.mark.slow
     def test_defense_shootout(self):
         out = run_example("defense_shootout.py", "--seeds", "2", timeout=300)

@@ -51,6 +51,7 @@ class TestFramework:
             "table2", "table4", "table5", "table6", "table7",
             "fig4", "fig5", "fig6", "fig7", "fig8",
             "random_policy", "stability", "defenses", "sidechannel",
+            "online_detection",
         ):
             assert required in ids
 
@@ -180,6 +181,39 @@ class TestStabilityExperiment:
         pp = float(noise_row[3].rstrip("%"))
         assert wb < lru
         assert wb < pp
+
+
+class TestOnlineDetection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("online_detection", profile="quick")
+
+    def test_stealth_claim_holds_online(self, result):
+        # The paper's Section 7 claim in online form: at matched
+        # bandwidth both detectors flag the LRU sender strictly more
+        # often than the WB sender.
+        assert result.params["stealth_holds"] is True
+        rates = result.params["detection_rates"]
+        for detector in ("monitor", "burst"):
+            assert rates[detector]["lru"] > rates[detector]["wb"]
+
+    def test_benign_fpr_reported(self, result):
+        rates = result.params["detection_rates"]
+        for detector in ("monitor", "burst"):
+            assert 0.0 <= rates[detector]["benign"] <= 1.0
+        assert "benign FPR" in result.columns
+
+    def test_roc_series_attached(self, result):
+        for detector in ("monitor", "burst"):
+            thresholds = result.series[f"{detector}_roc_threshold"]
+            fprs = result.series[f"{detector}_roc_benign_fpr"]
+            assert len(thresholds) == len(fprs) > 2
+            # FPR is monotone non-increasing in the threshold.
+            assert all(b <= a for a, b in zip(fprs, fprs[1:]))
+
+    def test_rows_cover_both_detectors(self, result):
+        assert [row[0] for row in result.rows] == ["monitor", "burst"]
+        assert all(row[-1] == "yes" for row in result.rows)
 
 
 class TestExtensionsAndAblations:

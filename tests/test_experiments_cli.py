@@ -27,6 +27,16 @@ class TestParser:
         assert args.jobs == 4
         assert args.out == "res"
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["table4", "--telemetry", "--trace-out", "traces"]
+        )
+        assert args.telemetry
+        assert args.trace_out == "traces"
+        defaults = build_parser().parse_args(["table4"])
+        assert not defaults.telemetry
+        assert defaults.trace_out is None
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -81,6 +91,39 @@ class TestMain:
         manifest = RunManifest.load(out_dir)
         assert manifest.ok
         assert [e.task_id for e in manifest.entries] == ["table4", "fig7"]
+
+    def test_telemetry_summary_lands_in_manifest(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["table4", "--profile", "quick", "--telemetry",
+                     "--out", str(out_dir)]) == 0
+        from repro.runner import RunManifest
+
+        manifest = RunManifest.load(out_dir)
+        summary = manifest.entry("table4").result.params["telemetry"]
+        assert summary["events"] > 0
+        assert summary["counters"]["levels"]["L1"]["accesses"] > 0
+
+    def test_trace_out_requires_serial(self, capsys):
+        assert main(["table4", "--profile", "quick",
+                     "--trace-out", "traces", "--jobs", "2"]) == 2
+        assert "--jobs 1" in capsys.readouterr().err
+
+    def test_trace_out_exports_jsonl(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import TelemetryConfig, configure, default_config
+
+        previous = default_config()
+        trace_dir = tmp_path / "traces"
+        try:
+            assert main(["table4", "--profile", "quick",
+                         "--trace-out", str(trace_dir)]) == 0
+        finally:
+            configure(previous)
+        trace_path = trace_dir / "table4-seed0.jsonl"
+        assert trace_path.exists()
+        first = json.loads(trace_path.read_text().splitlines()[0])
+        assert {"time", "kind", "level", "owner"} <= set(first)
 
     def test_parallel_matches_serial_output_rows(self, tmp_path):
         from repro.runner import RunManifest

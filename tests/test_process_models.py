@@ -8,6 +8,7 @@ from repro.common.errors import ConfigurationError
 from repro.cpu.noise import SchedulerNoise
 from repro.cpu.perf_counters import PerfReport
 from repro.experiments.process_models import (
+    InstrumentedBenignProcess,
     InstrumentedLRUSender,
     InstrumentedWBSender,
     make_activity,
@@ -107,4 +108,39 @@ class TestInstrumentedLRUSender:
                 period=1000,
                 start_time=0,
                 modulation_interval=0,
+            )
+
+
+class TestInstrumentedBenignProcess:
+    def run_benign(self, periods=4):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        benign = InstrumentedBenignProcess(
+            activity=make_activity(space, seed=0),
+            periods=periods,
+            period=11000,
+            start_time=1_800_000,
+        )
+        bench.add_thread(0, space, benign, name="benign")
+        core = bench.run()
+        cycles = max(1.0, core.elapsed_cycles() - 1_800_000)
+        return PerfReport.from_stats(bench.hierarchy.stats, 0, cycles)
+
+    def test_matches_sender_housekeeping_envelope(self):
+        # Same whole-process model as the senders, minus channel traffic:
+        # the measured window holds exactly the housekeeping batches.
+        report = self.run_benign()
+        _, wb = run_sender(InstrumentedWBSender)
+        assert report.l1_accesses <= wb.l1_accesses
+        assert report.l1_accesses > 0.8 * wb.l1_accesses
+
+    def test_periods_validated(self):
+        bench = make_bench()
+        space = bench.new_space(pid=0)
+        with pytest.raises(ConfigurationError):
+            InstrumentedBenignProcess(
+                activity=make_activity(space),
+                periods=-1,
+                period=1000,
+                start_time=0,
             )

@@ -39,6 +39,23 @@ class TestRunProfile:
         profile = RunProfile("smoke", reduced=True, scale=0.25)
         assert RunProfile.from_dict(profile.to_dict()) == profile
 
+    def test_telemetry_round_trip(self):
+        profile = RunProfile("smoke", reduced=True).with_telemetry()
+        assert profile.telemetry
+        assert RunProfile.from_dict(profile.to_dict()) == profile
+
+    def test_with_telemetry_is_identity_when_unchanged(self):
+        assert QUICK.with_telemetry(False) is QUICK
+        enabled = QUICK.with_telemetry()
+        assert enabled is not QUICK
+        assert enabled.with_telemetry(True) is enabled
+
+    def test_from_dict_defaults_telemetry_off(self):
+        # Manifests written before the telemetry field must still load.
+        data = QUICK.to_dict()
+        del data["telemetry"]
+        assert RunProfile.from_dict(data).telemetry is False
+
 
 class TestResolveProfile:
     def test_none_means_full(self):
