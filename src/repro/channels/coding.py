@@ -17,6 +17,12 @@ message, send the codeword bits through the channel, decode what arrives.
 Codes correct *flips*; insertions/losses (preemption bursts) defeat the
 block framing, which is why the experiments pair coding with the
 preamble alignment already in place.
+
+For *detection* (rather than correction) the module also provides a
+bitwise CRC (:func:`crc_bits` / :func:`crc_check`): the self-healing
+frame format in :mod:`repro.channels.wb.framing` protects each frame
+with a CRC-8 over its sequence number and payload, so a frame corrupted
+beyond the FEC's correction radius is rejected instead of delivered.
 """
 
 from __future__ import annotations
@@ -25,6 +31,48 @@ import abc
 from typing import List, Sequence
 
 from repro.common.errors import ConfigurationError, ProtocolError
+
+#: CRC-8/ATM generator polynomial (x^8 + x^2 + x + 1, the x^8 implicit).
+CRC8_POLY = 0x07
+
+
+def crc_bits(bits: Sequence[int], width: int = 8, poly: int = CRC8_POLY) -> List[int]:
+    """CRC remainder of ``bits``, MSB-first, as a ``width``-bit list.
+
+    Plain long-division CRC with a zero initial register — table-driven
+    variants buy nothing at frame sizes of a few dozen bits, and the
+    bitwise form is the specification.
+    """
+    if width <= 0:
+        raise ConfigurationError(f"CRC width must be positive, got {width}")
+    if not 0 < poly < (1 << width):
+        raise ConfigurationError(
+            f"CRC polynomial {poly:#x} out of range for width {width}"
+        )
+    mask = (1 << width) - 1
+    register = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ProtocolError(f"bits must be 0/1, got {bit!r}")
+        top = (register >> (width - 1)) & 1
+        register = (register << 1) & mask
+        if top ^ bit:
+            register ^= poly
+    return [(register >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def crc_check(
+    bits: Sequence[int],
+    checksum: Sequence[int],
+    width: int = 8,
+    poly: int = CRC8_POLY,
+) -> bool:
+    """True when ``checksum`` is the CRC of ``bits``."""
+    if len(checksum) != width:
+        raise ProtocolError(
+            f"checksum must be {width} bits, got {len(checksum)}"
+        )
+    return list(checksum) == crc_bits(bits, width=width, poly=poly)
 
 
 class BlockCode(abc.ABC):

@@ -9,6 +9,11 @@
   Figure 4 and for threshold calibration.
 * :mod:`~repro.channels.wb.protocol` — Algorithm 3: the paced covert
   channel protocol, returning a :class:`ChannelRunResult`.
+* :mod:`~repro.channels.wb.framing` — self-identifying frames (sync word,
+  sequence number, CRC over FEC) with a resynchronising scanner.
+* :mod:`~repro.channels.wb.robust` — the self-healing stack: framing +
+  online threshold recalibration + ACK/retransmission, built for the
+  :mod:`repro.faults` regime.
 """
 
 from repro.channels.wb.sender import WBSenderProgram
@@ -16,6 +21,14 @@ from repro.channels.wb.receiver import WBReceiverProgram
 from repro.channels.wb.calibration import (
     calibrate_decoder,
     measure_latency_distributions,
+)
+from repro.channels.wb.framing import (
+    DEFAULT_SYNC,
+    FrameConfig,
+    FrameScanResult,
+    encode_frame,
+    encode_payload,
+    scan_frames,
 )
 from repro.channels.wb.l2 import (
     L2ChannelRunResult,
@@ -25,22 +38,42 @@ from repro.channels.wb.l2 import (
 )
 from repro.channels.wb.protocol import (
     ChannelRunResult,
+    TransmissionTrace,
     WBChannelConfig,
     quick_channel_run,
+    resolve_channel_decoder,
     run_wb_channel,
+    transmit_symbol_schedule,
+)
+from repro.channels.wb.robust import (
+    RobustProtocolConfig,
+    RobustRunResult,
+    run_robust_wb_channel,
 )
 
 __all__ = [
     "ChannelRunResult",
+    "DEFAULT_SYNC",
+    "FrameConfig",
+    "FrameScanResult",
     "L2ChannelRunResult",
     "L2WBChannelConfig",
-    "make_l2_channel_hierarchy",
-    "run_l2_wb_channel",
+    "RobustProtocolConfig",
+    "RobustRunResult",
+    "TransmissionTrace",
     "WBChannelConfig",
     "WBReceiverProgram",
     "WBSenderProgram",
     "calibrate_decoder",
+    "encode_frame",
+    "encode_payload",
+    "make_l2_channel_hierarchy",
     "measure_latency_distributions",
     "quick_channel_run",
+    "resolve_channel_decoder",
+    "run_l2_wb_channel",
     "run_wb_channel",
+    "run_robust_wb_channel",
+    "scan_frames",
+    "transmit_symbol_schedule",
 ]

@@ -23,9 +23,19 @@ from repro.cache.hierarchy import HierarchyFactory
 from repro.channels.wb.calibration import calibrate_decoder
 from repro.channels.wb.receiver import WBReceiverProgram
 from repro.channels.wb.sender import WBSenderProgram
+from repro.common.rng import derive_seed
 from repro.cpu.noise import SchedulerNoise
 from repro.cpu.perf_counters import PerfReport
 from repro.cpu.tsc import TimestampCounterLike
+from repro.faults.injector import (
+    CORUNNER_TID,
+    CoRunnerProgram,
+    apply_measurement_faults,
+    desched_plan,
+    emit_fault_events,
+)
+from repro.faults.schedule import FaultSchedule, build_fault_schedule
+from repro.faults.spec import FaultSpec
 from repro.mem.pointer_chase import PointerChaseList
 from repro.mem.sets import build_replacement_set, build_set_conflicting_lines
 
@@ -76,6 +86,12 @@ class WBChannelConfig:
     #: Optional decoder reuse: experiments sweeping many messages on one
     #: platform calibrate once and inject the decoder here.
     decoder: Optional[ThresholdDecoder] = None
+    #: Deterministic fault injection (``repro.faults``); ``None`` runs the
+    #: benign regime every other experiment measures.  The fault schedule
+    #: derives from ``derive_seed(seed, "faults/round<n>")`` — its own
+    #: stream, so a faulted run's simulator randomness (hierarchy, noise,
+    #: phase) is identical to the fault-free run at the same seed.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.tsc is not None and not isinstance(self.tsc, TimestampCounterLike):
@@ -153,6 +169,9 @@ class ChannelRunResult:
     sender_perf: PerfReport
     receiver_perf: PerfReport
     elapsed_cycles: float
+    #: Injected-fault event counts (``FaultSchedule.summary()``); ``None``
+    #: for fault-free runs.
+    fault_summary: Optional[Dict[str, object]] = None
 
     @property
     def payload_intact(self) -> bool:
@@ -166,27 +185,70 @@ class ChannelRunResult:
         )
 
 
-def run_wb_channel(config: WBChannelConfig) -> ChannelRunResult:
-    """Run one complete WB covert-channel transmission."""
-    message = config.resolve_message()
-    schedule = config.codec.encode_message(message)
-    num_symbols = len(schedule)
+@dataclass(frozen=True)
+class TransmissionTrace:
+    """What one paced transmission measured, before symbol decoding.
 
-    decoder = config.decoder
-    if decoder is None:
-        decoder = calibrate_decoder(
-            levels=config.codec.levels,
-            repetitions=config.calibration_repetitions,
-            replacement_set_size=config.replacement_set_size,
-            target_set=config.target_set if config.target_set is not None else 21,
-            seed=config.seed,
-            hierarchy_overrides=config.hierarchy_overrides,
-            hierarchy_factory=config.hierarchy_factory,
-            ensure_resident=config.sender_ensure_resident,
-        )
+    :func:`run_wb_channel` (the raw protocol) and
+    :func:`repro.channels.wb.robust.run_robust_wb_channel` (the framed,
+    self-healing stack) both transmit through
+    :func:`transmit_symbol_schedule` and decode this trace their own way.
+    """
+
+    #: The sample stream the decoder sees (measurement faults applied).
+    samples: Tuple[Tuple[int, int], ...]
+    #: The stream as the receiver measured it (pre-fault; equal to
+    #: ``samples`` in fault-free runs).
+    raw_samples: Tuple[Tuple[int, int], ...]
+    sender_perf: PerfReport
+    receiver_perf: PerfReport
+    elapsed_cycles: float
+    fault_schedule: Optional[FaultSchedule]
+
+    @property
+    def fault_summary(self) -> Optional[Dict[str, object]]:
+        """Injected-fault counts, or ``None`` for fault-free runs."""
+        if self.fault_schedule is None:
+            return None
+        return self.fault_schedule.summary()
+
+    def latencies(self) -> List[int]:
+        """The (post-fault) latency series, in sample order."""
+        return [latency for _, latency in self.samples]
+
+
+def transmit_symbol_schedule(
+    config: WBChannelConfig,
+    schedule: Sequence[int],
+    *,
+    num_samples: Optional[int] = None,
+    fault_round: int = 0,
+    symbol_origin: int = 0,
+    bench_seed: Optional[int] = None,
+    absolute_pacing: bool = False,
+) -> TransmissionTrace:
+    """Transmit one dirty-count schedule through a fresh testbench.
+
+    The RNG draw order here is load-bearing: hierarchy, target set,
+    replacement sets, phase, core — in that order, all off the bench's
+    seed stream.  Fault randomness deliberately lives on a *separate*
+    stream (``derive_seed(config.seed, "faults/...")``), so enabling
+    faults never perturbs the simulated machine itself, and the parity
+    suite can compare faulted runs across engines.
+
+    ``fault_round``/``symbol_origin``/``bench_seed`` exist for the ARQ
+    retransmission rounds: each round draws a fresh fault schedule and a
+    fresh bench, while the drift ramp continues from ``symbol_origin``.
+    """
+    num_symbols = len(schedule)
+    samples_wanted = (
+        num_symbols + config.alignment_slack_symbols
+        if num_samples is None
+        else num_samples
+    )
 
     bench_config = TestbenchConfig(
-        seed=config.seed,
+        seed=config.seed if bench_seed is None else bench_seed,
         hierarchy_overrides=dict(config.hierarchy_overrides),
         hierarchy_factory=config.hierarchy_factory,
         scheduler_noise=config.scheduler_noise,
@@ -221,26 +283,99 @@ def run_wb_channel(config: WBChannelConfig) -> ChannelRunResult:
     if phase is None:
         phase = derive_rng(bench.rng, "phase").random()
 
+    fault_schedule: Optional[FaultSchedule] = None
+    if config.faults is not None:
+        fault_schedule = build_fault_schedule(
+            config.faults,
+            seed=derive_seed(config.seed, f"faults/round{fault_round}"),
+            num_symbols=num_symbols,
+            period=config.period_cycles,
+            start_time=config.start_time,
+            num_slots=samples_wanted,
+            symbol_origin=symbol_origin,
+        )
+
     sender = WBSenderProgram(
         lines=sender_lines,
         schedule=schedule,
         period=config.period_cycles,
         start_time=config.start_time,
         ensure_resident=config.sender_ensure_resident,
+        desched=desched_plan(fault_schedule, "sender") if fault_schedule else None,
+        absolute_pacing=absolute_pacing,
     )
     receiver = WBReceiverProgram(
         chase_a=chase_a,
         chase_b=chase_b,
         period=config.period_cycles,
         start_time=config.start_time,
-        num_samples=num_symbols + config.alignment_slack_symbols,
+        num_samples=samples_wanted,
         phase=phase,
+        desched=desched_plan(fault_schedule, "receiver") if fault_schedule else None,
+        absolute_pacing=absolute_pacing,
     )
     bench.add_thread(SENDER_TID, sender_space, sender, name="wb-sender")
     bench.add_thread(RECEIVER_TID, receiver_space, receiver, name="wb-receiver")
+    if fault_schedule is not None and fault_schedule.corunner_bursts:
+        corunner_space = bench.new_space(pid=CORUNNER_TID)
+        corunner = CoRunnerProgram(
+            lines=build_set_conflicting_lines(
+                corunner_space, layout, target_set, 4
+            ),
+            bursts=fault_schedule.corunner_bursts,
+        )
+        bench.add_thread(CORUNNER_TID, corunner_space, corunner, name="corunner")
     core = bench.run()
 
-    levels = decoder.classify_many(receiver.latencies())
+    raw_samples = tuple(receiver.samples)
+    if fault_schedule is None:
+        samples = raw_samples
+    else:
+        samples = tuple(apply_measurement_faults(raw_samples, fault_schedule))
+        bus = bench.hierarchy.telemetry
+        if bus is not None:
+            emit_fault_events(bus, fault_schedule, target_set)
+
+    elapsed = core.elapsed_cycles()
+    return TransmissionTrace(
+        samples=samples,
+        raw_samples=raw_samples,
+        sender_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, SENDER_TID, elapsed
+        ),
+        receiver_perf=PerfReport.from_stats(
+            bench.hierarchy.stats, RECEIVER_TID, elapsed
+        ),
+        elapsed_cycles=elapsed,
+        fault_schedule=fault_schedule,
+    )
+
+
+def resolve_channel_decoder(config: WBChannelConfig) -> ThresholdDecoder:
+    """The configured decoder, calibrating one if none was injected."""
+    if config.decoder is not None:
+        return config.decoder
+    return calibrate_decoder(
+        levels=config.codec.levels,
+        repetitions=config.calibration_repetitions,
+        replacement_set_size=config.replacement_set_size,
+        target_set=config.target_set if config.target_set is not None else 21,
+        seed=config.seed,
+        hierarchy_overrides=config.hierarchy_overrides,
+        hierarchy_factory=config.hierarchy_factory,
+        ensure_resident=config.sender_ensure_resident,
+    )
+
+
+def run_wb_channel(config: WBChannelConfig) -> ChannelRunResult:
+    """Run one complete WB covert-channel transmission."""
+    message = config.resolve_message()
+    schedule = config.codec.encode_message(message)
+
+    decoder = resolve_channel_decoder(config)
+    trace = transmit_symbol_schedule(config, schedule)
+
+    levels = decoder.classify_many(trace.latencies())
     received_raw = config.codec.decode_message(levels)
     report = evaluate_transmission(
         sent=message,
@@ -248,7 +383,6 @@ def run_wb_channel(config: WBChannelConfig) -> ChannelRunResult:
         preamble_length=len(config.preamble),
         alignment_slack=config.alignment_slack_symbols * config.codec.bits_per_symbol,
     )
-    elapsed = core.elapsed_cycles()
     return ChannelRunResult(
         sent_bits=tuple(message),
         received_bits=tuple(report.received),
@@ -257,15 +391,12 @@ def run_wb_channel(config: WBChannelConfig) -> ChannelRunResult:
         alignment_offset=report.offset,
         rate_kbps=config.rate_kbps,
         period_cycles=config.period_cycles,
-        samples=tuple(receiver.samples),
+        samples=trace.samples,
         decoder=decoder,
-        sender_perf=PerfReport.from_stats(
-            bench.hierarchy.stats, SENDER_TID, elapsed
-        ),
-        receiver_perf=PerfReport.from_stats(
-            bench.hierarchy.stats, RECEIVER_TID, elapsed
-        ),
-        elapsed_cycles=elapsed,
+        sender_perf=trace.sender_perf,
+        receiver_perf=trace.receiver_perf,
+        elapsed_cycles=trace.elapsed_cycles,
+        fault_summary=trace.fault_summary,
     )
 
 

@@ -11,10 +11,10 @@ doubling as the next symbol's initialisation phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
-from repro.cpu.ops import Load, RdTSC, SpinUntil
+from repro.cpu.ops import Delay, Load, RdTSC, SpinUntil
 from repro.cpu.thread import OpGenerator, Program
 from repro.mem.pointer_chase import PointerChaseList
 
@@ -46,6 +46,17 @@ class WBReceiverProgram(Program):
     start_time: int
     num_samples: int
     phase: float = 0.6
+    #: Fault injection (``repro.faults``): ``{slot_index: cycles}`` of
+    #: descheduling windows.  A window longer than the remaining period
+    #: shifts the sampling grid, so the receiver skips sender symbols
+    #: (deletions) — the slip the framing layer resynchronises around.
+    desched: Optional[Mapping[int, int]] = None
+    #: Hardened pacing: spin to the absolute sample grid
+    #: ``start + phase·period + k·period`` instead of chaining off the
+    #: previous wake-up, so a descheduling window costs the samples it
+    #: covers and the grid re-locks.  Off by default — the raw protocol
+    #: chains, and every baseline experiment measures that behaviour.
+    absolute_pacing: bool = False
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -77,13 +88,18 @@ class WBReceiverProgram(Program):
         first_target = self.start_time + int(self.phase * self.period)
         t_last = yield SpinUntil(first_target)
         for index in range(self.num_samples):
+            if self.desched and index in self.desched:
+                yield Delay(self.desched[index])
             chase = self.chase_a if index % 2 == 0 else self.chase_b
             start = yield RdTSC()
             for line in chase:
                 yield Load(line)
             end = yield RdTSC()
             self.samples.append((start, end - start))
-            t_last = yield SpinUntil(t_last + self.period)
+            if self.absolute_pacing:
+                t_last = yield SpinUntil(first_target + (index + 1) * self.period)
+            else:
+                t_last = yield SpinUntil(t_last + self.period)
 
     def latencies(self) -> List[int]:
         """Just the latency series, in sample order."""

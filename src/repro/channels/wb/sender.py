@@ -9,10 +9,10 @@ at all — one reason the channel is stealthy (Table 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.cpu.ops import Load, SpinUntil, Store
+from repro.cpu.ops import Delay, Load, SpinUntil, Store
 from repro.cpu.thread import OpGenerator, Program
 
 
@@ -47,6 +47,19 @@ class WBSenderProgram(Program):
     ensure_resident: bool = False
     resident_threshold: float = 8.0
     max_residency_attempts: int = 40
+    #: Fault injection (``repro.faults``): ``{symbol_index: cycles}`` of
+    #: descheduling windows.  The delay lands before the symbol's encode,
+    #: and because the period chain runs off actual wake-up times, a
+    #: window longer than the remaining period permanently shifts this
+    #: sender's symbol grid relative to the receiver's — a symbol slip.
+    desched: Optional[Mapping[int, int]] = None
+    #: Hardened pacing: spin to ``start_time + k * period`` (the absolute
+    #: grid both parties agreed on) instead of chaining off the previous
+    #: wake-up.  A descheduling window then costs the symbols it covers
+    #: and the grid re-locks, instead of shifting by a fractional period
+    #: for the rest of the message.  Off by default: the raw protocol
+    #: chains, and every baseline experiment measures that behaviour.
+    absolute_pacing: bool = False
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -69,7 +82,9 @@ class WBSenderProgram(Program):
         for line in self.lines:
             yield Load(line)
         t_last = yield SpinUntil(self.start_time)
-        for dirty_count in self.schedule:
+        for index, dirty_count in enumerate(self.schedule):
+            if self.desched and index in self.desched:
+                yield Delay(self.desched[index])
             # Encoding phase: put `dirty_count` lines into the dirty state.
             for line in self.lines[:dirty_count]:
                 if self.ensure_resident:
@@ -80,4 +95,7 @@ class WBSenderProgram(Program):
                 yield Store(line)
             self.encode_timestamps.append(t_last)
             # Sleep phase: allow the receiver to decode (Algorithm 3).
-            t_last = yield SpinUntil(t_last + self.period)
+            if self.absolute_pacing:
+                t_last = yield SpinUntil(self.start_time + (index + 1) * self.period)
+            else:
+                t_last = yield SpinUntil(t_last + self.period)

@@ -19,6 +19,16 @@ class ConfigurationError(ReproError):
     """
 
 
+class ManifestError(ConfigurationError):
+    """A persisted run manifest could not be read back.
+
+    Raised for truncated or otherwise corrupt JSON (an interrupted write,
+    a partially synced disk) and for files that parse but are not run
+    manifests.  Subclasses :class:`ConfigurationError` so existing
+    ``except ConfigurationError`` callers keep working.
+    """
+
+
 class SimulationError(ReproError):
     """The simulator reached a state that the model cannot represent.
 

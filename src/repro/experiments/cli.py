@@ -29,7 +29,7 @@ from repro.channels.taxonomy import render_table
 from repro.engine.selection import available_engines
 from repro.experiments.profiles import available_profiles, resolve_profile
 from repro.experiments.registry import available_experiments
-from repro.runner import ProgressPrinter, run_experiments
+from repro.runner import ProgressPrinter, RunInterrupted, run_experiments
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        default=None,
+        help=(
+            "resume from a prior (partial) run manifest: tasks already "
+            "completed there are reused verbatim, everything else runs; "
+            "the merged manifest is canonically identical to an "
+            "uninterrupted run"
+        ),
+    )
+    parser.add_argument(
         "--taxonomy",
         action="store_true",
         help="print the paper's Table 1 channel classification",
@@ -184,15 +195,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     total_tasks = len(requested) * args.seeds
     progress = ProgressPrinter() if (args.jobs > 1 or total_tasks > 1) else None
-    manifest = run_experiments(
-        requested,
-        profile=profile,
-        seed=args.seed,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        seeds_per_experiment=args.seeds,
-        progress=progress,
-    )
+    try:
+        manifest = run_experiments(
+            requested,
+            profile=profile,
+            seed=args.seed,
+            jobs=args.jobs,
+            out_dir=args.out,
+            timeout=args.timeout,
+            seeds_per_experiment=args.seeds,
+            progress=progress,
+            resume_from=args.resume,
+        )
+    except RunInterrupted as exc:
+        print("\ninterrupted", file=sys.stderr)
+        if exc.manifest is not None and args.out is not None:
+            done = sum(1 for entry in exc.manifest.entries if entry.ok)
+            print(
+                f"partial manifest ({done}/{len(exc.manifest.entries)} task(s) "
+                f"done) written to {args.out}; resume with --resume "
+                f"{args.out}",
+                file=sys.stderr,
+            )
+        return 130
 
     for entry in manifest.entries:
         if entry.ok:

@@ -1,0 +1,150 @@
+"""Robustness extension — the WB channel under injected faults.
+
+The paper evaluates the channel on a quiet, cooperatively scheduled
+machine.  This experiment asks what a *practical* deployment faces: OS
+descheduling windows that slip symbols, bursty co-runner traffic in the
+target set, slow calibration drift, and lost or duplicated probe windows
+(:mod:`repro.faults`).  It sweeps a fault-intensity multiplier and, at
+each point, runs the same faulted channel twice:
+
+* **raw** — Algorithm 3 exactly as the paper describes it: one preamble
+  alignment, frozen calibrated thresholds, chained pacing.  Its BER
+  collapses quickly (drift alone crosses the binary decision threshold).
+* **hardened** — the self-healing stack of
+  :func:`repro.channels.wb.robust.run_robust_wb_channel`: sync-framed
+  payload with per-frame CRC over FEC, a resynchronising scanner, online
+  EWMA threshold recalibration, and ACK/retransmission.
+
+The headline claim (checked by the robustness CI job): at an intensity
+where the raw protocol's BER exceeds 10 %, the hardened stack still
+delivers the payload bit-exact — at an honestly reported fraction of the
+raw bit rate (``goodput``).  The ``demonstration`` entry in the params
+records that point.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.channels.encoding import BinaryDirtyCodec
+from repro.channels.wb import (
+    WBChannelConfig,
+    run_robust_wb_channel,
+    run_wb_channel,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.faults import DEFAULT_FAULT_SPEC
+
+EXPERIMENT_ID = "fault_tolerance"
+
+PERIOD = 5500
+
+#: Raw-protocol message length (16-bit preamble + 64 payload bits), kept
+#: equal to the hardened payload so the comparison is bit-for-bit fair.
+RAW_MESSAGE_BITS = 80
+PAYLOAD_BITS = 64
+
+FULL_INTENSITIES = (0.0, 0.5, 1.0, 2.0, 3.0)
+#: The quick sweep keeps the fault-free baseline and the demonstration
+#: point (raw BER well above 10 %, hardened recovery intact).
+QUICK_INTENSITIES = (0.0, 1.0)
+
+#: Threshold the demonstration point must push the raw protocol past.
+RAW_BER_COLLAPSE = 0.10
+
+
+def run(
+    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+) -> ExperimentResult:
+    """Sweep fault intensity; compare the raw and hardened WB protocols."""
+    profile = resolve_profile(profile, quick=quick)
+    intensities = QUICK_INTENSITIES if profile.is_reduced else FULL_INTENSITIES
+    runs_per_point = profile.count(quick=1, full=3)
+
+    rows: List[List[object]] = []
+    demonstration: Optional[Dict[str, object]] = None
+    for intensity in intensities:
+        spec = DEFAULT_FAULT_SPEC.scaled(intensity)
+        raw_bers: List[float] = []
+        intact_count = 0
+        rounds: List[int] = []
+        retransmissions: List[int] = []
+        goodputs: List[float] = []
+        rate_kbps = 0.0
+        for index in range(runs_per_point):
+            run_seed = seed * 991 + index
+            raw_config = WBChannelConfig(
+                codec=BinaryDirtyCodec(d_on=1),
+                period_cycles=PERIOD,
+                message_bits=RAW_MESSAGE_BITS,
+                seed=run_seed,
+                faults=spec if intensity else None,
+            )
+            raw = run_wb_channel(raw_config)
+            raw_bers.append(raw.bit_error_rate)
+            hardened = run_robust_wb_channel(
+                replace(raw_config, message_bits=PAYLOAD_BITS)
+            )
+            intact_count += int(hardened.payload_intact)
+            rounds.append(hardened.rounds_used)
+            retransmissions.append(hardened.retransmissions)
+            goodputs.append(hardened.goodput_kbps)
+            rate_kbps = hardened.rate_kbps
+        raw_ber = statistics.fmean(raw_bers)
+        goodput = statistics.fmean(goodputs)
+        all_intact = intact_count == runs_per_point
+        rows.append([
+            f"{intensity:.1f}",
+            f"{raw_ber:.2%}",
+            f"{intact_count}/{runs_per_point}",
+            f"{statistics.fmean(rounds):.1f}",
+            f"{statistics.fmean(retransmissions):.1f}",
+            f"{goodput:.0f}",
+        ])
+        # The headline point: the lowest intensity past raw collapse where
+        # the hardened stack still delivered every payload bit-exact.
+        if demonstration is None and raw_ber > RAW_BER_COLLAPSE and all_intact:
+            demonstration = {
+                "intensity": intensity,
+                "raw_ber": raw_ber,
+                "payload_intact": True,
+                "goodput_kbps": goodput,
+                "rate_kbps": rate_kbps,
+            }
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="WB channel fault tolerance: raw vs self-healing protocol",
+        paper_reference="robustness extension (beyond the paper)",
+        columns=[
+            "intensity",
+            "raw BER",
+            "hardened intact",
+            "rounds",
+            "retransmissions",
+            "goodput (Kbps)",
+        ],
+        rows=rows,
+        params={
+            "runs_per_point": runs_per_point,
+            "raw_message_bits": RAW_MESSAGE_BITS,
+            "payload_bits": PAYLOAD_BITS,
+            "period": PERIOD,
+            "fault_spec": DEFAULT_FAULT_SPEC.to_dict(),
+            "intensities": list(intensities),
+            "raw_ber_collapse_threshold": RAW_BER_COLLAPSE,
+            "demonstration": demonstration,
+            "seed": seed,
+        },
+        notes=(
+            "Faults (descheduling slips, co-runner bursts, threshold "
+            "drift, dropped/duplicated probe windows) collapse the raw "
+            "protocol's BER, while the framed + CRC + resync + adaptive "
+            "stack keeps delivering the payload bit-exact and degrades to "
+            "lower goodput instead; `demonstration` in the params records "
+            "the first intensity past 10 % raw BER with full recovery."
+        ),
+    )

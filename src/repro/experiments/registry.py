@@ -13,6 +13,7 @@ from repro.experiments import (
     defenses_exp,
     extension_3bit,
     extension_l2,
+    fault_tolerance,
     fig4,
     fig5,
     fig6,
@@ -49,6 +50,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     # Extensions and ablations beyond the paper's own evaluation.
     "extension_3bit": extension_3bit.run,
     "extension_l2": extension_l2.run,
+    "fault_tolerance": fault_tolerance.run,
     "ablation_errors": ablation_errors.run,
     "ablation_replacement_set": ablation_replacement_set.run,
 }

@@ -1,0 +1,80 @@
+"""Runner-level chaos: injected worker crashes and hangs.
+
+The channel-level faults live in :mod:`repro.faults.schedule`; this
+module covers the *infrastructure* fault classes — a worker process
+dying mid-task or wedging until the timeout — used by the resume tests
+and the CI fault-injection smoke job.
+
+The entry points here are importable by dotted path (the runner's
+:class:`~repro.runner.sharding.TaskSpec` convention, which keeps task
+specs picklable), and they coordinate "fail exactly once" across
+process boundaries through a marker file named in an environment
+variable, exactly like the crash-once fixture in ``tests``:
+
+* ``REPRO_CHAOS_MARKER`` — path of the marker file.  While the file
+  does **not** exist, the first invocation creates it and then injects
+  its fault; every later invocation (the retry, or other tasks) runs
+  normally.  Unset means no chaos.
+* ``REPRO_CHAOS_TASK`` — optionally restrict the chaos to one task id.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily at run time: repro.experiments
+    # imports the channel stack, which imports repro.faults — a cycle.
+    from repro.experiments.profiles import ProfileLike
+
+#: Environment contract shared with the CI smoke job and the tests.
+CHAOS_MARKER_ENV = "REPRO_CHAOS_MARKER"
+CHAOS_TASK_ENV = "REPRO_CHAOS_TASK"
+
+#: Exit status of an injected crash — distinct from real failure codes so
+#: a chaos crash is recognisable in pool logs and manifests.
+CHAOS_CRASH_EXIT = 57
+
+#: An injected hang sleeps this long (seconds); pair it with a shorter
+#: ``--timeout`` so the pool's timeout path fires.
+CHAOS_HANG_SECONDS = 3600.0
+
+
+def _chaos_armed(experiment_id: str) -> bool:
+    """True when this invocation should inject its fault (and disarm)."""
+    marker = os.environ.get(CHAOS_MARKER_ENV)
+    if not marker:
+        return False
+    only_task = os.environ.get(CHAOS_TASK_ENV)
+    if only_task and only_task != experiment_id:
+        return False
+    if os.path.exists(marker):
+        return False
+    with open(marker, "w") as handle:
+        handle.write(experiment_id)
+    return True
+
+
+def crash_once_then_run(profile: "ProfileLike", seed: int, experiment_id: str):
+    """Die with :data:`CHAOS_CRASH_EXIT` on the first armed call, then
+    behave exactly like :func:`repro.experiments.registry.run_experiment`.
+
+    Declares ``experiment_id``, so the pool's entry-point resolution
+    binds the task's experiment id (see
+    :func:`repro.runner.pool.resolve_entry_point`).
+    """
+    from repro.experiments.registry import run_experiment
+
+    if _chaos_armed(experiment_id):
+        os._exit(CHAOS_CRASH_EXIT)
+    return run_experiment(experiment_id, profile=profile, seed=seed)
+
+
+def hang_once_then_run(profile: "ProfileLike", seed: int, experiment_id: str):
+    """Wedge (until the pool timeout kills us) on the first armed call."""
+    from repro.experiments.registry import run_experiment
+
+    if _chaos_armed(experiment_id):
+        time.sleep(CHAOS_HANG_SECONDS)
+    return run_experiment(experiment_id, profile=profile, seed=seed)

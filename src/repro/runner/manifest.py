@@ -13,11 +13,12 @@ either can evolve; loading an unknown version fails loudly.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ManifestError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import RunProfile
 
@@ -31,6 +32,23 @@ MANIFEST_FILENAME = "manifest.json"
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
+#: The run was stopped (SIGINT / KeyboardInterrupt) before this task
+#: finished; a later run can resume from the flushed manifest.
+STATUS_INTERRUPTED = "interrupted"
+
+#: Entry fields that vary between otherwise-identical runs (timing,
+#: scheduling, retry history).  :meth:`RunManifest.canonical_dict` strips
+#: them so a resumed run can be compared bit-for-bit against an
+#: uninterrupted one.
+VOLATILE_ENTRY_FIELDS = (
+    "wall_seconds",
+    "worker_id",
+    "attempts",
+    "backoff_history",
+)
+
+#: Manifest-level fields stripped by :meth:`RunManifest.canonical_dict`.
+VOLATILE_MANIFEST_FIELDS = ("total_wall_seconds", "jobs")
 
 
 @dataclass
@@ -46,6 +64,9 @@ class ManifestEntry:
     #: Worker slot that produced the result; ``None`` for in-process runs.
     worker_id: Optional[int] = None
     attempts: int = 1
+    #: Seconds waited before each retry of this task (empty when the
+    #: first attempt succeeded); length is ``attempts - 1``.
+    backoff_history: List[float] = field(default_factory=list)
     shard_index: int = 0
     num_shards: int = 1
     error: Optional[str] = None
@@ -67,6 +88,7 @@ class ManifestEntry:
             "wall_seconds": self.wall_seconds,
             "worker_id": self.worker_id,
             "attempts": self.attempts,
+            "backoff_history": list(self.backoff_history),
             "shard_index": self.shard_index,
             "num_shards": self.num_shards,
             "error": self.error,
@@ -86,6 +108,7 @@ class ManifestEntry:
             wall_seconds=data["wall_seconds"],
             worker_id=data.get("worker_id"),
             attempts=data.get("attempts", 1),
+            backoff_history=list(data.get("backoff_history", [])),
             shard_index=data.get("shard_index", 0),
             num_shards=data.get("num_shards", 1),
             error=data.get("error"),
@@ -113,6 +136,13 @@ class RunManifest:
     def failures(self) -> List[ManifestEntry]:
         """Entries that did not produce a result."""
         return [entry for entry in self.entries if not entry.ok]
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the run was stopped before every task finished."""
+        return any(
+            entry.status == STATUS_INTERRUPTED for entry in self.entries
+        )
 
     def entry(self, task_id: str) -> ManifestEntry:
         """Look up one entry by its task id."""
@@ -171,21 +201,75 @@ class RunManifest:
             total_wall_seconds=data.get("total_wall_seconds", 0.0),
         )
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` minus everything that varies between runs.
+
+        Wall-clock, worker ids, retry counts/backoffs and the job count
+        differ between a serial run, a parallel run and a resumed run of
+        the same plan; the *computed* content (statuses, seeds, profiles,
+        results) must not.  Two runs are equivalent exactly when their
+        canonical forms are equal — this is the "bit-identical resume"
+        contract checked by the test suite and the CI smoke job.
+        """
+        data = self.to_dict()
+        for fieldname in VOLATILE_MANIFEST_FIELDS:
+            data.pop(fieldname, None)
+        for entry in data["entries"]:
+            for fieldname in VOLATILE_ENTRY_FIELDS:
+                entry.pop(fieldname, None)
+        return data
+
+    def canonical_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical form serialised with stable key order."""
+        return json.dumps(self.canonical_dict(), indent=indent, sort_keys=True)
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Serialise to a JSON string (``sort_keys`` for stable diffs)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "RunManifest":
-        """Inverse of :meth:`to_json`."""
-        return cls.from_dict(json.loads(text))
+        """Inverse of :meth:`to_json`.
+
+        Raises :class:`~repro.common.errors.ManifestError` on truncated
+        or otherwise corrupt JSON and on documents that parse but are not
+        run manifests, so callers can distinguish "this file is damaged"
+        from ordinary configuration mistakes.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"manifest is not valid JSON (truncated or corrupt "
+                f"write?): {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ManifestError(
+                f"manifest must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        try:
+            return cls.from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(
+                f"manifest JSON is missing or mangles required fields: "
+                f"{exc!r}"
+            ) from exc
 
     def save(self, out_dir: Union[str, pathlib.Path]) -> pathlib.Path:
-        """Write ``manifest.json`` under ``out_dir`` (created if missing)."""
+        """Write ``manifest.json`` under ``out_dir`` (created if missing).
+
+        The write is atomic — serialise to a temporary file in the same
+        directory, then ``os.replace`` over the destination — so a reader
+        (or a resumed run) never observes a half-written manifest, and a
+        crash mid-write leaves any previous manifest intact.
+        """
         directory = pathlib.Path(out_dir)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / MANIFEST_FILENAME
-        path.write_text(self.to_json())
+        temp_path = directory / (MANIFEST_FILENAME + ".tmp")
+        temp_path.write_text(self.to_json())
+        os.replace(temp_path, path)
         return path
 
     @classmethod

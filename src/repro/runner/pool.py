@@ -5,7 +5,8 @@ which buys three properties a shared long-lived pool cannot give cheaply:
 
 * **timeouts** — a stuck task is killed without poisoning other workers;
 * **crash isolation** — a worker dying (OOM, segfault in a native wheel,
-  ``os._exit``) is detected per task and retried once on a fresh process;
+  ``os._exit``) is detected per task and retried on a fresh process with
+  exponential backoff (deterministic jitter, recorded per entry);
 * **determinism** — every task computes from its pinned ``(experiment_id,
   profile, seed)`` alone, so results are bit-identical to a serial run
   regardless of scheduling.
@@ -20,18 +21,23 @@ serial path instead of failing the run.
 
 from __future__ import annotations
 
+import functools
 import importlib
+import inspect
 import multiprocessing
+import random
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.rng import derive_seed
 from repro.experiments.base import ExperimentResult
 from repro.runner.manifest import (
     STATUS_FAILED,
+    STATUS_INTERRUPTED,
     STATUS_OK,
     STATUS_TIMEOUT,
     ManifestEntry,
@@ -43,7 +49,39 @@ from repro.runner.sharding import TaskSpec, dispatch_order
 POLL_INTERVAL = 0.02
 
 #: Extra attempts granted when a worker process dies without reporting.
-CRASH_RETRIES = 1
+CRASH_RETRIES = 2
+
+#: Exponential-backoff schedule for crash retries: attempt ``n`` waits
+#: ``BASE * FACTOR**(n-1)`` seconds, plus deterministic jitter of up to
+#: ``JITTER_FRACTION`` of that, derived from the task id so identical
+#: reruns wait identically (and concurrent crashed tasks don't stampede
+#: back in lock-step).
+BACKOFF_BASE_SECONDS = 0.25
+BACKOFF_FACTOR = 2.0
+BACKOFF_JITTER_FRACTION = 0.25
+
+
+def crash_backoff_seconds(task_id: str, attempt: int) -> float:
+    """Deterministic backoff before retry number ``attempt`` (2-based)."""
+    base = BACKOFF_BASE_SECONDS * BACKOFF_FACTOR ** max(0, attempt - 2)
+    jitter_rng = random.Random(derive_seed(0, f"backoff/{task_id}/{attempt}"))
+    return base * (1.0 + BACKOFF_JITTER_FRACTION * jitter_rng.random())
+
+
+class RunInterrupted(ReproError):
+    """The user stopped a run (SIGINT) before every task finished.
+
+    Carries the manifest entries accumulated so far — finished tasks with
+    their real outcomes, everything else with
+    :data:`~repro.runner.manifest.STATUS_INTERRUPTED` — so the caller can
+    flush a resumable partial manifest before exiting nonzero.
+    ``manifest`` is attached by :func:`repro.runner.run_tasks`.
+    """
+
+    def __init__(self, message: str, entries: List[ManifestEntry]) -> None:
+        super().__init__(message)
+        self.entries = entries
+        self.manifest = None
 
 
 def resolve_entry_point(task: TaskSpec) -> Callable[..., ExperimentResult]:
@@ -63,11 +101,22 @@ def resolve_entry_point(task: TaskSpec) -> Callable[..., ExperimentResult]:
         )
     module = importlib.import_module(module_name)
     try:
-        return getattr(module, attribute)
+        runner = getattr(module, attribute)
     except AttributeError:
         raise ConfigurationError(
             f"module {module_name!r} has no attribute {attribute!r}"
         )
+    # Entry points are called as ``runner(profile=, seed=)``; one that
+    # additionally declares an ``experiment_id`` parameter gets the
+    # task's id bound here, so a single callable can serve many ids
+    # (the chaos wrappers in repro.faults.chaos rely on this).
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return runner
+    if "experiment_id" in parameters:
+        return functools.partial(runner, experiment_id=task.experiment_id)
+    return runner
 
 
 def execute_task_payload(task: TaskSpec) -> Dict[str, object]:
@@ -98,7 +147,11 @@ def _worker_main(task: TaskSpec, channel) -> None:
 
 
 def _entry_from_payload(
-    task: TaskSpec, payload: Dict[str, object], worker_id: Optional[int], attempts: int
+    task: TaskSpec,
+    payload: Dict[str, object],
+    worker_id: Optional[int],
+    attempts: int,
+    backoff_history: Optional[List[float]] = None,
 ) -> ManifestEntry:
     return ManifestEntry(
         task_id=task.task_id,
@@ -109,6 +162,7 @@ def _entry_from_payload(
         wall_seconds=payload["wall_seconds"],
         worker_id=worker_id,
         attempts=attempts,
+        backoff_history=list(backoff_history or []),
         shard_index=task.shard_index,
         num_shards=task.num_shards,
         result=ExperimentResult.from_dict(payload["result"]),
@@ -122,6 +176,7 @@ def _failure_entry(
     wall: float,
     worker_id: Optional[int],
     attempts: int,
+    backoff_history: Optional[List[float]] = None,
 ) -> ManifestEntry:
     return ManifestEntry(
         task_id=task.task_id,
@@ -132,9 +187,21 @@ def _failure_entry(
         wall_seconds=wall,
         worker_id=worker_id,
         attempts=attempts,
+        backoff_history=list(backoff_history or []),
         shard_index=task.shard_index,
         num_shards=task.num_shards,
         error=error,
+    )
+
+
+def _interrupted_entry(task: TaskSpec, attempts: int = 1) -> ManifestEntry:
+    return _failure_entry(
+        task,
+        STATUS_INTERRUPTED,
+        "run interrupted before this task finished",
+        0.0,
+        None,
+        attempts=attempts,
     )
 
 
@@ -144,12 +211,19 @@ def execute_serial(
     """In-process execution, in plan order (the ``--jobs 1`` path)."""
     progress = progress or NullProgress()
     entries: List[ManifestEntry] = []
-    for task in tasks:
+    for index, task in enumerate(tasks):
         progress.task_started(task, None)
         started = time.perf_counter()
         try:
             payload = execute_task_payload(task)
             entry = _entry_from_payload(task, payload, None, attempts=1)
+        except KeyboardInterrupt:
+            # Mark this task and everything still queued as interrupted
+            # and hand the partial record up for a manifest flush.
+            entries.extend(
+                _interrupted_entry(pending) for pending in tasks[index:]
+            )
+            raise RunInterrupted("interrupted during serial execution", entries)
         except Exception:  # noqa: BLE001 - record, keep running the rest
             entry = _failure_entry(
                 task,
@@ -192,18 +266,28 @@ def execute_tasks(
     total = len(tasks)
     started_run = time.perf_counter()
     progress.run_started(total, max(1, jobs))
-    if jobs <= 1 or total == 0:
-        entries = execute_serial(tasks, progress)
-    else:
-        try:
-            context = mp_context or multiprocessing.get_context()
-            entries_by_id = _execute_pool(tasks, jobs, context, progress)
-        except (OSError, ValueError, ImportError):
-            # No usable multiprocessing (sandboxed /dev/shm, missing
-            # primitives): degrade to in-process execution.
+    try:
+        if jobs <= 1 or total == 0:
             entries = execute_serial(tasks, progress)
         else:
-            entries = [entries_by_id[task.task_id] for task in tasks]
+            try:
+                context = mp_context or multiprocessing.get_context()
+                entries_by_id = _execute_pool(tasks, jobs, context, progress)
+            except (OSError, ValueError, ImportError):
+                # No usable multiprocessing (sandboxed /dev/shm, missing
+                # primitives): degrade to in-process execution.
+                entries = execute_serial(tasks, progress)
+            else:
+                entries = [entries_by_id[task.task_id] for task in tasks]
+    except RunInterrupted as exc:
+        # Normalise the partial record to plan order before handing it up.
+        by_id = {entry.task_id: entry for entry in exc.entries}
+        ordered = [
+            by_id.get(task.task_id, _interrupted_entry(task)) for task in tasks
+        ]
+        done = sum(1 for entry in ordered if entry.ok)
+        progress.run_finished(done, total, time.perf_counter() - started_run)
+        raise RunInterrupted(str(exc), ordered) from None
     done = sum(1 for entry in entries if entry.ok)
     progress.run_finished(done, total, time.perf_counter() - started_run)
     return entries
@@ -215,11 +299,18 @@ def _execute_pool(
     context,
     progress: ProgressListener,
 ) -> Dict[str, ManifestEntry]:
-    """The scheduling loop: at most ``jobs`` single-task workers alive."""
-    pending = deque((task, 1) for task in dispatch_order(tasks))
+    """The scheduling loop: at most ``jobs`` single-task workers alive.
+
+    ``pending`` holds ``(task, attempt, ready_at)`` triples; a crashed
+    task re-enters the queue with ``ready_at`` in the future per
+    :func:`crash_backoff_seconds`, so retries back off exponentially
+    instead of immediately hammering whatever made the worker die.
+    """
+    pending = deque((task, 1, 0.0) for task in dispatch_order(tasks))
     free_workers = list(range(min(jobs, len(tasks))))
     running: List[_Running] = []
     finished: Dict[str, ManifestEntry] = {}
+    backoffs: Dict[str, List[float]] = {}
     total = len(tasks)
 
     def launch(task: TaskSpec, attempt: int) -> None:
@@ -241,11 +332,21 @@ def _execute_pool(
         finished[slot.task.task_id] = entry
         progress.task_finished(entry, len(finished), total)
 
+    def history(task_id: str) -> List[float]:
+        return backoffs.get(task_id, [])
+
     try:
         while pending or running:
+            now = time.perf_counter()
+            deferred: List[object] = []
             while pending and free_workers:
-                task, attempt = pending.popleft()
+                task, attempt, ready_at = pending.popleft()
+                if ready_at > now:
+                    deferred.append((task, attempt, ready_at))
+                    continue
                 launch(task, attempt)
+            for item in reversed(deferred):
+                pending.appendleft(item)
             time.sleep(POLL_INTERVAL)
             for slot in list(running):
                 elapsed = time.perf_counter() - slot.started
@@ -254,13 +355,15 @@ def _execute_pool(
                     slot.process.join()
                     if verdict == "ok":
                         entry = _entry_from_payload(
-                            slot.task, payload, slot.worker_id, slot.attempt
+                            slot.task, payload, slot.worker_id, slot.attempt,
+                            history(slot.task.task_id),
                         )
                     else:
                         # A Python-level exception is deterministic: no retry.
                         entry = _failure_entry(
                             slot.task, STATUS_FAILED, payload, elapsed,
                             slot.worker_id, slot.attempt,
+                            history(slot.task.task_id),
                         )
                     finish(slot, entry)
                 elif slot.task.timeout is not None and elapsed > slot.task.timeout:
@@ -275,11 +378,13 @@ def _execute_pool(
                             elapsed,
                             slot.worker_id,
                             slot.attempt,
+                            history(slot.task.task_id),
                         ),
                     )
                 elif not slot.process.is_alive():
-                    # Died without reporting: a genuine crash.  Retry once
-                    # on a fresh process, then record the failure.
+                    # Died without reporting: a genuine crash.  Retry on a
+                    # fresh process after a deterministic backoff, up to
+                    # CRASH_RETRIES times, then record the failure.
                     error = (
                         f"worker crashed (exit code {slot.process.exitcode})"
                     )
@@ -287,15 +392,39 @@ def _execute_pool(
                     free_workers.append(slot.worker_id)
                     free_workers.sort()
                     if slot.attempt <= CRASH_RETRIES:
-                        progress.task_retried(slot.task, slot.attempt + 1, error)
-                        pending.appendleft((slot.task, slot.attempt + 1))
+                        next_attempt = slot.attempt + 1
+                        delay = crash_backoff_seconds(
+                            slot.task.task_id, next_attempt
+                        )
+                        backoffs.setdefault(slot.task.task_id, []).append(delay)
+                        progress.task_retried(slot.task, next_attempt, error)
+                        pending.appendleft(
+                            (slot.task, next_attempt, time.perf_counter() + delay)
+                        )
                     else:
                         entry = _failure_entry(
                             slot.task, STATUS_FAILED, error, elapsed,
                             slot.worker_id, slot.attempt,
+                            history(slot.task.task_id),
                         )
                         finished[slot.task.task_id] = entry
                         progress.task_finished(entry, len(finished), total)
+    except KeyboardInterrupt:
+        # Stop the fleet, record everything unfinished as interrupted,
+        # and hand the partial record up for a manifest flush.
+        for slot in running:
+            slot.process.terminate()
+            slot.process.join()
+        entries = list(finished.values())
+        entries.extend(
+            _interrupted_entry(slot.task, slot.attempt) for slot in running
+        )
+        entries.extend(
+            _interrupted_entry(task, attempt)
+            for task, attempt, _ready_at in pending
+        )
+        running.clear()
+        raise RunInterrupted("interrupted during parallel execution", entries)
     finally:
         for slot in running:
             slot.process.terminate()

@@ -34,6 +34,7 @@ EXPERIMENT_WEIGHTS: Dict[str, float] = {
     "fig8": 2.4,
     "ablation_errors": 2.3,
     "random_policy": 2.1,
+    "fault_tolerance": 1.6,
     "extension_l2": 1.4,
     "table7": 0.8,
     "table5": 0.8,

@@ -40,6 +40,11 @@ class EventKind(enum.IntEnum):
     WRITEBACK = 3
     #: ``clflush`` invalidated a resident copy at ``level``.
     FLUSH = 4
+    #: An injected fault (``repro.faults``): not a cache action, but a
+    #: disturbance of the machine around the caches.  ``address`` carries
+    #: the fault class (see :mod:`repro.faults.injector`), ``owner`` the
+    #: disturbed thread, ``time`` the nominal protocol-timeline position.
+    FAULT = 5
 
 
 class CacheEvent(NamedTuple):

@@ -22,6 +22,7 @@ _MISS = EventKind.MISS
 _EVICT = EventKind.EVICT
 _WRITEBACK = EventKind.WRITEBACK
 _FLUSH = EventKind.FLUSH
+_FAULT = EventKind.FAULT
 
 
 @dataclass
@@ -35,6 +36,9 @@ class WindowCounts:
     evictions: int = 0
     writebacks: int = 0
     flushes: int = 0
+    #: Injected-fault markers (:data:`~repro.telemetry.events.EventKind.FAULT`)
+    #: from :mod:`repro.faults`; zero on fault-free runs.
+    faults: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -52,6 +56,7 @@ class WindowCounts:
         self.evictions += other.evictions
         self.writebacks += other.writebacks
         self.flushes += other.flushes
+        self.faults += other.faults
 
 
 #: One completed window: ``(level, owner) -> WindowCounts``.
@@ -118,6 +123,8 @@ class WindowedCounters(Subscriber):
                 cell.evictions += 1
             elif kind == _FLUSH:
                 cell.flushes += 1
+            elif kind == _FAULT:
+                cell.faults += 1
 
     def on_mark(self, label: str) -> None:
         """Restart windowing at a measurement epoch (stats reset)."""
@@ -196,6 +203,7 @@ class WindowedCounters(Subscriber):
                 "evictions": total.evictions,
                 "writebacks": total.writebacks,
                 "flushes": total.flushes,
+                "faults": total.faults,
             }
         return {
             "window": self.window,

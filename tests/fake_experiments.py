@@ -57,6 +57,43 @@ def sleeps_forever(profile=None, seed=0, *, quick=None):
     return _result(seed)
 
 
+#: Environment variable naming the file ``interrupt_after`` counts task
+#: completions in before raising KeyboardInterrupt.
+INTERRUPT_MARKER_ENV = "REPRO_TEST_INTERRUPT_MARKER"
+
+
+def interrupt_after(profile=None, seed=0, *, quick=None):
+    """Simulates Ctrl-C: completes once, interrupts the next call.
+
+    The marker file (``INTERRUPT_MARKER_ENV``) carries the "already ran
+    once" bit across calls, so a serial run finishes its first task and
+    is interrupted on the second — leaving a partial, resumable manifest.
+    """
+    marker = os.environ[INTERRUPT_MARKER_ENV]
+    if os.path.exists(marker):
+        raise KeyboardInterrupt
+    with open(marker, "w"):
+        pass
+    return _result(seed)
+
+
+def seed_echo(profile=None, seed=0, *, quick=None):
+    """Deterministic result rows keyed by seed (resume-equality fodder)."""
+    return _result(seed)
+
+
+def echo_experiment_id(profile=None, seed=0, experiment_id=None):
+    """Reports the experiment id the pool bound for it (see
+    ``resolve_entry_point``); one callable serving many task ids."""
+    return ExperimentResult(
+        experiment_id=str(experiment_id),
+        title="fake experiment",
+        paper_reference="tests",
+        columns=["experiment_id"],
+        rows=[[experiment_id]],
+    )
+
+
 def raises_error(profile=None, seed=0, *, quick=None):
     """Fails with a deterministic Python exception (no retry expected)."""
     raise ValueError("deliberate failure for tests")

@@ -194,3 +194,54 @@ def test_experiment_results_identical_across_engines():
     )
     assert result_ref.rows == result_fast.rows
     assert result_ref.series == result_fast.series
+
+
+def test_faulted_transmission_parity():
+    """An injected-fault run (drift, slips, drops, co-runner) is
+    engine-invariant: identical fault schedules AND identical bit errors."""
+    from repro.channels.encoding import BinaryDirtyCodec
+    from repro.channels.wb import WBChannelConfig, run_wb_channel
+    from repro.faults import DEFAULT_FAULT_SPEC
+
+    results = {}
+    for engine in ("reference", "fast"):
+        outcome = run_wb_channel(
+            WBChannelConfig(
+                codec=BinaryDirtyCodec(d_on=1),
+                period_cycles=5500,
+                message_bits=64,
+                seed=3,
+                faults=DEFAULT_FAULT_SPEC.scaled(1.0),
+                hierarchy_overrides={"engine": engine},
+            )
+        )
+        results[engine] = outcome
+    reference, fast = results["reference"], results["fast"]
+    assert reference.fault_summary == fast.fault_summary
+    assert reference.fault_summary is not None
+    assert reference.sent_bits == fast.sent_bits
+    assert reference.received_bits == fast.received_bits
+    assert reference.bit_error_rate == fast.bit_error_rate
+
+
+def test_robust_protocol_parity():
+    """The full self-healing stack delivers identical outcomes per engine."""
+    from dataclasses import asdict
+
+    from repro.channels.encoding import BinaryDirtyCodec
+    from repro.channels.wb import WBChannelConfig, run_robust_wb_channel
+    from repro.faults import DEFAULT_FAULT_SPEC
+
+    results = {}
+    for engine in ("reference", "fast"):
+        results[engine] = run_robust_wb_channel(
+            WBChannelConfig(
+                codec=BinaryDirtyCodec(d_on=1),
+                period_cycles=5500,
+                message_bits=32,
+                seed=1,
+                faults=DEFAULT_FAULT_SPEC.scaled(1.0),
+                hierarchy_overrides={"engine": engine},
+            )
+        )
+    assert asdict(results["reference"]) == asdict(results["fast"])

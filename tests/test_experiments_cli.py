@@ -138,3 +138,49 @@ class TestMain:
         for task_id in ("table4", "fig7"):
             assert serial.entry(task_id).result.to_json() == \
                 parallel.entry(task_id).result.to_json()
+
+
+class TestResume:
+    def test_resume_flag_parses(self):
+        args = build_parser().parse_args(["table4", "--resume", "res"])
+        assert args.resume == "res"
+        assert build_parser().parse_args(["table4"]).resume is None
+
+    def test_resume_from_partial_manifest(self, capsys, tmp_path):
+        from repro.experiments.profiles import QUICK
+        from repro.runner import (
+            RunManifest,
+            STATUS_INTERRUPTED,
+            run_experiments,
+        )
+
+        out_dir = tmp_path / "results"
+        # Fabricate the aftermath of an interrupted run: table4 finished,
+        # fig7 did not.
+        partial = run_experiments(["table4"], profile=QUICK, seed=0, jobs=1)
+        partial.entries[0].task_id = "table4"
+        from repro.runner import ManifestEntry
+
+        partial.entries.append(
+            ManifestEntry(
+                task_id="fig7",
+                experiment_id="fig7",
+                seed=0,
+                profile=QUICK,
+                status=STATUS_INTERRUPTED,
+                wall_seconds=0.0,
+            )
+        )
+        partial.save(out_dir)
+
+        resumed_dir = tmp_path / "resumed"
+        assert main(["table4", "fig7", "--profile", "quick",
+                     "--resume", str(out_dir), "--out", str(resumed_dir)]) == 0
+        resumed = RunManifest.load(resumed_dir)
+        assert resumed.ok and not resumed.interrupted
+
+        fresh_dir = tmp_path / "fresh"
+        assert main(["table4", "fig7", "--profile", "quick",
+                     "--out", str(fresh_dir)]) == 0
+        assert resumed.canonical_json() == \
+            RunManifest.load(fresh_dir).canonical_json()

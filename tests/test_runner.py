@@ -10,9 +10,12 @@ from repro.common.rng import derive_seed
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import FULL, QUICK
 from repro.runner import (
+    CRASH_RETRIES,
     ManifestEntry,
+    RunInterrupted,
     RunManifest,
     TaskSpec,
+    crash_backoff_seconds,
     dispatch_order,
     plan_tasks,
     run_experiments,
@@ -149,14 +152,23 @@ class TestResultSerialization:
 
 
 class TestFaultHandling:
-    def test_crash_is_retried_once_then_failed(self):
+    def test_crash_is_retried_with_backoff_then_failed(self):
         tasks = [TaskSpec("boom", "fake", 0, QUICK,
                           entry_point="tests.fake_experiments:always_crash")]
         manifest = run_tasks(tasks, jobs=2)
         entry = manifest.entry("boom")
         assert entry.status == "failed"
-        assert entry.attempts == 2
+        assert entry.attempts == 1 + CRASH_RETRIES
         assert "crashed" in entry.error
+        # One recorded backoff per retry, growing exponentially.
+        assert len(entry.backoff_history) == CRASH_RETRIES
+        for earlier, later in zip(entry.backoff_history, entry.backoff_history[1:]):
+            assert later > earlier
+        # Backoffs are deterministic: same task id => same waits.
+        assert entry.backoff_history == [
+            crash_backoff_seconds("boom", attempt)
+            for attempt in range(2, 2 + CRASH_RETRIES)
+        ]
 
     def test_crash_once_recovers_on_retry(self, tmp_path):
         marker = tmp_path / "crashed-once"
@@ -227,3 +239,172 @@ class TestMultiSeedSweep:
         from repro.experiments import run_experiment
         assert base.result.to_json() == \
             run_experiment("table2", profile=QUICK, seed=0).to_json()
+
+
+class TestManifestRobustness:
+    def _manifest(self):
+        tasks = [TaskSpec("t", "fake", 0, QUICK,
+                          entry_point="tests.fake_experiments:seed_echo")]
+        return run_tasks(tasks, jobs=1)
+
+    def test_save_is_atomic(self, tmp_path):
+        manifest = self._manifest()
+        path = manifest.save(tmp_path)
+        assert path.name == "manifest.json"
+        # The temporary file is always renamed away, never left behind.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["manifest.json"]
+        assert RunManifest.load(tmp_path).to_json() == manifest.to_json()
+
+    def test_truncated_json_raises_manifest_error(self, tmp_path):
+        from repro.common.errors import ManifestError
+
+        manifest = self._manifest()
+        path = manifest.save(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # a torn write
+        with pytest.raises(ManifestError, match="truncated or corrupt"):
+            RunManifest.load(tmp_path)
+
+    def test_non_object_and_mangled_json_raise(self):
+        from repro.common.errors import ManifestError
+
+        with pytest.raises(ManifestError, match="JSON object"):
+            RunManifest.from_json("[1, 2, 3]")
+        with pytest.raises(ManifestError, match="required fields"):
+            RunManifest.from_json(
+                json.dumps({"schema_version": 1, "entries": [{}]})
+            )
+
+    def test_manifest_error_is_a_configuration_error(self):
+        from repro.common.errors import ManifestError
+
+        assert issubclass(ManifestError, ConfigurationError)
+
+    def test_canonical_form_strips_volatile_fields(self):
+        manifest = self._manifest()
+        entry = manifest.entries[0]
+        entry.wall_seconds = 123.0
+        entry.worker_id = 5
+        entry.attempts = 3
+        entry.backoff_history = [0.25, 0.5]
+        manifest.jobs = 8
+        manifest.total_wall_seconds = 999.0
+        other = self._manifest()
+        assert manifest.to_json() != other.to_json()
+        assert manifest.canonical_json() == other.canonical_json()
+
+
+class _InterruptAfter:
+    """Progress listener that simulates Ctrl-C after N finished tasks."""
+
+    def __init__(self, after):
+        self.after = after
+        self.seen = 0
+
+    def run_started(self, total, jobs):
+        pass
+
+    def task_started(self, task, worker_id):
+        pass
+
+    def task_retried(self, task, attempt, error):
+        pass
+
+    def task_finished(self, entry, done, total):
+        self.seen += 1
+        if self.seen >= self.after:
+            raise KeyboardInterrupt
+
+    def run_finished(self, done, total, wall):
+        pass
+
+
+class TestInterruptAndResume:
+    def _plan(self, entry_point="tests.fake_experiments:seed_echo"):
+        return [
+            TaskSpec(f"t{i}", "fake", 10 + i, QUICK, entry_point=entry_point)
+            for i in range(3)
+        ]
+
+    def test_serial_interrupt_flushes_resumable_manifest(self, tmp_path):
+        marker = tmp_path / "ran-once"
+        os.environ["REPRO_TEST_INTERRUPT_MARKER"] = str(marker)
+        out = tmp_path / "results"
+        try:
+            with pytest.raises(RunInterrupted) as excinfo:
+                run_tasks(
+                    self._plan("tests.fake_experiments:interrupt_after"),
+                    jobs=1,
+                    out_dir=out,
+                )
+        finally:
+            del os.environ["REPRO_TEST_INTERRUPT_MARKER"]
+        partial = excinfo.value.manifest
+        assert partial is not None
+        assert partial.interrupted
+        assert [e.status for e in partial.entries] == \
+            ["ok", "interrupted", "interrupted"]
+        # The flush hit the disk atomically and loads back.
+        assert RunManifest.load(out).canonical_json() == partial.canonical_json()
+
+        # Resume: completed tasks are reused, the rest run; the merged
+        # manifest is canonically identical to an uninterrupted run.
+        resumed = run_tasks(self._plan(), jobs=1, out_dir=out, resume_from=out)
+        uninterrupted = run_tasks(self._plan(), jobs=1)
+        assert resumed.ok and not resumed.interrupted
+        assert resumed.canonical_json() == uninterrupted.canonical_json()
+
+    def test_pool_interrupt_terminates_and_flushes(self, tmp_path):
+        out = tmp_path / "results"
+        with pytest.raises(RunInterrupted) as excinfo:
+            run_tasks(
+                self._plan(), jobs=2, out_dir=out, progress=_InterruptAfter(1)
+            )
+        partial = excinfo.value.manifest
+        assert partial is not None
+        assert partial.interrupted
+        assert len(partial.entries) == 3
+        assert any(e.ok for e in partial.entries)
+        resumed = run_tasks(self._plan(), jobs=1, resume_from=partial)
+        uninterrupted = run_tasks(self._plan(), jobs=1)
+        assert resumed.canonical_json() == uninterrupted.canonical_json()
+
+    def test_resume_skips_completed_tasks(self):
+        complete = run_tasks(self._plan(), jobs=1)
+        # Resume with an always-crashing entry point: if any task were
+        # re-executed it would fail, so success proves they were skipped.
+        resumed = run_tasks(
+            self._plan("tests.fake_experiments:always_crash"),
+            jobs=1,
+            resume_from=complete,
+        )
+        assert resumed.ok
+        assert resumed.canonical_json() == complete.canonical_json()
+
+    def test_resume_reruns_non_ok_entries(self):
+        plan = self._plan()
+        broken = run_tasks(
+            self._plan("tests.fake_experiments:raises_error"), jobs=1
+        )
+        assert not broken.ok
+        resumed = run_tasks(plan, jobs=1, resume_from=broken)
+        assert resumed.ok
+        assert resumed.canonical_json() == run_tasks(plan, jobs=1).canonical_json()
+
+
+class TestEntryPointBinding:
+    def test_experiment_id_bound_when_declared(self):
+        tasks = [
+            TaskSpec("a", "exp_alpha", 0, QUICK,
+                     entry_point="tests.fake_experiments:echo_experiment_id"),
+            TaskSpec("b", "exp_beta", 0, QUICK,
+                     entry_point="tests.fake_experiments:echo_experiment_id"),
+        ]
+        manifest = run_tasks(tasks, jobs=1)
+        assert manifest.entry("a").result.rows == [["exp_alpha"]]
+        assert manifest.entry("b").result.rows == [["exp_beta"]]
+
+    def test_plain_entry_points_unaffected(self):
+        tasks = [TaskSpec("t", "fake", 4, QUICK,
+                          entry_point="tests.fake_experiments:seed_echo")]
+        assert run_tasks(tasks, jobs=1).entry("t").result.rows == [[4]]
