@@ -208,19 +208,23 @@ Every experiment also runs on the fast struct-of-arrays engine
 (enforced by ``tests/test_engine_parity.py``), only faster — see the
 committed ``BENCH_engine.json`` from ``scripts/bench_engine.py``.
 
+Re-runs are memoisable: ``python -m repro.service`` serves every entry
+over HTTP from a content-addressed result store, so resubmitting an
+``(experiment, profile, seed)`` already computed returns the stored
+bytes (bit-identical to a direct run) without recomputation, and N
+identical concurrent submissions coalesce into one computation — see
+the README's "Serving experiments" section.
+
 """
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--profile", choices=["full", "quick"], default=None)
-    parser.add_argument(
-        "--quick", action="store_true", help="deprecated alias for --profile quick"
-    )
+    parser.add_argument("--profile", choices=["full", "quick"], default="full")
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--out", default="EXPERIMENTS.md")
     args = parser.parse_args()
-    profile = args.profile or ("quick" if args.quick else "full")
+    profile = args.profile
 
     manifest = run_experiments(
         available_experiments(), profile=profile, jobs=args.jobs

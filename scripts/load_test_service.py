@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Load-test the experiment service: dedup, memoisation, throughput.
+
+Fires a concurrent burst of submissions at a service — a block of
+*duplicate* jobs (all the same content address, exercising in-flight
+coalescing) plus a block of *distinct* jobs (different seeds, exercising
+the queue) — then replays one duplicate after everything settled to
+exercise the warm store path.  Reports throughput, dedup ratio and cache
+hit rate as JSON.
+
+By default the script boots a private in-process server on an ephemeral
+port with a temporary store; point ``--url`` at a running
+``python -m repro.service`` to load-test that instead.
+
+``--smoke`` is the CI mode: a scaled-down fig6 burst with built-in
+assertions — the duplicate block must coalesce into exactly one
+computation, and the warm resubmission must be served from the store
+without any new computation.  Exit status is non-zero when an assertion
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+#: Profile used by ``--smoke``: fig6 at ~a third of the quick budget.
+#: (Scale must keep fig6's message_bits at or above its 16-bit preamble,
+#: so 0.1 is too aggressive: 64 * 0.3 = 19 bits is the floor that works.)
+SMOKE_PROFILE = {"name": "smoke", "reduced": True, "scale": 0.3}
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="load-test a running service instead of "
+                             "booting one in-process")
+    parser.add_argument("--experiment", default="fig6",
+                        help="experiment id to submit (default: %(default)s)")
+    parser.add_argument("--profile", default=None,
+                        help="profile name, or a RunProfile JSON object")
+    parser.add_argument("--duplicates", type=int, default=8,
+                        help="identical submissions in the burst "
+                             "(default: %(default)s)")
+    parser.add_argument("--distinct", type=int, default=4,
+                        help="distinct-seed submissions in the burst "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="scheduler workers for the in-process server "
+                             "(default: %(default)s)")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="queue depth for the in-process server "
+                             "(default: %(default)s)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="store directory for the in-process server "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-job wait budget in seconds "
+                             "(default: %(default)s)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: scaled-down fig6 burst with "
+                             "assertions; non-zero exit on failure")
+    return parser.parse_args(argv)
+
+
+def resolve_profile_arg(args: argparse.Namespace):
+    if args.smoke and args.profile is None:
+        return SMOKE_PROFILE
+    if args.profile is None:
+        return "quick"
+    text = args.profile.strip()
+    if text.startswith("{"):
+        return json.loads(text)
+    return text
+
+
+def run_burst(
+    client: ServiceClient,
+    experiment: str,
+    profile,
+    duplicates: int,
+    distinct: int,
+    timeout: float,
+) -> Dict[str, object]:
+    """Submit all jobs concurrently; wait for every one; return stats."""
+
+    def submit_and_wait(seed: int) -> Dict[str, object]:
+        job = client.submit(
+            experiment, profile=profile, seed=seed, wait=timeout
+        )
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        return client.wait(str(job["job_id"]), timeout=timeout)
+
+    # Duplicates all share seed 0; distinct jobs take seeds 1..M.
+    seeds = [0] * duplicates + list(range(1, distinct + 1))
+    started = time.monotonic()
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=max(1, len(seeds))
+    ) as pool:
+        jobs = list(pool.map(submit_and_wait, seeds))
+    elapsed = time.monotonic() - started
+
+    failed = [job for job in jobs if job["state"] != "done"]
+    sources = [job.get("source") for job in jobs]
+    return {
+        "jobs": len(jobs),
+        "elapsed_seconds": round(elapsed, 3),
+        "throughput_jobs_per_second": round(len(jobs) / elapsed, 3)
+        if elapsed else 0.0,
+        "failed": len(failed),
+        "failures": [job.get("error") for job in failed],
+        "sources": {
+            str(source): sources.count(source) for source in set(sources)
+        },
+        "result_keys": sorted(
+            {str(job["result_key"]) for job in jobs if job.get("result_key")}
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    profile = resolve_profile_arg(args)
+    report: Dict[str, object] = {
+        "experiment": args.experiment,
+        "profile": profile,
+        "duplicates": args.duplicates,
+        "distinct": args.distinct,
+        "mode": "smoke" if args.smoke else "load",
+    }
+
+    server = None
+    app = None
+    temp_dir = None
+    try:
+        if args.url:
+            client = ServiceClient(args.url, timeout=args.timeout)
+        else:
+            from repro.service.http import ServiceApp, make_server
+            from repro.service.metrics import ServiceTelemetry
+            from repro.service.store import ResultStore
+
+            if args.store is None:
+                temp_dir = tempfile.TemporaryDirectory(
+                    prefix="repro-load-test-"
+                )
+                store_root = temp_dir.name
+            else:
+                store_root = args.store
+            store = ResultStore(store_root)
+            app = ServiceApp(
+                store,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                telemetry=ServiceTelemetry(),
+            ).start()
+            server = make_server(app)
+            threading.Thread(
+                target=server.serve_forever, daemon=True
+            ).start()
+            host, port = server.server_address[:2]
+            client = ServiceClient(
+                f"http://{host}:{port}", timeout=args.timeout
+            )
+
+        # ---- cold burst -------------------------------------------------
+        report["burst"] = run_burst(
+            client, args.experiment, profile,
+            args.duplicates, args.distinct, args.timeout,
+        )
+        health = client.healthz()
+        scheduler_after_burst = dict(health["scheduler"])
+        report["scheduler_after_burst"] = scheduler_after_burst
+
+        # ---- warm resubmission ------------------------------------------
+        warm = client.submit(
+            args.experiment, profile=profile, seed=0, wait=args.timeout
+        )
+        if warm["state"] not in ("done", "failed", "cancelled"):
+            warm = client.wait(str(warm["job_id"]), timeout=args.timeout)
+        health = client.healthz()
+        scheduler_after_warm = dict(health["scheduler"])
+        report["warm"] = {
+            "state": warm["state"],
+            "source": warm.get("source"),
+            "new_computations": (
+                int(scheduler_after_warm["computations"])
+                - int(scheduler_after_burst["computations"])
+            ),
+        }
+        report["store"] = health["store"]
+        report["telemetry"] = health["telemetry"]
+
+        submitted = int(scheduler_after_warm["submitted"])
+        deduplicated = int(scheduler_after_warm["deduplicated"])
+        store_counters = dict(health["store"])
+        lookups = (
+            int(store_counters["hits"]) + int(store_counters["misses"])
+        )
+        report["dedup_ratio"] = round(
+            deduplicated / submitted if submitted else 0.0, 4
+        )
+        report["store_hit_rate"] = round(
+            int(store_counters["hits"]) / lookups if lookups else 0.0, 4
+        )
+        report["computations"] = int(scheduler_after_warm["computations"])
+
+        # /metrics must render and carry the headline series.
+        metrics_text = client.metrics_text()
+        report["metrics_ok"] = all(
+            name in metrics_text
+            for name in (
+                "repro_service_jobs_submitted_total",
+                "repro_service_store_hit_rate",
+                "repro_service_bus_events_total",
+            )
+        )
+
+        failures: List[str] = []
+        burst = report["burst"]
+        if burst["failed"]:
+            failures.append(f"{burst['failed']} job(s) failed: "
+                            f"{burst['failures']}")
+        if not report["metrics_ok"]:
+            failures.append("/metrics is missing headline series")
+        if args.smoke:
+            if report["dedup_ratio"] <= 0.0:
+                failures.append(
+                    f"dedup ratio {report['dedup_ratio']} is not > 0 — "
+                    f"duplicate submissions did not coalesce"
+                )
+            expected = 1 + args.distinct
+            if report["computations"] != expected:
+                failures.append(
+                    f"expected exactly {expected} computations "
+                    f"(1 for the duplicates + {args.distinct} distinct), "
+                    f"saw {report['computations']}"
+                )
+            if report["warm"]["source"] != "store":
+                failures.append(
+                    f"warm resubmission source was "
+                    f"{report['warm']['source']!r}, not 'store'"
+                )
+            if report["warm"]["new_computations"] != 0:
+                failures.append(
+                    "warm resubmission spawned "
+                    f"{report['warm']['new_computations']} computation(s)"
+                )
+        report["failures"] = failures
+        report["ok"] = not failures
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if not failures else 1
+    except ServiceError as exc:
+        report["failures"] = [str(exc)]
+        report["ok"] = False
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if app is not None:
+            app.stop()
+        if temp_dir is not None:
+            temp_dir.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

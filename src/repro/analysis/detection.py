@@ -9,23 +9,23 @@ rely on.
 
 Profiles come from :class:`repro.telemetry.subscribers.WindowedCounters`
 (pass the counters directly, optionally with ``owner=`` to select one
-thread) — its :meth:`miss_profile` view is the canonical source.  Plain
-``Mapping[str, float]`` profiles are still accepted for backward
-compatibility but deprecated; for *online* (windowed, calibrated) detection
-see :mod:`repro.telemetry.detectors`.
+thread) — its :meth:`miss_profile` view is the canonical source.  The old
+plain-``Mapping[str, float]`` path (deprecated with a warning when the
+telemetry rebase landed) has been removed; passing one raises a
+:class:`TypeError` naming the replacement.  For *online* (windowed,
+calibrated) detection see :mod:`repro.telemetry.detectors`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.telemetry.subscribers import WindowedCounters
 
-#: Either the live counters or a pre-extracted per-level miss-rate mapping.
-ProfileSource = Union[WindowedCounters, Mapping[str, float]]
+#: The one accepted profile source: the live telemetry counters.
+ProfileSource = WindowedCounters
 
 #: Level names used when extracting a profile from counters.
 DEFAULT_LEVEL_NAMES = ("L1D", "L2", "LLC")
@@ -56,17 +56,10 @@ def _as_profile(
 ) -> Dict[str, float]:
     if isinstance(source, WindowedCounters):
         return source.miss_profile(level_names=level_names, owner=owner)
-    if isinstance(source, Mapping):
-        warnings.warn(
-            f"passing a plain mapping as the {role} profile is deprecated; "
-            "pass the telemetry WindowedCounters instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return dict(source)
-    raise ConfigurationError(
-        f"{role} profile must be WindowedCounters or a mapping, "
-        f"got {type(source).__name__}"
+    raise TypeError(
+        f"the plain-mapping profile path has been removed; pass the "
+        f"telemetry WindowedCounters (repro.telemetry.subscribers) as the "
+        f"{role} profile, got {type(source).__name__}"
     )
 
 
@@ -83,9 +76,8 @@ def compare_miss_profiles(
     ``suspect`` and ``baseline`` are the telemetry
     :class:`~repro.telemetry.subscribers.WindowedCounters` of the two
     runs (``owner`` selects one thread's view; ``level_names`` label the
-    hierarchy levels outer-to-inner) — or, deprecated, plain mappings
-    from level names (``"L1D"``, ``"L2"``, ``"LLC"``) to miss rates in
-    [0, 1].  The profiles are *distinguishable* when any level's absolute
+    hierarchy levels outer-to-inner).  The profiles are
+    *distinguishable* when any level's absolute
     miss-rate difference exceeds ``threshold`` — a deliberately generous
     detector model: if even this flags nothing, a real detector with
     measurement noise certainly will not.

@@ -5,6 +5,11 @@ The :mod:`repro.common` package deliberately has no dependency on any other
 import cycles.
 """
 
+from repro.common.canonical import (
+    canonical_digest,
+    canonical_json,
+    canonical_loads,
+)
 from repro.common.errors import (
     ConfigurationError,
     ProtocolError,
@@ -38,6 +43,9 @@ __all__ = [
     "SimulationError",
     "bits_to_int",
     "bits_to_string",
+    "canonical_digest",
+    "canonical_json",
+    "canonical_loads",
     "chunk_bits",
     "cycles_to_kbps",
     "cycles_to_seconds",

@@ -64,10 +64,10 @@ def _mean_ber(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Decompose the d=1 error rate into its modelled sources."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=6, full=40)
     message_bits = profile.count(quick=64, full=128)
     quiet_tsc = TimestampCounter(read_jitter=0)

@@ -15,7 +15,7 @@ on two L1 policies and reports BER, showing:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
@@ -31,10 +31,10 @@ PERIOD = 5500
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Sweep the replacement-set size against two L1 policies."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=4, full=24)
     message_bits = profile.count(quick=64, full=128)
     codec = BinaryDirtyCodec(d_on=3)

@@ -4,8 +4,7 @@ Every experiment module exposes ``run(profile=None, seed=0) ->
 ExperimentResult``.  The profile (see :mod:`repro.experiments.profiles`)
 selects repetition counts: ``"quick"`` shrinks them so the benchmark suite
 and CI stay fast; ``"full"`` (the default) matches the paper's settings
-(e.g. 10 000 trials for Table 2, 1000 measurements for Figure 4).  The
-pre-profile ``quick=True`` flag keeps working as a deprecated alias.
+(e.g. 10 000 trials for Table 2, 1000 measurements for Figure 4).
 
 Results serialise to JSON (:meth:`ExperimentResult.to_json`) so the
 parallel runner can persist run manifests and figures can be re-rendered

@@ -58,11 +58,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="repetition-count profile: quick (CI-speed) or full (paper-scale)",
     )
     parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="deprecated alias for --profile quick",
-    )
-    parser.add_argument(
         "--engine",
         choices=available_engines(),
         default=None,
@@ -150,15 +145,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     profile = args.profile
-    if args.quick:
-        if profile not in (None, "quick"):
-            print("--quick conflicts with --profile", file=sys.stderr)
-            return 2
-        print(
-            "warning: --quick is deprecated, use --profile quick",
-            file=sys.stderr,
-        )
-        profile = "quick"
     if profile is None:
         profile = "full"
     profile = resolve_profile(profile).with_engine(args.engine)

@@ -16,7 +16,7 @@ Write-through L1       effective (no dirty bit)   no signal
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.defenses.evaluation import evaluate_all
 from repro.experiments.base import ExperimentResult
@@ -35,10 +35,10 @@ PAPER_VERDICTS = {
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Section 8 defense comparison."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     seeds = range(seed, seed + (profile.count(quick=2, full=6)))
     reports = evaluate_all(seeds=seeds)
     rows: List[List[object]] = []

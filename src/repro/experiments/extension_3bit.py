@@ -19,7 +19,7 @@ high rates.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.units import cycles_to_kbps
 from repro.channels.encoding import MultiBitDirtyCodec
@@ -56,10 +56,10 @@ def _codec_curve(codec, periods, messages, message_bits, seed):
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Compare the paper's 2-bit codec with the theoretical 3-bit one."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=4, full=30)
     two_bit = MultiBitDirtyCodec()
     three_bit = MultiBitDirtyCodec(level_map=dict(THREE_BIT_MAP))

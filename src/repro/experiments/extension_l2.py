@@ -11,7 +11,7 @@ per-symbol operation count (the paper's predicted cost).
 from __future__ import annotations
 
 import statistics
-from typing import List, Optional
+from typing import List
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
@@ -23,10 +23,10 @@ EXPERIMENT_ID = "extension_l2"
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Compare the L1 and L2 deployments of the WB channel."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=4, full=20)
     message_bits = profile.count(quick=48, full=128)
     codec = BinaryDirtyCodec(d_on=4)

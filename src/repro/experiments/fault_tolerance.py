@@ -57,10 +57,10 @@ RAW_BER_COLLAPSE = 0.10
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Sweep fault intensity; compare the raw and hardened WB protocols."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     intensities = QUICK_INTENSITIES if profile.is_reduced else FULL_INTENSITIES
     runs_per_point = profile.count(quick=1, full=3)
 

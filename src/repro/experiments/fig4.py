@@ -10,7 +10,7 @@ median/step summary the channel's codecs rely on.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.analysis.cdf import empirical_cdf, summarize_latencies
 from repro.channels.wb.calibration import measure_latency_distributions
@@ -23,10 +23,10 @@ DIRTY_LEVELS = tuple(range(9))
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 4."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     repetitions = profile.count(quick=60, full=1000)
     samples: Dict[int, List[int]] = measure_latency_distributions(
         levels=list(DIRTY_LEVELS),

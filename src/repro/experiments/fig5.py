@@ -9,7 +9,7 @@ the figure), and the decoded-vs-sent comparison of the 16-bit preamble.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, run_wb_channel
@@ -23,10 +23,10 @@ PERIOD = 5500
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 5."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     message_bits = profile.count(quick=64, full=128)
     rows: List[List[object]] = []
     series = {}

@@ -14,7 +14,7 @@ reproduction preserves:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.units import cycles_to_kbps
 from repro.channels.encoding import BinaryDirtyCodec
@@ -60,10 +60,10 @@ def ber_curve(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 6."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=6, full=90)
     d_values = (1, 4, 8) if profile.is_reduced else D_VALUES
     message_bits = profile.count(quick=64, full=128)

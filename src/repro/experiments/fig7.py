@@ -7,7 +7,7 @@ The paper transmits 256-bit random messages as 128 two-bit symbols with
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.channels.encoding import MultiBitDirtyCodec
 from repro.channels.wb import WBChannelConfig, run_wb_channel
@@ -20,10 +20,10 @@ PERIOD = 4000
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 7."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     message_bits = profile.count(quick=64, full=256)
     codec = MultiBitDirtyCodec()
     config = WBChannelConfig(

@@ -9,7 +9,7 @@ far above the 1375-2700 Kbps practical range of binary encoding.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.units import cycles_to_kbps
 from repro.channels.encoding import MultiBitDirtyCodec
@@ -23,10 +23,10 @@ PERIODS = (800, 1000, 1600, 2200, 5500, 11000)
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 8."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=6, full=45)
     message_bits = profile.count(quick=64, full=256)
     codec = MultiBitDirtyCodec()

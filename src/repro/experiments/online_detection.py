@@ -209,10 +209,10 @@ def _sweep_thresholds(all_scores: List[float], points: int = 13) -> List[float]:
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Run the online-detection comparison."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     num_symbols = profile.count(quick=48, full=192)
 
     # Phase 1 — calibrate both detectors on a benign run (disjoint seed).

@@ -13,13 +13,13 @@ Experiments resolve their repetition counts through
 so the profile — not the experiment — decides which budget applies, and a
 custom ``scale`` shrinks or grows every budget uniformly.
 
-``quick=`` keeps working everywhere as a deprecated alias; see
-:func:`resolve_profile`.
+The pre-profile ``quick: bool`` alias (deprecated since the profile API
+landed) has been removed; passing it raises a :class:`TypeError` naming
+:class:`RunProfile` — see :func:`resolve_profile`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
@@ -124,7 +124,13 @@ QUICK = RunProfile("quick", reduced=True)
 _NAMED_PROFILES: Dict[str, RunProfile] = {"full": FULL, "quick": QUICK}
 
 #: What experiment ``run()`` functions accept for their ``profile`` argument.
-ProfileLike = Union[RunProfile, str, bool, None]
+ProfileLike = Union[RunProfile, str, None]
+
+#: The tombstone message for the removed ``quick: bool`` alias.
+_QUICK_REMOVED = (
+    "the quick= flag has been removed; pass profile='quick', "
+    "profile='full', or a repro.experiments.profiles.RunProfile instance"
+)
 
 
 def available_profiles() -> list:
@@ -135,34 +141,21 @@ def available_profiles() -> list:
 def resolve_profile(
     profile: ProfileLike = None, quick: Optional[bool] = None
 ) -> RunProfile:
-    """Normalise the ``profile`` / legacy ``quick`` arguments to a profile.
+    """Normalise the ``profile`` argument to a :class:`RunProfile`.
 
     - ``RunProfile`` instances pass through.
     - Strings look up the named profiles (``"quick"`` / ``"full"``).
-    - ``None`` (with no ``quick``) means :data:`FULL`.
-    - ``quick=True/False`` — and a bare bool passed positionally where the
-      profile now goes — keep the pre-profile API working, but emit a
-      :class:`DeprecationWarning`.
+    - ``None`` means :data:`FULL`.
+
+    The pre-profile ``quick: bool`` alias — ``quick=True/False``, or a
+    bare bool where the profile now goes — was deprecated when profiles
+    landed and has been removed; both forms raise a :class:`TypeError`
+    pointing at :class:`RunProfile`.  The ``quick`` parameter survives in
+    the signature only so old keyword callers get that message instead
+    of a generic "unexpected keyword argument".
     """
-    if isinstance(profile, bool):
-        # Legacy positional call: run(True) used to mean run(quick=True).
-        if quick is not None:
-            raise ConfigurationError(
-                "pass either a profile or quick=, not both"
-            )
-        profile, quick = None, profile
-    if quick is not None:
-        if profile is not None:
-            raise ConfigurationError(
-                "pass either a profile or quick=, not both"
-            )
-        warnings.warn(
-            "the quick= flag is deprecated; pass profile='quick' or "
-            "profile='full' (repro.experiments.profiles) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return QUICK if quick else FULL
+    if isinstance(profile, bool) or quick is not None:
+        raise TypeError(_QUICK_REMOVED)
     if profile is None:
         return FULL
     if isinstance(profile, RunProfile):

@@ -17,7 +17,7 @@ eviction probability for context.
 from __future__ import annotations
 
 import statistics
-from typing import List, Optional
+from typing import List
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
@@ -32,10 +32,10 @@ PERIOD = 5500
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Section 6.1 random-replacement channel study."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=4, full=30)
     message_bits = profile.count(quick=64, full=128)
     overrides = {"l1_policy": "random"}

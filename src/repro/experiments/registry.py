@@ -71,8 +71,8 @@ def run_experiment(
     """Run one experiment by id.
 
     ``profile`` selects repetition counts (see
-    :mod:`repro.experiments.profiles`); the legacy ``quick=`` flag keeps
-    working as a deprecated alias.
+    :mod:`repro.experiments.profiles`).  The removed legacy ``quick=``
+    flag raises a :class:`TypeError` pointing at ``RunProfile``.
     """
     resolved = resolve_profile(profile, quick=quick)
     try:

@@ -7,7 +7,7 @@ qualitatively; the reproduction quantifies it on the simulated machine.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.common.bits import random_bits
 from repro.common.rng import ensure_rng
@@ -23,10 +23,10 @@ EXPERIMENT_ID = "sidechannel"
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Section 9 attack scenarios."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     secret_bits = profile.count(quick=32, full=128)
     secret = random_bits(secret_bits, ensure_rng(seed + 1))
     attacks = (

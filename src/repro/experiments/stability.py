@@ -11,7 +11,7 @@ are rare; the experiment includes that column too.
 from __future__ import annotations
 
 import statistics
-from typing import List, Optional
+from typing import List
 
 from repro.channels.encoding import BinaryDirtyCodec
 from repro.channels.lru_channel import LRUChannelConfig, run_lru_channel
@@ -32,10 +32,10 @@ NOISE_INTERVAL = 2 * PERIOD
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Figure 9 stability comparison."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     messages = profile.count(quick=4, full=24)
     message_bits = profile.count(quick=64, full=128)
 

@@ -22,7 +22,7 @@ properties and match structurally.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.cache_set import CacheSet
@@ -74,10 +74,10 @@ def eviction_probability(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 2."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     trials = profile.count(quick=400, full=10000)
     rng = ensure_rng(seed)
     probabilities: Dict[str, Dict[int, float]] = {}

@@ -18,7 +18,7 @@ drifts and the channel silently weakens.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.configs import make_xeon_hierarchy
@@ -76,10 +76,10 @@ def measure_latency_classes(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 4."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     repetitions = profile.count(quick=60, full=1000)
     l1_hits, clean, dirty = measure_latency_classes(repetitions, seed)
 

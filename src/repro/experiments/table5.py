@@ -21,7 +21,7 @@ gem5's generator).
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng, ensure_rng
@@ -90,10 +90,10 @@ def simulated_probability(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 5 (plus the analytic row the paper derives)."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     trials = profile.count(quick=300, full=10000)
     rng = ensure_rng(seed)
     rows: List[List[object]] = []

@@ -19,7 +19,7 @@ the *pattern across scenarios*.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.bits import random_bits
 from repro.common.rng import derive_rng, ensure_rng
@@ -110,10 +110,10 @@ def _sender_report(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 6."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     num_symbols = profile.count(quick=24, full=128)
     codecs: Dict[str, SymbolCodec] = {
         "binary (d=1)": BinaryDirtyCodec(d_on=1),

@@ -13,7 +13,7 @@ exactly the channel-protocol traffic.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.common.bits import random_bits
 from repro.common.rng import derive_rng, ensure_rng
@@ -72,10 +72,10 @@ def _sender_loads(channel: str, num_symbols: int, seed: int) -> PerfReport:
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0, *, quick: Optional[bool] = None
+    profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 7."""
-    profile = resolve_profile(profile, quick=quick)
+    profile = resolve_profile(profile)
     num_symbols = profile.count(quick=32, full=256)
     wb = _sender_loads("wb", num_symbols, seed)
     lru = _sender_loads("lru", num_symbols, seed)

@@ -18,6 +18,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.common.canonical import canonical_json
 from repro.common.errors import ConfigurationError, ManifestError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import RunProfile
@@ -219,9 +220,16 @@ class RunManifest:
                 entry.pop(fieldname, None)
         return data
 
-    def canonical_json(self, indent: Optional[int] = 2) -> str:
-        """Canonical form serialised with stable key order."""
-        return json.dumps(self.canonical_dict(), indent=indent, sort_keys=True)
+    def canonical_json(self) -> str:
+        """Canonical form as one stable byte representation.
+
+        Serialised through :func:`repro.common.canonical_json` (sorted
+        keys, fixed separators, NaN rejected, explicit version field
+        required) — the same helper the service result store hashes for
+        its content addresses, so "equal canonical JSON" means the same
+        thing everywhere in the repo.
+        """
+        return canonical_json(self.canonical_dict(), require_version=True)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Serialise to a JSON string (``sort_keys`` for stable diffs)."""

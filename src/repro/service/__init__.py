@@ -1,0 +1,69 @@
+"""Experiment service layer: memoised serving of experiment results.
+
+Three layers turn the offline reproduction into something that can sit
+behind traffic (the ROADMAP's north star):
+
+* :mod:`repro.service.store` — a **content-addressed result store**: one
+  durable JSON blob per canonical cache key (see
+  :mod:`repro.service.keys`), with LRU size-capped eviction and hit/miss
+  counters.  Blobs are exactly ``ExperimentResult.to_json()`` bytes, so a
+  stored result is bit-identical to a direct :mod:`repro.runner` run.
+* :mod:`repro.service.scheduler` — an **async job scheduler**: an asyncio
+  front end over the existing runner execution engine with a priority
+  queue, per-key in-flight deduplication (N identical submissions
+  coalesce into one computation), bounded queue depth with explicit
+  backpressure, cancellation, and the runner's per-job timeout / crash
+  retry when process isolation is on.
+* :mod:`repro.service.http` — a **stdlib-only HTTP/JSON API**
+  (``POST /jobs``, ``GET /jobs/{id}``, ``GET /results/{key}``,
+  ``GET /experiments``, ``GET /healthz``, ``GET /metrics``) whose
+  Prometheus metrics are fed by the telemetry
+  :class:`~repro.telemetry.subscribers.WindowedCounters` /
+  :class:`~repro.telemetry.subscribers.BusProfiler` machinery
+  (:mod:`repro.service.metrics`).
+
+Quick start::
+
+    from repro.service import JobScheduler, JobSpec, ResultStore
+
+    store = ResultStore("results-store")
+    async with JobScheduler(store, workers=2) as scheduler:
+        job = await scheduler.submit(JobSpec("fig6", profile="quick"))
+        job = await scheduler.wait(job.job_id)
+        print(store.get(job.key).render())
+
+or, over HTTP: ``python -m repro.service --port 8321`` and see the
+README's "Serving experiments" section for curl examples.
+"""
+
+from repro.service.keys import (
+    KEY_SCHEMA_VERSION,
+    cache_key,
+    key_material,
+    wb_config_fingerprint,
+)
+from repro.service.metrics import ServiceTelemetry, render_prometheus
+from repro.service.scheduler import (
+    JobScheduler,
+    JobSpec,
+    JobState,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.store import ResultStore, StoreStats
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "JobScheduler",
+    "JobSpec",
+    "JobState",
+    "QueueFullError",
+    "ResultStore",
+    "ServiceTelemetry",
+    "StoreStats",
+    "UnknownJobError",
+    "cache_key",
+    "key_material",
+    "render_prometheus",
+    "wb_config_fingerprint",
+]

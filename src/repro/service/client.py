@@ -1,0 +1,161 @@
+"""Minimal stdlib client for the service API (urllib, no dependencies).
+
+Used by the load-test script and the test suite; handy interactively::
+
+    from repro.service.client import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8321")
+    job = client.submit("fig6", profile="quick", wait=True)
+    result = client.result(job["result_key"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import ReproError
+from repro.experiments.base import ExperimentResult
+
+
+class ServiceError(ReproError):
+    """An API call failed; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking JSON client for one service endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple:
+        """Returns ``(status, raw_bytes)``; raises only on transport errors."""
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def _json(self, method: str, path: str,
+              body: Optional[Dict[str, object]] = None,
+              ok: tuple = (200,),
+              timeout: Optional[float] = None) -> Dict[str, object]:
+        status, raw = self._request(method, path, body, timeout=timeout)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if status not in ok:
+            raise ServiceError(status, str(payload.get("error", payload)))
+        return payload
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        experiment_id: str,
+        profile: Union[str, Dict[str, object], None] = None,
+        seed: int = 0,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        entry_point: Optional[str] = None,
+        wait: Union[bool, float] = False,
+    ) -> Dict[str, object]:
+        """``POST /jobs``; returns the job record (maybe already done)."""
+        body: Dict[str, object] = {
+            "experiment_id": experiment_id,
+            "seed": seed,
+            "priority": priority,
+            "wait": wait,
+        }
+        if profile is not None:
+            body["profile"] = profile
+        if timeout is not None:
+            body["timeout"] = timeout
+        if entry_point is not None:
+            body["entry_point"] = entry_point
+        http_timeout = self.timeout
+        if wait:
+            http_timeout += 3600.0 if wait is True else float(wait)
+        return self._json(
+            "POST", "/jobs", body, ok=(200, 202), timeout=http_timeout
+        )
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json("POST", f"/jobs/{job_id}/cancel", {}, ok=(200, 409))
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.1,
+    ) -> Dict[str, object]:
+        """Poll ``GET /jobs/{id}`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, f"job {job_id} still {record['state']} after "
+                    f"{timeout:.1f}s"
+                )
+            time.sleep(poll_seconds)
+
+    def result_bytes(self, key: str) -> bytes:
+        status, raw = self._request("GET", f"/results/{key}")
+        if status != 200:
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", "")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServiceError(status, str(message))
+        return raw
+
+    def result(self, key: str) -> ExperimentResult:
+        return ExperimentResult.from_json(
+            self.result_bytes(key).decode("utf-8")
+        )
+
+    def experiments(self) -> List[str]:
+        return list(self._json("GET", "/experiments")["experiments"])
+
+    def healthz(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")

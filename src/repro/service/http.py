@@ -1,0 +1,415 @@
+"""Stdlib-only HTTP/JSON API over the scheduler and result store.
+
+The server is a :class:`http.server.ThreadingHTTPServer`; the scheduler
+lives on a dedicated asyncio event-loop thread, and every handler thread
+crosses into it through :func:`asyncio.run_coroutine_threadsafe`.  All
+scheduler *and store* state is therefore touched only on the loop thread
+— the handler threads just marshal JSON.
+
+Routes
+======
+
+===========================  =========================================
+``POST /jobs``               submit a job; ``202`` queued/coalesced,
+                             ``200`` when memoised or ``wait`` given and
+                             the job finished, ``400`` invalid,
+                             ``429`` + ``Retry-After`` queue full
+``GET /jobs/{id}``           job record; ``404`` unknown id
+``GET /results/{key}``       the stored result blob, verbatim bytes
+``GET /experiments``         registered experiment ids
+``GET /healthz``             liveness + queue/store/telemetry summary
+``GET /metrics``             Prometheus text exposition
+===========================  =========================================
+
+``POST /jobs`` body::
+
+    {"experiment_id": "fig6",          # required
+     "profile": "quick",               # name or RunProfile dict
+     "seed": 0,
+     "priority": 0,
+     "timeout": null,                  # per-job seconds (isolate mode)
+     "wait": false}                    # true/seconds: block for result
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple, Union
+
+from repro.common.errors import ConfigurationError, ManifestError, ReproError
+from repro.experiments.profiles import RunProfile
+from repro.service.metrics import ServiceTelemetry, now, render_prometheus
+from repro.service.scheduler import (
+    JobScheduler,
+    JobSpec,
+    JobState,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.service.store import ResultStore
+
+#: Cross-thread bridge timeout for calls that do not run experiments.
+_CONTROL_TIMEOUT = 30.0
+
+#: Hint sent with 429 responses.
+_RETRY_AFTER_SECONDS = 1
+
+
+class ServiceApp:
+    """The service's composition root: store + scheduler + loop thread."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        queue_depth: int = 32,
+        isolate: bool = False,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ) -> None:
+        self.store = store
+        self.telemetry = telemetry or ServiceTelemetry()
+        self.scheduler = JobScheduler(
+            store,
+            workers=workers,
+            queue_depth=queue_depth,
+            isolate=isolate,
+            telemetry=self.telemetry,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceApp":
+        if self._loop is not None:
+            return self
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(
+            target=self._run_loop, args=(loop,), name="repro-service-loop",
+            daemon=True,
+        )
+        self._loop = loop
+        self._thread = thread
+        thread.start()
+        self._call(self.scheduler.start())
+        self.started_at = now()
+        return self
+
+    @staticmethod
+    def _run_loop(loop: asyncio.AbstractEventLoop) -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_forever()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        self._call(self.scheduler.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=_CONTROL_TIMEOUT)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceApp":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _call(self, coroutine, timeout: float = _CONTROL_TIMEOUT):
+        """Run a coroutine on the scheduler loop from a handler thread."""
+        if self._loop is None:
+            raise ConfigurationError("service app is not started")
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout)
+
+    # ------------------------------------------------------------------
+    # Request handling (each returns (status, body-dict-or-bytes))
+    # ------------------------------------------------------------------
+    def submit(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        spec = _spec_from_payload(payload)
+        priority = _int_field(payload, "priority", 0)
+        wait = payload.get("wait", False)
+        job = self._call(self.scheduler.submit(spec, priority=priority))
+        if wait and job.state not in JobState.TERMINAL:
+            wait_seconds = None if wait is True else float(wait)  # type: ignore[arg-type]
+            try:
+                job = self._call(
+                    self.scheduler.wait(job.job_id, timeout=wait_seconds),
+                    timeout=(wait_seconds or 3600.0) + _CONTROL_TIMEOUT,
+                )
+            except asyncio.TimeoutError:
+                pass  # fall through: report the still-running job as 202
+        status = 200 if job.state in JobState.TERMINAL else 202
+        return status, job.to_dict()
+
+    def job(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        async def lookup():
+            return self.scheduler.job(job_id)
+
+        return 200, self._call(lookup()).to_dict()
+
+    def cancel(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        cancelled = self._call(self.scheduler.cancel(job_id))
+        job = self._call_job(job_id)
+        body = job.to_dict()
+        body["cancelled"] = cancelled
+        return (200 if cancelled else 409), body
+
+    def _call_job(self, job_id: str):
+        async def lookup():
+            return self.scheduler.job(job_id)
+
+        return self._call(lookup())
+
+    def result_bytes(self, key: str) -> Optional[bytes]:
+        async def fetch():
+            try:
+                return self.store.get_bytes(key)
+            except ManifestError:
+                # Same self-healing as the scheduler: discard, miss.
+                self.store.discard(key)
+                return None
+
+        return self._call(fetch())
+
+    def experiments(self) -> Tuple[int, Dict[str, object]]:
+        from repro.experiments.registry import available_experiments
+
+        return 200, {"experiments": available_experiments()}
+
+    def healthz(self) -> Tuple[int, Dict[str, object]]:
+        async def snapshot():
+            return {
+                "status": "ok",
+                "uptime_seconds": round(now() - (self.started_at or now()), 3),
+                "scheduler": self.scheduler.snapshot(),
+                "store": self.store.stats.to_dict(),
+                "telemetry": self.telemetry.summary(),
+            }
+
+        return 200, self._call(snapshot())
+
+    def metrics_text(self) -> str:
+        async def render():
+            return render_prometheus(
+                self.scheduler.snapshot(),
+                self.store.stats.to_dict(),
+                telemetry=self.telemetry,
+                uptime_seconds=now() - (self.started_at or now()),
+            )
+
+        return self._call(render())
+
+
+def _int_field(payload: Dict[str, object], name: str, default: int) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _spec_from_payload(payload: Dict[str, object]) -> JobSpec:
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"job submission body must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    experiment_id = payload.get("experiment_id")
+    if not isinstance(experiment_id, str) or not experiment_id:
+        raise ConfigurationError(
+            "job submission requires a non-empty string 'experiment_id'"
+        )
+    profile = payload.get("profile")
+    if isinstance(profile, dict):
+        profile = RunProfile.from_dict(profile)
+    timeout = payload.get("timeout")
+    if timeout is not None and not isinstance(timeout, (int, float)):
+        raise ConfigurationError(
+            f"'timeout' must be a number of seconds or null, got {timeout!r}"
+        )
+    entry_point = payload.get("entry_point")
+    if entry_point is not None and not isinstance(entry_point, str):
+        raise ConfigurationError(
+            f"'entry_point' must be a dotted-path string, got {entry_point!r}"
+        )
+    return JobSpec.create(
+        experiment_id,
+        profile=profile,
+        seed=_int_field(payload, "seed", 0),
+        timeout=None if timeout is None else float(timeout),
+        entry_point=entry_point,
+    )
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests into the :class:`ServiceApp` on ``self.server``."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        blob = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_error_json(self, status: int, message: str,
+                         headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_json(status, {"error": message}, headers)
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigurationError("request body must be a JSON object")
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ConfigurationError("request body must be a JSON object")
+        return body
+
+    # -- methods -------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/jobs":
+                status, body = self.app.submit(self._read_body())
+                self._send_json(status, body)
+            elif self.path.startswith("/jobs/") and self.path.endswith("/cancel"):
+                job_id = self.path[len("/jobs/"):-len("/cancel")]
+                status, body = self.app.cancel(job_id)
+                self._send_json(status, body)
+            else:
+                self._send_error_json(404, f"no POST route {self.path!r}")
+        except QueueFullError as exc:
+            self._send_error_json(
+                429, str(exc), {"Retry-After": str(_RETRY_AFTER_SECONDS)}
+            )
+        except UnknownJobError as exc:
+            self._send_error_json(404, str(exc))
+        except ConfigurationError as exc:
+            self._send_error_json(400, str(exc))
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(*self.app.healthz())
+            elif self.path == "/metrics":
+                text = self.app.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(text)))
+                self.end_headers()
+                self.wfile.write(text)
+            elif self.path == "/experiments":
+                self._send_json(*self.app.experiments())
+            elif self.path.startswith("/jobs/"):
+                self._send_json(*self.app.job(self.path[len("/jobs/"):]))
+            elif self.path.startswith("/results/"):
+                key = self.path[len("/results/"):]
+                blob = self.app.result_bytes(key)
+                if blob is None:
+                    self._send_error_json(
+                        404,
+                        f"no stored result for key {key!r}; "
+                        f"submit the job to (re)compute it",
+                    )
+                else:
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(blob)))
+                    self.end_headers()
+                    self.wfile.write(blob)
+            else:
+                self._send_error_json(404, f"no GET route {self.path!r}")
+        except UnknownJobError as exc:
+            self._send_error_json(404, str(exc))
+        except ConfigurationError as exc:
+            self._send_error_json(400, str(exc))
+        except ReproError as exc:
+            self._send_error_json(500, str(exc))
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """HTTP server carrying its :class:`ServiceApp` for the handler."""
+
+    daemon_threads = True
+
+    def __init__(self, address, app: ServiceApp, verbose: bool = False) -> None:
+        super().__init__(address, ServiceHandler)
+        self.app = app
+        self.verbose = verbose
+
+
+def make_server(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Bind (port ``0`` = ephemeral) without starting the accept loop."""
+    return ServiceServer((host, port), app, verbose=verbose)
+
+
+def serve(
+    store_root: Union[str, pathlib.Path],
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    capacity_bytes: Optional[int] = None,
+    workers: int = 2,
+    queue_depth: int = 32,
+    isolate: bool = False,
+    window: int = 64,
+    verbose: bool = True,
+) -> None:
+    """Blocking entry point used by ``python -m repro.service``."""
+    store = ResultStore(store_root, capacity_bytes=capacity_bytes)
+    app = ServiceApp(
+        store,
+        workers=workers,
+        queue_depth=queue_depth,
+        isolate=isolate,
+        telemetry=ServiceTelemetry(window=window),
+    )
+    with app:
+        server = make_server(app, host=host, port=port, verbose=verbose)
+        bound_host, bound_port = server.server_address[:2]
+        print(
+            f"repro-service listening on http://{bound_host}:{bound_port} "
+            f"(store={store.root}, workers={workers}, "
+            f"queue_depth={queue_depth}, isolate={isolate})"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,539 @@
+"""Async job scheduler: priority queue + dedup + backpressure over the runner.
+
+The scheduler is an asyncio front end over the existing
+:mod:`repro.runner` execution engine.  One :class:`JobSpec` names an
+experiment configuration; its canonical cache key
+(:func:`repro.service.keys.cache_key`) drives three behaviours:
+
+* **memoisation** — a submission whose key is already in the
+  :class:`~repro.service.store.ResultStore` completes immediately from
+  the store (no queue, no worker);
+* **in-flight deduplication** — N identical submissions while one
+  computation is queued or running coalesce onto that computation and
+  all fan out its one result;
+* **content addressing** — the finished result is written back under the
+  key, so the *next* identical submission is a store hit.
+
+Distinct keys queue behind a priority heap (higher ``priority`` first,
+FIFO within a priority) of bounded depth: submissions beyond
+``queue_depth`` raise :class:`QueueFullError` — the explicit 429-style
+backpressure signal the HTTP layer translates.  Queued jobs can be
+cancelled; cancellation never leaves a partial blob in the store because
+results are stored only after a computation finishes.
+
+Execution happens off the event loop in executor threads, each driving
+the runner's engine for exactly one task.  With ``isolate=True`` the
+task runs in a worker *process* through the same pool machinery the CLI
+uses — inheriting its per-task timeout, crash retry with deterministic
+backoff, and serial fallback; ``isolate=False`` runs in-process (cheap,
+but timeouts are then advisory only).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, ManifestError, ReproError
+from repro.experiments.profiles import ProfileLike, RunProfile, resolve_profile
+from repro.runner.manifest import ManifestEntry
+from repro.runner.pool import execute_tasks
+from repro.runner.sharding import TaskSpec
+from repro.service.keys import cache_key
+from repro.service.metrics import ServiceTelemetry
+from repro.service.store import ResultStore
+
+
+class QueueFullError(ReproError):
+    """The scheduler's bounded queue rejected a submission (HTTP 429)."""
+
+    def __init__(self, queue_depth: int) -> None:
+        super().__init__(
+            f"job queue is full ({queue_depth} computation(s) queued); "
+            f"retry after the backlog drains"
+        )
+        self.queue_depth = queue_depth
+
+
+class UnknownJobError(ConfigurationError):
+    """A job id that this scheduler never issued."""
+
+
+class JobState:
+    """Terminal and transient job states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+#: How a DONE job's result was obtained.
+SOURCE_COMPUTED = "computed"
+SOURCE_STORE = "store"
+SOURCE_COALESCED = "coalesced"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submittable experiment configuration.
+
+    ``entry_point`` mirrors :class:`repro.runner.TaskSpec`'s dotted
+    override and participates in the cache key (two different entry
+    points must never collide on one content address).
+    """
+
+    experiment_id: str
+    profile: RunProfile = field(default_factory=lambda: resolve_profile(None))
+    seed: int = 0
+    #: Wall-clock budget, enforced by the worker pool when the scheduler
+    #: isolates jobs in processes.  Volatile: not part of the cache key.
+    timeout: Optional[float] = None
+    entry_point: Optional[str] = None
+
+    @staticmethod
+    def create(
+        experiment_id: str,
+        profile: ProfileLike = None,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+        entry_point: Optional[str] = None,
+    ) -> "JobSpec":
+        """Normalising constructor (accepts profile names)."""
+        return JobSpec(
+            experiment_id=experiment_id,
+            profile=resolve_profile(profile),
+            seed=seed,
+            timeout=timeout,
+            entry_point=entry_point,
+        )
+
+    @property
+    def key(self) -> str:
+        """The content address of this configuration."""
+        return cache_key(
+            self.experiment_id,
+            profile=self.profile,
+            seed=self.seed,
+            entry_point=self.entry_point,
+        )
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record (returned to API callers)."""
+
+    job_id: str
+    spec: JobSpec
+    key: str
+    priority: int
+    state: str = JobState.QUEUED
+    #: Where a DONE result came from: computed / store / coalesced.
+    source: Optional[str] = None
+    error: Optional[str] = None
+    #: Runner provenance for computed jobs (attempts, wall seconds).
+    attempts: int = 0
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON view served by ``GET /jobs/{id}``."""
+        data: Dict[str, object] = {
+            "job_id": self.job_id,
+            "experiment_id": self.spec.experiment_id,
+            "profile": self.spec.profile.to_dict(),
+            "seed": self.spec.seed,
+            "priority": self.priority,
+            "state": self.state,
+            "source": self.source,
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+        data["result_key"] = self.key if self.state == JobState.DONE else None
+        return data
+
+
+@dataclass
+class _Computation:
+    """One deduplicated unit of work; many jobs can ride it."""
+
+    key: str
+    spec: JobSpec
+    priority: int
+    jobs: List[Job] = field(default_factory=list)
+    state: str = JobState.QUEUED
+    cancelled: bool = False
+
+
+def compute_entry(spec: JobSpec, isolate: bool) -> ManifestEntry:
+    """Run one job through the runner engine; returns its manifest entry.
+
+    ``isolate=True`` routes through the process pool (1 worker), which
+    is what grants the runner's timeout enforcement and crash retry;
+    ``isolate=False`` takes the in-process serial path.
+    """
+    task = TaskSpec(
+        task_id=spec.experiment_id,
+        experiment_id=spec.experiment_id,
+        seed=spec.seed,
+        profile=spec.profile,
+        timeout=spec.timeout,
+        entry_point=spec.entry_point,
+    )
+    entries = execute_tasks([task], jobs=2 if isolate else 1)
+    return entries[0]
+
+
+class JobScheduler:
+    """The asyncio scheduler; use as an async context manager.
+
+    All state mutation happens on the owning event loop, so no locks are
+    needed; cross-thread callers go through
+    :func:`asyncio.run_coroutine_threadsafe` (see the HTTP layer).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        queue_depth: int = 32,
+        isolate: bool = False,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        self.store = store
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.isolate = isolate
+        self.telemetry = telemetry or ServiceTelemetry()
+        self._jobs: Dict[str, Job] = {}
+        self._futures: Dict[str, asyncio.Future] = {}
+        self._inflight: Dict[str, _Computation] = {}
+        self._heap: List[tuple] = []
+        self._queued = 0
+        self._sequence = itertools.count()
+        self._job_sequence = itertools.count(1)
+        self._worker_tasks: List[asyncio.Task] = []
+        self._wakeup: Optional[asyncio.Condition] = None
+        self._started = False
+        # Counters surfaced by /metrics (telemetry holds the windowed view).
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected": 0,
+            "deduplicated": 0,
+            "store_served": 0,
+            "computations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "JobScheduler":
+        """Spawn the worker tasks (idempotent)."""
+        if self._started:
+            return self
+        self._wakeup = asyncio.Condition()
+        self._worker_tasks = [
+            asyncio.get_running_loop().create_task(self._worker_loop(index))
+            for index in range(self.workers)
+        ]
+        self._started = True
+        return self
+
+    async def stop(self, drain: bool = False) -> None:
+        """Stop the workers; ``drain=True`` finishes the backlog first."""
+        if not self._started:
+            return
+        if drain:
+            await self.join()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        self._started = False
+        # Fail anything still queued so waiters do not hang forever.
+        for computation in list(self._inflight.values()):
+            if computation.state == JobState.QUEUED:
+                self._finish_computation(
+                    computation,
+                    state=JobState.CANCELLED,
+                    error="scheduler stopped before this job ran",
+                )
+
+    async def join(self) -> None:
+        """Wait until no computation is queued or running."""
+        while self._inflight:
+            pending = [
+                self._futures[job.job_id]
+                for computation in self._inflight.values()
+                for job in computation.jobs
+            ]
+            if not pending:
+                await asyncio.sleep(0)
+                continue
+            await asyncio.wait(pending)
+
+    async def __aenter__(self) -> "JobScheduler":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    async def submit(self, spec: JobSpec, priority: int = 0) -> Job:
+        """Submit one job; returns its (possibly already DONE) record.
+
+        Raises :class:`QueueFullError` when the submission would need a
+        new computation and the queue is at depth — memoised and
+        coalesced submissions are never rejected (they cost no queue
+        slot).
+        """
+        if not self._started:
+            raise ConfigurationError(
+                "scheduler is not running; use 'async with JobScheduler(...)'"
+            )
+        self._validate(spec)
+        key = spec.key
+        tick = self.telemetry.submission()
+        self.counters["submitted"] += 1
+        job = Job(
+            job_id=f"job-{next(self._job_sequence):06d}",
+            spec=spec,
+            key=key,
+            priority=priority,
+        )
+        self._jobs[job.job_id] = job
+        self._futures[job.job_id] = asyncio.get_running_loop().create_future()
+
+        # 1. Memoised: serve straight from the content-addressed store.
+        cached = self._store_probe(key)
+        if cached:
+            job.state = JobState.DONE
+            job.source = SOURCE_STORE
+            self.counters["store_served"] += 1
+            self.counters["completed"] += 1
+            self.telemetry.store_hit(key, tick)
+            self._resolve(job)
+            return job
+
+        # 2. Coalesce onto an identical computation already in flight.
+        computation = self._inflight.get(key)
+        if computation is not None and not computation.cancelled:
+            job.source = SOURCE_COALESCED
+            computation.jobs.append(job)
+            self.counters["deduplicated"] += 1
+            self.telemetry.coalesced(key, tick)
+            return job
+
+        # 3. New computation: bounded queue with explicit backpressure.
+        if self._queued >= self.queue_depth:
+            self.counters["rejected"] += 1
+            del self._jobs[job.job_id]
+            del self._futures[job.job_id]
+            raise QueueFullError(self.queue_depth)
+        computation = _Computation(key=key, spec=spec, priority=priority)
+        computation.jobs.append(job)
+        self._inflight[key] = computation
+        heapq.heappush(
+            self._heap, (-priority, next(self._sequence), computation)
+        )
+        self._queued += 1
+        self.counters["computations"] += 1
+        self.telemetry.computation_enqueued(key, tick)
+        assert self._wakeup is not None
+        async with self._wakeup:
+            self._wakeup.notify()
+        return job
+
+    def _validate(self, spec: JobSpec) -> None:
+        if spec.entry_point is not None:
+            return  # dotted override: resolved (and rejected) at run time
+        from repro.experiments.registry import available_experiments
+
+        if spec.experiment_id not in available_experiments():
+            raise ConfigurationError(
+                f"unknown experiment {spec.experiment_id!r}; available: "
+                f"{', '.join(available_experiments())}"
+            )
+
+    def _store_probe(self, key: str) -> bool:
+        """True when the store holds a healthy blob for ``key``.
+
+        A corrupt blob (:class:`~repro.common.errors.ManifestError`) is
+        discarded and treated as a miss, so the service self-heals by
+        recomputing instead of serving garbage or going down.
+        """
+        try:
+            return self.store.get_bytes(key) is not None
+        except ManifestError:
+            self.store.discard(key)
+            return False
+
+    # ------------------------------------------------------------------
+    # Waiting / inspection / cancellation
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        """Current record of ``job_id`` (raises on unknown ids)."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"no job {job_id!r} in this scheduler")
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until ``job_id`` reaches a terminal state."""
+        job = self.job(job_id)
+        future = self._futures[job_id]
+        if not future.done():
+            await asyncio.wait_for(asyncio.shield(future), timeout)
+        return job
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; returns ``True`` when it took effect.
+
+        Running computations are not interrupted (the runner may be
+        mid-experiment in a worker process); their jobs report
+        ``False``.  Cancelling one coalesced job detaches only that job
+        — the computation keeps running for its other riders.  The store
+        stays consistent: nothing is written for a computation whose
+        every job was cancelled before it ran.
+        """
+        job = self.job(job_id)
+        if job.state != JobState.QUEUED:
+            return False
+        computation = self._inflight.get(job.key)
+        if computation is None or computation.state != JobState.QUEUED:
+            return False
+        if job in computation.jobs:
+            computation.jobs.remove(job)
+        job.state = JobState.CANCELLED
+        self.counters["cancelled"] += 1
+        self.telemetry.cancelled(job.key, self.telemetry.bus.time)
+        self._resolve(job)
+        if not computation.jobs:
+            # Last rider gone: the computation itself is abandoned (the
+            # heap entry is skipped lazily when a worker pops it).
+            computation.cancelled = True
+            del self._inflight[computation.key]
+            self._queued -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    async def _worker_loop(self, worker_index: int) -> None:
+        del worker_index
+        assert self._wakeup is not None
+        while True:
+            async with self._wakeup:
+                while not self._heap:
+                    await self._wakeup.wait()
+                _neg_priority, _seq, computation = heapq.heappop(self._heap)
+            if computation.cancelled:
+                continue
+            self._queued -= 1
+            computation.state = JobState.RUNNING
+            for job in computation.jobs:
+                job.state = JobState.RUNNING
+            loop = asyncio.get_running_loop()
+            try:
+                entry = await loop.run_in_executor(
+                    None, compute_entry, computation.spec, self.isolate
+                )
+            except Exception as exc:  # noqa: BLE001 - fan failure out
+                self._finish_computation(
+                    computation,
+                    state=JobState.FAILED,
+                    error=f"scheduler execution error: {exc!r}",
+                )
+                continue
+            if entry.ok:
+                evicted = self.store.put(computation.key, entry.result)
+                self.telemetry.result_stored(
+                    computation.key, self.telemetry.bus.time
+                )
+                for victim in evicted:
+                    self.telemetry.store_evicted(
+                        victim.key, self.telemetry.bus.time
+                    )
+                self._finish_computation(
+                    computation, state=JobState.DONE, entry=entry
+                )
+            else:
+                self._finish_computation(
+                    computation,
+                    state=JobState.FAILED,
+                    error=f"{entry.status}: {entry.error}",
+                    entry=entry,
+                )
+
+    def _finish_computation(
+        self,
+        computation: _Computation,
+        state: str,
+        error: Optional[str] = None,
+        entry: Optional[ManifestEntry] = None,
+    ) -> None:
+        computation.state = state
+        self._inflight.pop(computation.key, None)
+        if state == JobState.FAILED:
+            self.telemetry.computation_failed(
+                computation.key, self.telemetry.bus.time
+            )
+        for job in computation.jobs:
+            job.state = state
+            job.error = error
+            if state == JobState.DONE and job.source is None:
+                job.source = SOURCE_COMPUTED
+            if entry is not None:
+                job.attempts = entry.attempts
+                job.wall_seconds = entry.wall_seconds
+            if state == JobState.DONE:
+                self.counters["completed"] += 1
+            elif state == JobState.FAILED:
+                self.counters["failed"] += 1
+            elif state == JobState.CANCELLED:
+                self.counters["cancelled"] += 1
+            self._resolve(job)
+
+    def _resolve(self, job: Job) -> None:
+        future = self._futures.get(job.job_id)
+        if future is not None and not future.done():
+            future.set_result(job)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Counters plus gauges for ``/metrics`` and ``/healthz``."""
+        running = sum(
+            1
+            for computation in self._inflight.values()
+            if computation.state == JobState.RUNNING
+        )
+        data: Dict[str, object] = dict(self.counters)
+        data["queued"] = self._queued
+        data["running"] = running
+        data["inflight_keys"] = len(self._inflight)
+        data["workers"] = self.workers
+        return data
+
+
+def spec_with_timeout(spec: JobSpec, timeout: Optional[float]) -> JobSpec:
+    """A copy of ``spec`` with its (non-key) timeout replaced."""
+    return replace(spec, timeout=timeout)

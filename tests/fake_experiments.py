@@ -26,18 +26,18 @@ def _result(seed: int) -> ExperimentResult:
     )
 
 
-def well_behaved(profile=None, seed=0, *, quick=None):
+def well_behaved(profile=None, seed=0):
     """Returns a tiny result; sanity baseline for entry-point tasks."""
-    resolve_profile(profile, quick=quick)
+    resolve_profile(profile)
     return _result(seed)
 
 
-def always_crash(profile=None, seed=0, *, quick=None):
+def always_crash(profile=None, seed=0):
     """Kills the worker process outright on every attempt."""
     os._exit(21)
 
 
-def crash_once(profile=None, seed=0, *, quick=None):
+def crash_once(profile=None, seed=0):
     """Crashes the first attempt, succeeds on the retry.
 
     Cross-process memory is a marker file named by ``CRASH_MARKER_ENV``
@@ -51,7 +51,7 @@ def crash_once(profile=None, seed=0, *, quick=None):
     return _result(seed)
 
 
-def sleeps_forever(profile=None, seed=0, *, quick=None):
+def sleeps_forever(profile=None, seed=0):
     """Overstays any reasonable timeout."""
     time.sleep(600)
     return _result(seed)
@@ -62,7 +62,7 @@ def sleeps_forever(profile=None, seed=0, *, quick=None):
 INTERRUPT_MARKER_ENV = "REPRO_TEST_INTERRUPT_MARKER"
 
 
-def interrupt_after(profile=None, seed=0, *, quick=None):
+def interrupt_after(profile=None, seed=0):
     """Simulates Ctrl-C: completes once, interrupts the next call.
 
     The marker file (``INTERRUPT_MARKER_ENV``) carries the "already ran
@@ -77,7 +77,7 @@ def interrupt_after(profile=None, seed=0, *, quick=None):
     return _result(seed)
 
 
-def seed_echo(profile=None, seed=0, *, quick=None):
+def seed_echo(profile=None, seed=0):
     """Deterministic result rows keyed by seed (resume-equality fodder)."""
     return _result(seed)
 
@@ -94,6 +94,34 @@ def echo_experiment_id(profile=None, seed=0, experiment_id=None):
     )
 
 
-def raises_error(profile=None, seed=0, *, quick=None):
+def raises_error(profile=None, seed=0):
     """Fails with a deterministic Python exception (no retry expected)."""
     raise ValueError("deliberate failure for tests")
+
+
+#: Environment variables for ``gated_count``: the invocation log and the
+#: gate file whose existence releases blocked invocations.
+COUNT_FILE_ENV = "REPRO_TEST_COUNT_FILE"
+GATE_FILE_ENV = "REPRO_TEST_GATE_FILE"
+
+
+def gated_count(profile=None, seed=0):
+    """Logs its invocation, then blocks until the gate file appears.
+
+    The service scheduler tests use this to hold a computation in flight
+    deterministically: submissions made while the gate is closed must
+    coalesce (or queue) rather than racing the computation's completion.
+    Appends ``seed`` to the ``COUNT_FILE_ENV`` file on entry, so the
+    line count is the exact number of computations that ran and the line
+    order is the order the scheduler dispatched them.
+    """
+    with open(os.environ[COUNT_FILE_ENV], "a") as handle:
+        handle.write(f"{seed}\n")
+        handle.flush()
+    gate = os.environ[GATE_FILE_ENV]
+    deadline = time.monotonic() + 30.0
+    while not os.path.exists(gate):
+        if time.monotonic() > deadline:
+            raise RuntimeError("gate file never appeared; test hung?")
+        time.sleep(0.005)
+    return _result(seed)

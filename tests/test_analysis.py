@@ -180,16 +180,14 @@ def _counters_with_miss_rates(rates):
 
 class TestDetection:
     def test_identical_profiles_benign(self):
-        profile = {"L1D": 0.01, "L2": 0.3, "LLC": 0.3}
-        with pytest.deprecated_call():
-            report = compare_miss_profiles(profile, dict(profile))
+        profile = _counters_with_miss_rates({1: 0.0, 2: 0.3, 3: 0.3})
+        report = compare_miss_profiles(profile, profile)
         assert not report.distinguishable
 
     def test_large_delta_flags(self):
-        suspect = {"L1D": 0.5, "L2": 0.3, "LLC": 0.3}
-        baseline = {"L1D": 0.01, "L2": 0.3, "LLC": 0.3}
-        with pytest.deprecated_call():
-            report = compare_miss_profiles(suspect, baseline)
+        suspect = _counters_with_miss_rates({1: 0.5, 2: 0.3, 3: 0.3})
+        baseline = _counters_with_miss_rates({1: 0.0, 2: 0.3, 3: 0.3})
+        report = compare_miss_profiles(suspect, baseline)
         assert report.distinguishable
         assert "DISTINGUISHABLE" in str(report)
 
@@ -221,18 +219,21 @@ class TestDetection:
         assert counters.miss_profile(("L1D",), owner=0)["L1D"] == 1.0
         assert counters.miss_profile(("L1D",), owner=1)["L1D"] == 0.0
 
-    def test_mismatched_levels_rejected(self):
-        with pytest.raises(ConfigurationError), pytest.deprecated_call():
-            compare_miss_profiles({"L1D": 0.1}, {"L2": 0.1})
-
     def test_empty_profile_rejected(self):
-        with pytest.raises(ConfigurationError), pytest.deprecated_call():
-            compare_miss_profiles({}, {})
+        counters = _counters_with_miss_rates({1: 0.1})
+        with pytest.raises(ConfigurationError):
+            compare_miss_profiles(counters, counters, level_names=())
 
     def test_bad_threshold_rejected(self):
-        with pytest.raises(ConfigurationError), pytest.deprecated_call():
-            compare_miss_profiles({"L1D": 0.1}, {"L1D": 0.1}, threshold=2.0)
-
-    def test_non_profile_rejected(self):
+        counters = _counters_with_miss_rates({1: 0.1})
         with pytest.raises(ConfigurationError):
-            compare_miss_profiles([0.1, 0.2], [0.1, 0.2])
+            compare_miss_profiles(counters, counters, threshold=2.0)
+
+    def test_mapping_path_removed_with_helpful_error(self):
+        # The deprecated plain-mapping path is a tombstone now: the
+        # TypeError must name the WindowedCounters replacement.
+        with pytest.raises(TypeError, match="WindowedCounters"):
+            compare_miss_profiles(
+                {"L1D": 0.1, "L2": 0.1, "LLC": 0.1},
+                {"L1D": 0.1, "L2": 0.1, "LLC": 0.1},
+            )

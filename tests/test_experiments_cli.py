@@ -8,7 +8,6 @@ from repro.experiments.cli import build_parser, main
 class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args([])
-        assert not args.quick
         assert args.profile is None
         assert args.seed == 0
         assert args.jobs == 1
@@ -62,15 +61,11 @@ class TestMain:
         assert "Table 4" in out
         assert "finished in" in out
 
-    def test_quick_flag_still_works_with_warning(self, capsys):
-        assert main(["table4", "--quick"]) == 0
-        captured = capsys.readouterr()
-        assert "Table 4" in captured.out
-        assert "deprecated" in captured.err
-
-    def test_quick_conflicts_with_full_profile(self, capsys):
-        assert main(["table4", "--quick", "--profile", "full"]) == 2
-        assert "conflicts" in capsys.readouterr().err
+    def test_quick_flag_removed(self, capsys):
+        # The deprecated --quick alias is gone; argparse rejects it.
+        with pytest.raises(SystemExit):
+            main(["table4", "--quick"])
+        assert "--quick" in capsys.readouterr().err
 
     def test_bad_jobs_and_seeds_rejected(self, capsys):
         assert main(["table4", "--jobs", "0"]) == 2

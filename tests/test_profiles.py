@@ -77,35 +77,29 @@ class TestResolveProfile:
         with pytest.raises(ConfigurationError):
             resolve_profile(3.14)
 
-    def test_quick_flag_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning):
-            assert resolve_profile(quick=True) is QUICK
-        with pytest.warns(DeprecationWarning):
-            assert resolve_profile(quick=False) is FULL
+    def test_quick_flag_removed_with_pointer_at_runprofile(self):
+        # The alias was deprecated when profiles landed and is now a
+        # tombstone: a TypeError whose message names the replacement.
+        with pytest.raises(TypeError, match="RunProfile"):
+            resolve_profile(quick=True)
+        with pytest.raises(TypeError, match="RunProfile"):
+            resolve_profile(quick=False)
 
-    def test_legacy_positional_bool_warns(self):
-        with pytest.warns(DeprecationWarning):
-            assert resolve_profile(True) is QUICK
-
-    def test_profile_and_quick_conflict(self):
-        with pytest.raises(ConfigurationError):
-            resolve_profile("quick", quick=True)
+    def test_legacy_positional_bool_removed(self):
+        with pytest.raises(TypeError, match="quick= flag has been removed"):
+            resolve_profile(True)
 
 
-class TestDeprecatedQuickEndToEnd:
-    def test_run_experiment_quick_alias_still_works(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = run_experiment("table4", quick=True)
-        modern = run_experiment("table4", profile="quick")
-        assert legacy.to_json() == modern.to_json()
+class TestRemovedQuickEndToEnd:
+    def test_run_experiment_quick_alias_raises(self):
+        with pytest.raises(TypeError, match="RunProfile"):
+            run_experiment("table4", quick=True)
 
-    def test_module_run_quick_alias_still_works(self):
+    def test_module_run_rejects_quick_kwarg(self):
         from repro.experiments import table4
 
-        with pytest.warns(DeprecationWarning):
-            legacy = table4.run(quick=True)
-        modern = table4.run(profile=QUICK)
-        assert legacy.to_json() == modern.to_json()
+        with pytest.raises(TypeError):
+            table4.run(quick=True)
 
     def test_profile_threads_through_params(self):
         result = run_experiment("table2", profile="quick")

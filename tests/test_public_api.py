@@ -25,12 +25,13 @@ class TestTopLevelExports:
         import repro.mem
         import repro.noise
         import repro.replacement
+        import repro.service
         import repro.sidechannel
 
         for module in (
             repro.analysis, repro.cache, repro.channels, repro.channels.wb,
             repro.defenses, repro.experiments, repro.mem, repro.noise,
-            repro.replacement, repro.sidechannel,
+            repro.replacement, repro.service, repro.sidechannel,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"

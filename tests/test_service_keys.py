@@ -1,0 +1,94 @@
+"""Cache-key canonicalisation: stability, sensitivity, live-object refusal."""
+
+import pytest
+
+from repro.channels.wb import WBChannelConfig
+from repro.channels.encoding import BinaryDirtyCodec
+from repro.common import canonical_json
+from repro.common.errors import ConfigurationError
+from repro.experiments.base import SCHEMA_VERSION
+from repro.experiments.profiles import RunProfile
+from repro.service.keys import (
+    KEY_SCHEMA_VERSION,
+    cache_key,
+    key_material,
+    wb_config_fingerprint,
+)
+
+
+class TestCacheKey:
+    def test_key_is_sha256_hex(self):
+        key = cache_key("fig6", profile="quick", seed=3)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_key_is_stable_across_calls(self):
+        first = cache_key("fig6", profile="quick", seed=3)
+        second = cache_key("fig6", profile=RunProfile("quick", reduced=True),
+                           seed=3)
+        assert first == second
+
+    def test_every_input_perturbs_the_key(self):
+        base = cache_key("fig6", profile="quick", seed=0)
+        assert cache_key("fig7", profile="quick", seed=0) != base
+        assert cache_key("fig6", profile="full", seed=0) != base
+        assert cache_key("fig6", profile="quick", seed=1) != base
+        assert cache_key(
+            "fig6", profile="quick", seed=0,
+            entry_point="tests.fake_experiments:well_behaved",
+        ) != base
+
+    def test_engine_knob_perturbs_the_key(self):
+        # Engines produce bit-identical results, but the profile is part
+        # of the declared key material — keys stay conservative.
+        reference = RunProfile("quick", reduced=True, engine="reference")
+        fast = RunProfile("quick", reduced=True, engine="fast")
+        assert (cache_key("fig6", profile=reference)
+                != cache_key("fig6", profile=fast))
+
+    def test_material_carries_both_schema_versions(self):
+        material = key_material("fig6", profile="quick", seed=0)
+        assert material["key_schema_version"] == KEY_SCHEMA_VERSION
+        assert material["result_schema_version"] == SCHEMA_VERSION
+        # The material must canonicalise under the strict version check.
+        canonical_json(material, require_version=True)
+
+
+class TestWBConfigFingerprint:
+    def test_declarative_config_fingerprints(self):
+        config = WBChannelConfig(
+            codec=BinaryDirtyCodec(d_on=4), period_cycles=1600,
+            message_bits=32, seed=9,
+        )
+        fingerprint = wb_config_fingerprint(config)
+        assert fingerprint["period_cycles"] == 1600
+        assert fingerprint["seed"] == 9
+        assert "BinaryDirtyCodec" in fingerprint["codec"]
+        # Same declarative config -> same key; different -> different.
+        same = WBChannelConfig(
+            codec=BinaryDirtyCodec(d_on=4), period_cycles=1600,
+            message_bits=32, seed=9,
+        )
+        other = WBChannelConfig(
+            codec=BinaryDirtyCodec(d_on=4), period_cycles=2200,
+            message_bits=32, seed=9,
+        )
+        key = cache_key("direct", wb_config=config)
+        assert cache_key("direct", wb_config=same) == key
+        assert cache_key("direct", wb_config=other) != key
+
+    def test_codec_distinguishes_configs(self):
+        narrow = WBChannelConfig(codec=BinaryDirtyCodec(d_on=1))
+        wide = WBChannelConfig(codec=BinaryDirtyCodec(d_on=8))
+        assert (wb_config_fingerprint(narrow)["codec"]
+                != wb_config_fingerprint(wide)["codec"])
+
+    def test_live_injected_object_is_refused(self):
+        config = WBChannelConfig(decoder=object())
+        with pytest.raises(ConfigurationError, match="live object"):
+            wb_config_fingerprint(config)
+
+    def test_fingerprint_names_the_live_field(self):
+        config = WBChannelConfig(hierarchy_factory=dict)
+        with pytest.raises(ConfigurationError, match="hierarchy_factory"):
+            wb_config_fingerprint(config)

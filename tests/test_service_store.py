@@ -1,0 +1,153 @@
+"""Result store: durability, LRU eviction, corruption self-healing."""
+
+import hashlib
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ManifestError
+from repro.experiments.base import ExperimentResult
+from repro.service.store import ResultStore, validate_key
+
+
+def fake_key(tag) -> str:
+    return hashlib.sha256(str(tag).encode()).hexdigest()
+
+
+def fake_result(tag) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=f"exp-{tag}",
+        title=f"result {tag}",
+        paper_reference="tests",
+        columns=["tag"],
+        rows=[[tag]],
+    )
+
+
+class TestValidateKey:
+    def test_accepts_sha256_hex(self):
+        assert validate_key(fake_key(1)) == fake_key(1)
+
+    @pytest.mark.parametrize("bad", [
+        "", "short", fake_key(1).upper(), fake_key(1)[:-1] + "g",
+        "../" + fake_key(1)[3:], fake_key(1) + "0", None, 42,
+    ])
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ConfigurationError, match="hex digest"):
+            validate_key(bad)
+
+
+class TestRoundTrip:
+    def test_bytes_are_exactly_the_result_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = fake_result("a")
+        store.put(fake_key("a"), result)
+        assert store.get_bytes(fake_key("a")) == result.to_json().encode()
+
+    def test_get_deserialises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_key("a"), fake_result("a"))
+        loaded = store.get(fake_key("a"))
+        assert loaded.experiment_id == "exp-a"
+        assert loaded.rows == [["a"]]
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(fake_key("nope")) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_put_rejects_non_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ConfigurationError, match="ExperimentResult"):
+            store.put(fake_key("a"), {"not": "a result"})
+
+    def test_stats_track_hits_and_gauges(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_key("a"), fake_result("a"))
+        store.get(fake_key("a"))
+        store.get(fake_key("a"))
+        assert store.stats.hits == 2
+        assert store.stats.puts == 1
+        assert store.stats.entries == 1
+        assert store.stats.bytes > 0
+        assert store.stats.hit_rate == 1.0
+
+
+class TestPersistence:
+    def test_blobs_survive_restart(self, tmp_path):
+        ResultStore(tmp_path).put(fake_key("a"), fake_result("a"))
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(fake_key("a")).experiment_id == "exp-a"
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        (tmp_path / "README.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("hello")
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+
+
+class TestEviction:
+    def test_entry_cap_evicts_least_recently_used(self, tmp_path):
+        store = ResultStore(tmp_path, capacity_entries=2)
+        store.put(fake_key(1), fake_result(1))
+        store.put(fake_key(2), fake_result(2))
+        evicted = store.put(fake_key(3), fake_result(3))
+        assert [victim.key for victim in evicted] == [fake_key(1)]
+        assert fake_key(1) not in store
+        assert fake_key(2) in store and fake_key(3) in store
+        assert store.stats.evictions == 1
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = ResultStore(tmp_path, capacity_entries=2)
+        store.put(fake_key(1), fake_result(1))
+        store.put(fake_key(2), fake_result(2))
+        store.get(fake_key(1))  # 2 is now the LRU entry
+        evicted = store.put(fake_key(3), fake_result(3))
+        assert [victim.key for victim in evicted] == [fake_key(2)]
+        assert fake_key(1) in store
+
+    def test_byte_cap_never_evicts_the_fresh_put(self, tmp_path):
+        store = ResultStore(tmp_path, capacity_bytes=1)  # below any blob
+        store.put(fake_key(1), fake_result(1))
+        evicted = store.put(fake_key(2), fake_result(2))
+        # The older blob goes; the just-put one stays despite the cap.
+        assert [victim.key for victim in evicted] == [fake_key(1)]
+        assert fake_key(2) in store
+        assert len(store) == 1
+
+    def test_zero_capacity_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="positive"):
+            ResultStore(tmp_path, capacity_bytes=0)
+        with pytest.raises(ConfigurationError, match="positive"):
+            ResultStore(tmp_path, capacity_entries=0)
+
+
+class TestCorruption:
+    def test_corrupt_blob_raises_manifest_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_key("a"), fake_result("a"))
+        (tmp_path / (fake_key("a") + ".json")).write_text("{\"trunc")
+        with pytest.raises(ManifestError, match="corrupt"):
+            store.get_bytes(fake_key("a"))
+
+    def test_discard_heals_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_key("a"), fake_result("a"))
+        (tmp_path / (fake_key("a") + ".json")).write_text("garbage")
+        assert store.discard(fake_key("a"))
+        assert fake_key("a") not in store
+        assert store.stats.corrupt_discarded == 1
+        assert store.get(fake_key("a")) is None  # plain miss now
+
+    def test_discard_of_absent_key_is_false(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.discard(fake_key("ghost"))
+        assert store.stats.corrupt_discarded == 0
+
+    def test_vanished_file_becomes_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_key("a"), fake_result("a"))
+        (tmp_path / (fake_key("a") + ".json")).unlink()
+        assert store.get_bytes(fake_key("a")) is None
+        assert fake_key("a") not in store
