@@ -14,6 +14,7 @@ import io
 
 from repro.experiments import available_experiments
 from repro.runner import run_experiments
+from repro.scenario.library import available_library_specs
 
 #: Paper-vs-measured commentary per experiment, maintained alongside the
 #: experiment code.  The measured tables below each entry are regenerated
@@ -215,7 +216,24 @@ bytes (bit-identical to a direct run) without recomputation, and N
 identical concurrent submissions coalesce into one computation — see
 the README's "Serving experiments" section.
 
+The WB-channel family — ``fig6``, ``fig7``, ``fig8``, ``extension_l2``,
+``fault_tolerance``, ``online_detection``, ``defenses`` — is
+**spec-backed**: each experiment's full configuration lives in a
+declarative ``ScenarioSpec`` (``repro.scenario.library``, committed as
+JSON in ``scenarios/``), the module body only shapes results from the
+spec-compiled measurement, and ``tests/test_scenario_golden.py`` pins
+the rebase bit-identical to the pre-spec output.  The same specs (and
+arbitrary variants) run unregistered via ``repro.scenario.run_scenario``
+or an inline ``{"scenario": ...}`` job submission — see the README's
+"Declarative scenarios" section.
+
 """
+
+#: Line appended under the paper-reference of spec-backed experiments.
+SPEC_BACKED_NOTE = (
+    "*Spec-backed: compiled from `scenarios/{experiment_id}.json` "
+    "(`repro.scenario.library.{experiment_id}_spec`).*\n\n"
+)
 
 
 def main() -> None:
@@ -229,6 +247,7 @@ def main() -> None:
     manifest = run_experiments(
         available_experiments(), profile=profile, jobs=args.jobs
     )
+    spec_backed = set(available_library_specs())
     out = io.StringIO()
     mode = " (quick mode)" if profile == "quick" else ""
     out.write(HEADER.format(mode=mode))
@@ -240,6 +259,10 @@ def main() -> None:
         result = entry.result
         out.write(f"\n## {entry.experiment_id} — {result.title}\n\n")
         out.write(f"*Reproduces {result.paper_reference}.*\n\n")
+        if entry.experiment_id in spec_backed:
+            out.write(
+                SPEC_BACKED_NOTE.format(experiment_id=entry.experiment_id)
+            )
         context = PAPER_CONTEXT.get(entry.experiment_id)
         if context:
             out.write(context + "\n\n")

@@ -25,6 +25,8 @@ from repro.cache.hierarchy import (
 )
 from repro.cache.stats import CacheStats, LevelCounters
 from repro.cache.configs import (
+    HierarchyParams,
+    LevelParams,
     XeonE5_2650Config,
     make_xeon_hierarchy,
     make_tiny_hierarchy,
@@ -40,8 +42,10 @@ __all__ = [
     "CacheSet",
     "CacheStats",
     "EvictedLine",
+    "HierarchyParams",
     "LatencyModel",
     "LevelCounters",
+    "LevelParams",
     "MEMORY_LEVEL",
     "WritePolicy",
     "XeonE5_2650Config",

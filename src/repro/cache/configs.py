@@ -8,14 +8,20 @@ we model a 2 MB slice, which preserves every behaviour the paper measures
 
 :func:`make_tiny_hierarchy` is a deliberately small configuration for unit
 tests that want to force evictions with a handful of addresses.
+
+Both factories route through :class:`HierarchyParams`, the single value
+object describing hierarchy geometry.  ``repro.scenario`` serialises the
+same object inside :class:`~repro.scenario.spec.ScenarioSpec`, so there is
+exactly one source of truth for geometry defaults.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_rng, ensure_rng
 from repro.cache.cache import AllocationPolicy, Cache, WritePolicy
 from repro.cache.hierarchy import CacheHierarchy
@@ -52,6 +58,215 @@ class XeonE5_2650Config:
         return self.l1_size // (self.l1_ways * self.line_size)
 
 
+@dataclass(frozen=True)
+class LevelParams:
+    """Geometry and policies of one cache level, as plain data.
+
+    Policies are stored as their string values (``"write-back"``,
+    ``"write-allocate"``) so the object round-trips through canonical
+    JSON without custom encoders.
+    """
+
+    name: str
+    size_bytes: int
+    ways: int
+    policy: str
+    write_policy: str = WritePolicy.WRITE_BACK.value
+    allocation_policy: str = AllocationPolicy.WRITE_ALLOCATE.value
+
+    def __post_init__(self) -> None:
+        try:
+            WritePolicy(self.write_policy)
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.name}: unknown write policy {self.write_policy!r}; "
+                f"valid: {', '.join(p.value for p in WritePolicy)}"
+            ) from None
+        try:
+            AllocationPolicy(self.allocation_policy)
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.name}: unknown allocation policy "
+                f"{self.allocation_policy!r}; "
+                f"valid: {', '.join(p.value for p in AllocationPolicy)}"
+            ) from None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "size_bytes": self.size_bytes,
+            "ways": self.ways,
+            "policy": self.policy,
+            "write_policy": self.write_policy,
+            "allocation_policy": self.allocation_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LevelParams":
+        _require_fields(cls, data, context="hierarchy level")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+#: RNG derivation labels by level index; fixed so that params-built
+#: hierarchies consume exactly the streams the historic factories did.
+_LEVEL_RNG_KEYS = ("l1", "l2", "llc")
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """The single source of truth for hierarchy geometry.
+
+    ``make_xeon_hierarchy`` / ``make_tiny_hierarchy`` and
+    ``ScenarioSpec.hierarchy`` all build from this object, so geometry
+    defaults exist in one place.  :meth:`build` replicates the historic
+    construction exactly — same level names, same RNG derivation labels
+    in the same order — so hierarchies built either way are
+    bit-identical.
+    """
+
+    levels: Tuple[LevelParams, ...]
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("HierarchyParams needs at least one level")
+        if len(self.levels) > len(_LEVEL_RNG_KEYS):
+            raise ConfigurationError(
+                f"HierarchyParams supports at most {len(_LEVEL_RNG_KEYS)} "
+                f"levels, got {len(self.levels)}"
+            )
+
+    @classmethod
+    def xeon(
+        cls,
+        config: Optional[XeonE5_2650Config] = None,
+        **overrides: object,
+    ) -> "HierarchyParams":
+        """Params for the paper's Xeon E5-2650 (``overrides`` as in
+        :func:`make_xeon_hierarchy`, e.g. ``l1_policy="random"``)."""
+        if config is None:
+            config = XeonE5_2650Config()
+        if overrides:
+            config = dataclass_replace(config, **overrides)
+        return cls(
+            levels=(
+                LevelParams(
+                    name="L1D",
+                    size_bytes=config.l1_size,
+                    ways=config.l1_ways,
+                    policy=config.l1_policy,
+                    write_policy=config.l1_write_policy.value,
+                    allocation_policy=config.l1_allocation_policy.value,
+                ),
+                LevelParams(
+                    name="L2",
+                    size_bytes=config.l2_size,
+                    ways=config.l2_ways,
+                    policy=config.l2_policy,
+                ),
+                LevelParams(
+                    name="LLC",
+                    size_bytes=config.llc_size,
+                    ways=config.llc_ways,
+                    policy=config.llc_policy,
+                ),
+            ),
+            line_size=config.line_size,
+        )
+
+    @classmethod
+    def tiny(
+        cls,
+        l1_policy: str = "lru",
+        l1_write_policy: WritePolicy = WritePolicy.WRITE_BACK,
+    ) -> "HierarchyParams":
+        """Params for the 2-level, 4-set unit-test hierarchy."""
+        return cls(
+            levels=(
+                LevelParams(
+                    name="L1-tiny",
+                    size_bytes=512,
+                    ways=2,
+                    policy=l1_policy,
+                    write_policy=l1_write_policy.value,
+                ),
+                LevelParams(
+                    name="L2-tiny",
+                    size_bytes=4096,
+                    ways=4,
+                    policy="lru",
+                ),
+            ),
+        )
+
+    def build(
+        self,
+        *,
+        rng: Optional[random.Random] = None,
+        engine: Optional[str] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> CacheHierarchy:
+        """Construct the hierarchy these params describe.
+
+        RNG streams are derived from ``rng`` in level order with the
+        fixed labels ``l1``/``l2``/``llc``, then ``hierarchy`` — the
+        exact draw sequence of the historic factory functions.
+        """
+        cache_cls = _cache_class(engine)
+        master = ensure_rng(rng)
+        caches: List[Cache] = []
+        for index, level in enumerate(self.levels):
+            caches.append(
+                cache_cls(
+                    name=level.name,
+                    size_bytes=level.size_bytes,
+                    associativity=level.ways,
+                    line_size=self.line_size,
+                    policy_factory=make_policy_factory(level.policy),
+                    write_policy=WritePolicy(level.write_policy),
+                    allocation_policy=AllocationPolicy(level.allocation_policy),
+                    rng=derive_rng(master, _LEVEL_RNG_KEYS[index]),
+                )
+            )
+        return CacheHierarchy(
+            levels=caches,
+            latency=latency,
+            rng=derive_rng(master, "hierarchy"),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line_size": self.line_size,
+            "levels": [level.to_dict() for level in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HierarchyParams":
+        _require_fields(cls, data, context="hierarchy")
+        levels = data.get("levels")
+        if not isinstance(levels, (list, tuple)):
+            raise ConfigurationError("hierarchy 'levels' must be a list")
+        return cls(
+            levels=tuple(LevelParams.from_dict(dict(entry)) for entry in levels),
+            line_size=int(data.get("line_size", 64)),  # type: ignore[arg-type]
+        )
+
+
+def _require_fields(cls, data: Dict[str, object], context: str) -> None:
+    """Reject unknown keys loudly — specs must not silently drop typos."""
+    import dataclasses
+
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{context} must be a JSON object, got {type(data).__name__}")
+    valid = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {context} field(s): {', '.join(sorted(unknown))}; "
+            f"valid fields: {', '.join(sorted(valid))}"
+        )
+
+
 def _cache_class(engine: Optional[str]):
     """Resolve the Cache class for ``engine`` (None = process default).
 
@@ -65,12 +280,13 @@ def _cache_class(engine: Optional[str]):
 
 
 def make_xeon_hierarchy(
+    *,
     config: Optional[XeonE5_2650Config] = None,
     rng: Optional[random.Random] = None,
     engine: Optional[str] = None,
     **overrides: object,
 ) -> CacheHierarchy:
-    """Build the modelled Xeon E5-2650 hierarchy.
+    """Build the modelled Xeon E5-2650 hierarchy (keyword-only).
 
     ``overrides`` are applied on top of ``config`` (or the defaults), e.g.
     ``make_xeon_hierarchy(l1_policy="random")`` for the Section 6.1
@@ -85,68 +301,20 @@ def make_xeon_hierarchy(
     engine = overrides.pop("engine", engine)  # type: ignore[assignment]
     if overrides:
         config = dataclass_replace(config, **overrides)
-    cache_cls = _cache_class(engine)
-    master = ensure_rng(rng)
-    l1 = cache_cls(
-        name="L1D",
-        size_bytes=config.l1_size,
-        associativity=config.l1_ways,
-        line_size=config.line_size,
-        policy_factory=make_policy_factory(config.l1_policy),
-        write_policy=config.l1_write_policy,
-        allocation_policy=config.l1_allocation_policy,
-        rng=derive_rng(master, "l1"),
-    )
-    l2 = cache_cls(
-        name="L2",
-        size_bytes=config.l2_size,
-        associativity=config.l2_ways,
-        line_size=config.line_size,
-        policy_factory=make_policy_factory(config.l2_policy),
-        rng=derive_rng(master, "l2"),
-    )
-    llc = cache_cls(
-        name="LLC",
-        size_bytes=config.llc_size,
-        associativity=config.llc_ways,
-        line_size=config.line_size,
-        policy_factory=make_policy_factory(config.llc_policy),
-        rng=derive_rng(master, "llc"),
-    )
-    return CacheHierarchy(
-        levels=[l1, l2, llc],
-        latency=config.latency,
-        rng=derive_rng(master, "hierarchy"),
-    )
+    params = HierarchyParams.xeon(config)
+    return params.build(rng=rng, engine=engine, latency=config.latency)
 
 
 def make_tiny_hierarchy(
+    *,
     l1_policy: str = "lru",
     rng: Optional[random.Random] = None,
     l1_write_policy: WritePolicy = WritePolicy.WRITE_BACK,
     engine: Optional[str] = None,
 ) -> CacheHierarchy:
     """A 2-level, 4-set hierarchy small enough to exhaust in unit tests."""
-    cache_cls = _cache_class(engine)
-    master = ensure_rng(rng)
-    l1 = cache_cls(
-        name="L1-tiny",
-        size_bytes=512,
-        associativity=2,
-        line_size=64,
-        policy_factory=make_policy_factory(l1_policy),
-        write_policy=l1_write_policy,
-        rng=derive_rng(master, "l1"),
-    )
-    l2 = cache_cls(
-        name="L2-tiny",
-        size_bytes=4096,
-        associativity=4,
-        line_size=64,
-        policy_factory=make_policy_factory("lru"),
-        rng=derive_rng(master, "l2"),
-    )
-    return CacheHierarchy(levels=[l1, l2], rng=derive_rng(master, "hierarchy"))
+    params = HierarchyParams.tiny(l1_policy, l1_write_policy)
+    return params.build(rng=rng, engine=engine)
 
 
 def dataclass_replace(config: XeonE5_2650Config, **overrides: object) -> XeonE5_2650Config:
@@ -156,8 +324,6 @@ def dataclass_replace(config: XeonE5_2650Config, **overrides: object) -> XeonE5_
     valid = {f.name for f in dataclasses.fields(config)}
     unknown = set(overrides) - valid
     if unknown:
-        from repro.common.errors import ConfigurationError
-
         raise ConfigurationError(
             f"unknown config field(s): {', '.join(sorted(unknown))}; "
             f"valid fields: {', '.join(sorted(valid))}"

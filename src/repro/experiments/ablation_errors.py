@@ -64,7 +64,7 @@ def _mean_ber(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Decompose the d=1 error rate into its modelled sources."""
     profile = resolve_profile(profile)

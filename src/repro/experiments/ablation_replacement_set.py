@@ -31,7 +31,7 @@ PERIOD = 5500
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Sweep the replacement-set size against two L1 policies."""
     profile = resolve_profile(profile)

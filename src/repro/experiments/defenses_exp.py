@@ -12,15 +12,20 @@ Random-fill cache      **not** effective          channel alive
 Randomized mapping     fixed key still leaks      naive blocked
 Write-through L1       effective (no dirty bit)   no signal
 =====================  =========================  ==================
+
+The evaluation is compiled from
+:func:`repro.scenario.library.defenses_spec`; this module keeps only the
+verdict-table shaping.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.defenses.evaluation import evaluate_all
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import defenses_spec
 
 EXPERIMENT_ID = "defenses"
 
@@ -35,14 +40,13 @@ PAPER_VERDICTS = {
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Section 8 defense comparison."""
     profile = resolve_profile(profile)
-    seeds = range(seed, seed + (profile.count(quick=2, full=6)))
-    reports = evaluate_all(seeds=seeds)
+    measurement = compile_scenario(defenses_spec(), profile, seed).measure()
     rows: List[List[object]] = []
-    for report in reports:
+    for report in measurement.reports:
         naive = "no signal" if report.naive_ber is None else f"{report.naive_ber:.1%}"
         adaptive = "-" if report.adaptive_ber is None else f"{report.adaptive_ber:.1%}"
         rows.append(
@@ -68,7 +72,7 @@ def run(
             "paper verdict",
         ],
         rows=rows,
-        params={"seeds": list(seeds)},
+        params={"seeds": list(measurement.seeds)},
         notes=(
             "Matches Section 8 defense-by-defense: locking and partitioning "
             "kill the channel, write-through removes the signal entirely, "

@@ -56,7 +56,7 @@ def _codec_curve(codec, periods, messages, message_bits, seed):
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Compare the paper's 2-bit codec with the theoretical 3-bit one."""
     profile = resolve_profile(profile)

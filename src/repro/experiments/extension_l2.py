@@ -6,97 +6,44 @@ operations from the sender."  The paper does not build it; this
 experiment does (see :mod:`repro.channels.wb.l2`) and compares the two
 deployments head to head: achievable rate, BER, and the sender's
 per-symbol operation count (the paper's predicted cost).
+
+The comparison is compiled from
+:func:`repro.scenario.library.extension_l2_spec`; this module keeps only
+the result shaping (the per-level sender-operation labels).
 """
 
 from __future__ import annotations
 
-import statistics
 from typing import List
 
-from repro.channels.encoding import BinaryDirtyCodec
-from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
-from repro.channels.wb.l2 import L2WBChannelConfig, run_l2_wb_channel
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import extension_l2_spec
 
 EXPERIMENT_ID = "extension_l2"
 
+#: The sender's per-symbol operation count, per deployment level — the
+#: paper's predicted extra cost for deeper cache levels.
+SENDER_OPS = {"L1": "1 store", "L2": "1 store + 10-load L1 sweep"}
+
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Compare the L1 and L2 deployments of the WB channel."""
     profile = resolve_profile(profile)
-    messages = profile.count(quick=4, full=20)
-    message_bits = profile.count(quick=48, full=128)
-    codec = BinaryDirtyCodec(d_on=4)
-
-    l1_decoder = calibrate_decoder(codec.levels, repetitions=40, seed=seed)
-    rows: List[List[object]] = []
-
-    # L1 deployment at two rates.
-    for period in (5500, 11000):
-        bers = [
-            run_wb_channel(
-                WBChannelConfig(
-                    codec=codec,
-                    period_cycles=period,
-                    message_bits=message_bits,
-                    seed=seed * 41 + m,
-                    decoder=l1_decoder,
-                )
-            ).bit_error_rate
-            for m in range(messages)
+    measurement = compile_scenario(extension_l2_spec(), profile, seed).measure()
+    rows: List[List[object]] = [
+        [
+            point.level,
+            point.period_cycles,
+            f"{point.rate_kbps:.0f}",
+            f"{point.ber:.2%}",
+            SENDER_OPS[point.level],
         ]
-        result = run_wb_channel(
-            WBChannelConfig(codec=codec, period_cycles=period,
-                            message_bits=message_bits, seed=seed,
-                            decoder=l1_decoder)
-        )
-        rows.append(
-            [
-                "L1",
-                period,
-                f"{result.rate_kbps:.0f}",
-                f"{statistics.fmean(bers):.2%}",
-                "1 store",
-            ]
-        )
-
-    # L2 deployment at two (slower) rates.
-    l2_decoder = None
-    for period in (22000, 44000):
-        config = L2WBChannelConfig(
-            codec=codec,
-            period_cycles=period,
-            message_bits=message_bits,
-            seed=seed,
-            decoder=l2_decoder,
-        )
-        first = run_l2_wb_channel(config)
-        l2_decoder = first.decoder  # reuse calibration across messages
-        bers = [first.bit_error_rate] + [
-            run_l2_wb_channel(
-                L2WBChannelConfig(
-                    codec=codec,
-                    period_cycles=period,
-                    message_bits=message_bits,
-                    seed=seed * 41 + m,
-                    decoder=l2_decoder,
-                )
-            ).bit_error_rate
-            for m in range(1, messages)
-        ]
-        rows.append(
-            [
-                "L2",
-                period,
-                f"{first.rate_kbps:.0f}",
-                f"{statistics.fmean(bers):.2%}",
-                "1 store + 10-load L1 sweep",
-            ]
-        )
-
+        for point in measurement.points
+    ]
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title="WB channel deployed on L1 vs L2 (d=4, binary)",
@@ -110,8 +57,8 @@ def run(
         ],
         rows=rows,
         params={
-            "messages_per_point": messages,
-            "message_bits": message_bits,
+            "messages_per_point": measurement.messages,
+            "message_bits": measurement.message_bits,
             "seed": seed,
         },
         notes=(

@@ -20,23 +20,21 @@ where the raw protocol's BER exceeds 10 %, the hardened stack still
 delivers the payload bit-exact — at an honestly reported fraction of the
 raw bit rate (``goodput``).  The ``demonstration`` entry in the params
 records that point.
+
+The sweep is compiled from
+:func:`repro.scenario.library.fault_tolerance_spec`; this module keeps
+only the result shaping.
 """
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import List
 
-from repro.channels.encoding import BinaryDirtyCodec
-from repro.channels.wb import (
-    WBChannelConfig,
-    run_robust_wb_channel,
-    run_wb_channel,
-)
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.faults import DEFAULT_FAULT_SPEC
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import fault_tolerance_spec
 
 EXPERIMENT_ID = "fault_tolerance"
 
@@ -57,64 +55,22 @@ RAW_BER_COLLAPSE = 0.10
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Sweep fault intensity; compare the raw and hardened WB protocols."""
     profile = resolve_profile(profile)
-    intensities = QUICK_INTENSITIES if profile.is_reduced else FULL_INTENSITIES
-    runs_per_point = profile.count(quick=1, full=3)
-
-    rows: List[List[object]] = []
-    demonstration: Optional[Dict[str, object]] = None
-    for intensity in intensities:
-        spec = DEFAULT_FAULT_SPEC.scaled(intensity)
-        raw_bers: List[float] = []
-        intact_count = 0
-        rounds: List[int] = []
-        retransmissions: List[int] = []
-        goodputs: List[float] = []
-        rate_kbps = 0.0
-        for index in range(runs_per_point):
-            run_seed = seed * 991 + index
-            raw_config = WBChannelConfig(
-                codec=BinaryDirtyCodec(d_on=1),
-                period_cycles=PERIOD,
-                message_bits=RAW_MESSAGE_BITS,
-                seed=run_seed,
-                faults=spec if intensity else None,
-            )
-            raw = run_wb_channel(raw_config)
-            raw_bers.append(raw.bit_error_rate)
-            hardened = run_robust_wb_channel(
-                replace(raw_config, message_bits=PAYLOAD_BITS)
-            )
-            intact_count += int(hardened.payload_intact)
-            rounds.append(hardened.rounds_used)
-            retransmissions.append(hardened.retransmissions)
-            goodputs.append(hardened.goodput_kbps)
-            rate_kbps = hardened.rate_kbps
-        raw_ber = statistics.fmean(raw_bers)
-        goodput = statistics.fmean(goodputs)
-        all_intact = intact_count == runs_per_point
-        rows.append([
-            f"{intensity:.1f}",
-            f"{raw_ber:.2%}",
-            f"{intact_count}/{runs_per_point}",
-            f"{statistics.fmean(rounds):.1f}",
-            f"{statistics.fmean(retransmissions):.1f}",
-            f"{goodput:.0f}",
-        ])
-        # The headline point: the lowest intensity past raw collapse where
-        # the hardened stack still delivered every payload bit-exact.
-        if demonstration is None and raw_ber > RAW_BER_COLLAPSE and all_intact:
-            demonstration = {
-                "intensity": intensity,
-                "raw_ber": raw_ber,
-                "payload_intact": True,
-                "goodput_kbps": goodput,
-                "rate_kbps": rate_kbps,
-            }
-
+    measurement = compile_scenario(fault_tolerance_spec(), profile, seed).measure()
+    rows: List[List[object]] = [
+        [
+            f"{point.intensity:.1f}",
+            f"{point.raw_ber:.2%}",
+            f"{point.intact_count}/{point.runs}",
+            f"{point.mean_rounds:.1f}",
+            f"{point.mean_retransmissions:.1f}",
+            f"{point.mean_goodput_kbps:.0f}",
+        ]
+        for point in measurement.points
+    ]
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title="WB channel fault tolerance: raw vs self-healing protocol",
@@ -129,14 +85,14 @@ def run(
         ],
         rows=rows,
         params={
-            "runs_per_point": runs_per_point,
+            "runs_per_point": measurement.runs_per_point,
             "raw_message_bits": RAW_MESSAGE_BITS,
             "payload_bits": PAYLOAD_BITS,
             "period": PERIOD,
             "fault_spec": DEFAULT_FAULT_SPEC.to_dict(),
-            "intensities": list(intensities),
+            "intensities": list(measurement.intensities),
             "raw_ber_collapse_threshold": RAW_BER_COLLAPSE,
-            "demonstration": demonstration,
+            "demonstration": measurement.demonstration,
             "seed": seed,
         },
         notes=(

@@ -23,7 +23,7 @@ DIRTY_LEVELS = tuple(range(9))
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 4."""
     profile = resolve_profile(profile)

@@ -23,7 +23,7 @@ PERIOD = 5500
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 5."""
     profile = resolve_profile(profile)

@@ -9,18 +9,21 @@ reproduction preserves:
 * at 1375 Kbps (Ts = 1600) every ``d`` stays below 5%;
 * ``d = 1`` is consistently the worst curve (smallest latency margin);
 * ``d = 8`` remains usable at 2750 Kbps (paper: 4.5% at 2700 Kbps).
+
+The measurement is compiled from the declarative
+:func:`repro.scenario.library.fig6_spec`; this module keeps only the
+figure's result shaping.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List
+from typing import List
 
 from repro.common.units import cycles_to_kbps
-from repro.channels.encoding import BinaryDirtyCodec
-from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import fig6_spec
 
 EXPERIMENT_ID = "fig6"
 
@@ -28,55 +31,14 @@ PERIODS = (800, 1000, 1600, 2200, 5500, 11000)
 D_VALUES = (1, 2, 3, 4, 5, 6, 7, 8)
 
 
-def ber_curve(
-    d: int,
-    periods=PERIODS,
-    messages: int = 90,
-    message_bits: int = 128,
-    calibration_repetitions: int = 60,
-    base_seed: int = 0,
-) -> Dict[int, float]:
-    """Mean BER per period for one binary encoding ``d``."""
-    codec = BinaryDirtyCodec(d_on=d)
-    decoder = calibrate_decoder(
-        codec.levels, repetitions=calibration_repetitions, seed=base_seed
-    )
-    curve: Dict[int, float] = {}
-    for period in periods:
-        bers = [
-            run_wb_channel(
-                WBChannelConfig(
-                    codec=codec,
-                    period_cycles=period,
-                    message_bits=message_bits,
-                    seed=base_seed * 10007 + message,
-                    decoder=decoder,
-                )
-            ).bit_error_rate
-            for message in range(messages)
-        ]
-        curve[period] = statistics.fmean(bers)
-    return curve
-
-
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 6."""
     profile = resolve_profile(profile)
-    messages = profile.count(quick=6, full=90)
-    d_values = (1, 4, 8) if profile.is_reduced else D_VALUES
-    message_bits = profile.count(quick=64, full=128)
-    curves = {
-        d: ber_curve(
-            d,
-            messages=messages,
-            message_bits=message_bits,
-            calibration_repetitions=profile.count(quick=20, full=60),
-            base_seed=seed,
-        )
-        for d in d_values
-    }
+    measurement = compile_scenario(fig6_spec(), profile, seed).measure()
+    d_values = measurement.d_values
+    curves = {entry.d: entry.curve for entry in measurement.curves}
     rows: List[List[object]] = []
     for period in PERIODS:
         rate = cycles_to_kbps(period)
@@ -91,8 +53,8 @@ def run(
         columns=["Ts (cycles)", "rate (Kbps)"] + [f"d={d}" for d in d_values],
         rows=rows,
         params={
-            "messages_per_point": messages,
-            "message_bits": message_bits,
+            "messages_per_point": measurement.messages,
+            "message_bits": measurement.message_bits,
             "seed": seed,
         },
         notes=(

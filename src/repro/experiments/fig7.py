@@ -3,6 +3,9 @@
 The paper transmits 256-bit random messages as 128 two-bit symbols with
 ``d ∈ {0, 3, 5, 8}`` mapping to ``00, 01, 10, 11`` and ``Ts = Tr = 4000``
 (1100 Kbps), and shows the four latency bands with three thresholds.
+
+The run is compiled from :func:`repro.scenario.library.fig7_spec`; this
+module keeps only the figure's result shaping.
 """
 
 from __future__ import annotations
@@ -10,9 +13,10 @@ from __future__ import annotations
 from typing import List
 
 from repro.channels.encoding import MultiBitDirtyCodec
-from repro.channels.wb import WBChannelConfig, run_wb_channel
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import fig7_spec
 
 EXPERIMENT_ID = "fig7"
 
@@ -20,20 +24,14 @@ PERIOD = 4000
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 7."""
     profile = resolve_profile(profile)
-    message_bits = profile.count(quick=64, full=256)
+    spec = fig7_spec()
+    result = compile_scenario(spec, profile, seed).measure()
+    message_bits = spec.params.message_bits.resolve(profile)
     codec = MultiBitDirtyCodec()
-    config = WBChannelConfig(
-        codec=codec,
-        period_cycles=PERIOD,
-        message_bits=message_bits,
-        seed=seed,
-        calibration_repetitions=profile.count(quick=20, full=60),
-    )
-    result = run_wb_channel(config)
     rows: List[List[object]] = []
     for (symbol, level), median in zip(
         codec.symbol_table(), result.decoder.medians

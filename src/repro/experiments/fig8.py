@@ -4,18 +4,20 @@ The paper's headline: with ``d ∈ {0, 3, 5, 8}`` encoding two bits per
 symbol, the channel reaches **4400 Kbps at 3.5% BER** (Ts = 1000),
 far above the 1375-2700 Kbps practical range of binary encoding.
 256-bit messages, ≥45 repetitions per point.
+
+The sweep is compiled from :func:`repro.scenario.library.fig8_spec`;
+this module keeps only the figure's result shaping.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List
+from typing import List
 
 from repro.common.units import cycles_to_kbps
-from repro.channels.encoding import MultiBitDirtyCodec
-from repro.channels.wb import WBChannelConfig, calibrate_decoder, run_wb_channel
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import fig8_spec
 
 EXPERIMENT_ID = "fig8"
 
@@ -23,31 +25,12 @@ PERIODS = (800, 1000, 1600, 2200, 5500, 11000)
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Figure 8."""
     profile = resolve_profile(profile)
-    messages = profile.count(quick=6, full=45)
-    message_bits = profile.count(quick=64, full=256)
-    codec = MultiBitDirtyCodec()
-    decoder = calibrate_decoder(
-        codec.levels, repetitions=profile.count(quick=20, full=60), seed=seed
-    )
-    curve: Dict[int, float] = {}
-    for period in PERIODS:
-        bers = [
-            run_wb_channel(
-                WBChannelConfig(
-                    codec=codec,
-                    period_cycles=period,
-                    message_bits=message_bits,
-                    seed=seed * 10007 + message,
-                    decoder=decoder,
-                )
-            ).bit_error_rate
-            for message in range(messages)
-        ]
-        curve[period] = statistics.fmean(bers)
+    measurement = compile_scenario(fig8_spec(), profile, seed).measure()
+    curve = measurement.curves[0].curve
     rows: List[List[object]] = [
         [period, f"{cycles_to_kbps(period, bits_per_symbol=2):.0f}", f"{curve[period]:.2%}"]
         for period in PERIODS
@@ -59,8 +42,8 @@ def run(
         columns=["Ts (cycles)", "rate (Kbps)", "BER"],
         rows=rows,
         params={
-            "messages_per_point": messages,
-            "message_bits": message_bits,
+            "messages_per_point": measurement.messages,
+            "message_bits": measurement.message_bits,
             "seed": seed,
         },
         notes=(

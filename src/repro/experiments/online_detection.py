@@ -25,37 +25,22 @@ continuous modulation loads deviate hard from the benign envelope on
 both views, while the WB sender's single posted store per bit hides
 inside it — LRU flagged at a strictly higher rate than WB at matched
 bandwidth, with the benign false-positive rate reported alongside.
+
+The co-runs, calibration and scoring are compiled from
+:func:`repro.scenario.library.online_detection_spec` and executed by
+:mod:`repro.scenario.detection`; this module keeps only the result
+shaping.  The historic module constants below mirror that spec's
+defaults.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
-from repro.common.bits import random_bits
-from repro.common.rng import derive_rng, ensure_rng
-from repro.channels.encoding import BinaryDirtyCodec
-from repro.channels.testbench import ChannelTestbench, TestbenchConfig
-from repro.cpu.ops import Load, SpinUntil
-from repro.cpu.thread import OpGenerator, Program
 from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ProfileLike, resolve_profile
-from repro.experiments.process_models import (
-    InstrumentedBenignProcess,
-    InstrumentedLRUSender,
-    InstrumentedWBSender,
-    make_activity,
-)
-from repro.mem.sets import build_set_conflicting_lines
-from repro.telemetry.bus import TelemetryBus
-from repro.telemetry.detectors import (
-    Baseline,
-    MissRateMonitor,
-    WritebackBurstDetector,
-    detection_rate,
-    suggest_threshold,
-    threshold_sweep,
-)
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import online_detection_spec
 
 EXPERIMENT_ID = "online_detection"
 
@@ -83,203 +68,29 @@ MAX_LAG = 12
 #: Detection threshold: this many sigmas above the calibration scores.
 THRESHOLD_SIGMAS = 3.0
 
-#: Seed offset separating the calibration run from the measured runs.
-_CALIBRATION_SEED_OFFSET = 7919
-
-
-@dataclass
-class _PeriodicProber(Program):
-    """Sweeps the target set at a fixed cycle cadence, start to finish.
-
-    The cadence serves two detector needs at once: it contends the
-    monitored set (so channel state changes surface as conflict events
-    attributed to the suspect's victim lines) and, because it is paced
-    in *cycles*, it anchors the logical-access clock to wall time.
-    """
-
-    lines: Sequence[int]
-    interval: int
-    end_time: int
-
-    def run(self) -> OpGenerator:
-        t = 0
-        while t < self.end_time:
-            for line in self.lines:
-                yield Load(line)
-            t = yield SpinUntil(t + self.interval)
-
-
-def _run_scenario(
-    channel: str,
-    num_symbols: int,
-    seed: int,
-    subscribers: Sequence[object],
-) -> None:
-    """One co-run: suspect (wb/lru/benign) + prober, events to subscribers."""
-    bench = ChannelTestbench(TestbenchConfig(seed=seed))
-    hierarchy = bench.hierarchy
-    bus = hierarchy.telemetry
-    owned_bus = bus is None or not bus.enabled
-    if owned_bus:
-        bus = hierarchy.attach_telemetry(TelemetryBus())
-    for subscriber in subscribers:
-        bus.subscribe(subscriber)
-    try:
-        rng = ensure_rng(seed)
-        message = random_bits(num_symbols, derive_rng(rng, "msg"))
-        space = bench.new_space(pid=SUSPECT_TID)
-        activity = make_activity(space, seed=seed)
-        lines = build_set_conflicting_lines(
-            space, bench.l1_layout, TARGET_SET, 1
-        )
-        if channel == "wb":
-            suspect: Program = InstrumentedWBSender(
-                activity=activity,
-                lines=lines,
-                schedule=BinaryDirtyCodec(d_on=1).encode_message(message),
-                period=PERIOD,
-                start_time=START_TIME,
-            )
-        elif channel == "lru":
-            suspect = InstrumentedLRUSender(
-                activity=activity,
-                line=lines[0],
-                message=message,
-                period=PERIOD,
-                start_time=START_TIME,
-            )
-        elif channel == "benign":
-            suspect = InstrumentedBenignProcess(
-                activity=activity,
-                periods=num_symbols,
-                period=PERIOD,
-                start_time=START_TIME,
-            )
-        else:
-            raise ValueError(f"unknown channel {channel!r}")
-        prober_space = bench.new_space(pid=PROBER_TID)
-        prober_lines = build_set_conflicting_lines(
-            prober_space, bench.l1_layout, TARGET_SET, PROBER_LINES
-        )
-        prober = _PeriodicProber(
-            lines=prober_lines,
-            interval=PERIOD // PROBER_SWEEPS_PER_PERIOD,
-            end_time=START_TIME + num_symbols * PERIOD,
-        )
-        bench.add_thread(SUSPECT_TID, space, suspect, name=f"{channel}-suspect")
-        bench.add_thread(PROBER_TID, prober_space, prober, name="prober")
-        bench.run()
-    finally:
-        for subscriber in subscribers:
-            finish = getattr(subscriber, "finish", None)
-            if finish is not None:
-                finish()
-            bus.unsubscribe(subscriber)
-        if owned_bus:
-            hierarchy.detach_telemetry()
-
-
-def _make_detectors(
-    monitor_baseline: Optional[Baseline] = None,
-    burst_baseline: Optional[Baseline] = None,
-) -> Dict[str, object]:
-    return {
-        "monitor": MissRateMonitor(
-            window=MONITOR_WINDOW,
-            owner=SUSPECT_TID,
-            clock_owner=PROBER_TID,
-            baseline=monitor_baseline,
-        ),
-        "burst": WritebackBurstDetector(
-            window=BURST_WINDOW,
-            segment=SEGMENT,
-            max_lag=MAX_LAG,
-            owner=SUSPECT_TID,
-            clock_owner=PROBER_TID,
-            baseline=burst_baseline,
-        ),
-    }
-
-
-def _sweep_thresholds(all_scores: List[float], points: int = 13) -> List[float]:
-    top = max(all_scores) if all_scores else 1.0
-    if top <= 0.0:
-        top = 1.0
-    return [top * index / (points - 1) for index in range(points)]
-
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Run the online-detection comparison."""
     profile = resolve_profile(profile)
-    num_symbols = profile.count(quick=48, full=192)
-
-    # Phase 1 — calibrate both detectors on a benign run (disjoint seed).
-    calibration = _make_detectors()
-    _run_scenario(
-        "benign", num_symbols, seed + _CALIBRATION_SEED_OFFSET,
-        list(calibration.values()),
-    )
-    baselines = {
-        name: Baseline.fit(detector.features)
-        for name, detector in calibration.items()
-    }
-    thresholds = {
-        name: suggest_threshold(
-            baselines[name].score_all(detector.features), THRESHOLD_SIGMAS
-        )
-        for name, detector in calibration.items()
-    }
-
-    # Phase 2 — score benign (fresh seed), WB and LRU at matched bandwidth.
-    scores: Dict[str, Dict[str, List[float]]] = {"monitor": {}, "burst": {}}
-    for scenario in ("benign", "wb", "lru"):
-        detectors = _make_detectors(
-            monitor_baseline=baselines["monitor"],
-            burst_baseline=baselines["burst"],
-        )
-        _run_scenario(scenario, num_symbols, seed, list(detectors.values()))
-        for name, detector in detectors.items():
-            scores[name][scenario] = detector.scores
+    measurement = compile_scenario(online_detection_spec(), profile, seed).measure()
 
     rows: List[List[object]] = []
-    rates: Dict[str, Dict[str, float]] = {}
-    series: Dict[str, List[float]] = {}
-    for name in ("monitor", "burst"):
-        threshold = thresholds[name]
-        rates[name] = {
-            scenario: detection_rate(scores[name][scenario], threshold)
-            for scenario in ("benign", "wb", "lru")
-        }
+    rates: Dict[str, Dict[str, float]] = measurement.rates
+    for name in measurement.detector_names:
         rows.append(
             [
                 name,
-                f"{threshold:.2f}",
+                f"{measurement.thresholds[name]:.2f}",
                 f"{rates[name]['benign']:.1%}",
                 f"{rates[name]['wb']:.1%}",
                 f"{rates[name]['lru']:.1%}",
                 "yes" if rates[name]["lru"] > rates[name]["wb"] else "NO",
             ]
         )
-        sweep = threshold_sweep(
-            _sweep_thresholds(
-                [s for scenario in scores[name].values() for s in scenario]
-            ),
-            scores[name]["benign"],
-            {"wb": scores[name]["wb"], "lru": scores[name]["lru"]},
-        )
-        series[f"{name}_roc_threshold"] = [r["threshold"] for r in sweep]
-        series[f"{name}_roc_benign_fpr"] = [r["benign_fpr"] for r in sweep]
-        series[f"{name}_roc_wb"] = [r["wb"] for r in sweep]
-        series[f"{name}_roc_lru"] = [r["lru"] for r in sweep]
-        series[f"{name}_scores_benign"] = list(scores[name]["benign"])
-        series[f"{name}_scores_wb"] = list(scores[name]["wb"])
-        series[f"{name}_scores_lru"] = list(scores[name]["lru"])
 
-    stealth_holds = all(
-        rates[name]["lru"] > rates[name]["wb"] for name in ("monitor", "burst")
-    )
+    stealth_holds = bool(measurement.stealth_holds)
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title="Online detection: WB vs LRU sender vs benign (Ts = 11000)",
@@ -290,7 +101,7 @@ def run(
         ],
         rows=rows,
         params={
-            "num_symbols": num_symbols,
+            "num_symbols": measurement.num_symbols,
             "period": PERIOD,
             "monitor_window": MONITOR_WINDOW,
             "burst_window": BURST_WINDOW,
@@ -303,7 +114,7 @@ def run(
             "detection_rates": rates,
             "stealth_holds": stealth_holds,
         },
-        series=series,
+        series=measurement.series,
         notes=(
             "Both online detectors are calibrated on the benign co-runner "
             "and applied at matched bit period. The LRU sender's "

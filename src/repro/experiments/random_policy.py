@@ -32,7 +32,7 @@ PERIOD = 5500
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Section 6.1 random-replacement channel study."""
     profile = resolve_profile(profile)

@@ -23,7 +23,7 @@ EXPERIMENT_ID = "sidechannel"
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Section 9 attack scenarios."""
     profile = resolve_profile(profile)

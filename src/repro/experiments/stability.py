@@ -32,7 +32,7 @@ NOISE_INTERVAL = 2 * PERIOD
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce the Figure 9 stability comparison."""
     profile = resolve_profile(profile)

@@ -74,7 +74,7 @@ def eviction_probability(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 2."""
     profile = resolve_profile(profile)

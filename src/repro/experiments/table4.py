@@ -76,7 +76,7 @@ def measure_latency_classes(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 4."""
     profile = resolve_profile(profile)

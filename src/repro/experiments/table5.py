@@ -90,7 +90,7 @@ def simulated_probability(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 5 (plus the analytic row the paper derives)."""
     profile = resolve_profile(profile)

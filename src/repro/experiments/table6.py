@@ -110,7 +110,7 @@ def _sender_report(
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 6."""
     profile = resolve_profile(profile)

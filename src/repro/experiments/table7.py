@@ -72,7 +72,7 @@ def _sender_loads(channel: str, num_symbols: int, seed: int) -> PerfReport:
 
 
 def run(
-    profile: ProfileLike = None, seed: int = 0
+    *, profile: ProfileLike = None, seed: int = 0
 ) -> ExperimentResult:
     """Reproduce Table 7."""
     profile = resolve_profile(profile)

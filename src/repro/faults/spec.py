@@ -133,6 +133,21 @@ class FaultSpec:
         """JSON-ready form (stored in fault summaries and manifests)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown fields loudly."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"fault spec must be a JSON object, got {type(data).__name__}"
+            )
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
 
 #: The reference fault regime used by the ``fault_tolerance`` experiment.
 DEFAULT_FAULT_SPEC = FaultSpec()

@@ -85,7 +85,14 @@ class RunInterrupted(ReproError):
 
 
 def resolve_entry_point(task: TaskSpec) -> Callable[..., ExperimentResult]:
-    """The callable a task executes: registry lookup or dotted override."""
+    """The callable a task executes: registry lookup, scenario or override."""
+    if task.scenario is not None:
+        from repro.scenario.runner import run_scenario_json
+
+        def scenario_runner(profile, seed):
+            return run_scenario_json(task.scenario, profile=profile, seed=seed)
+
+        return scenario_runner
     if task.entry_point is None:
         from repro.experiments.registry import run_experiment
 

@@ -57,6 +57,12 @@ class TaskSpec:
     for extensions and for the test suite's crashing fakes — being a dotted
     path rather than a callable keeps specs picklable under every
     multiprocessing start method.
+
+    ``scenario`` carries a declarative :class:`repro.scenario.ScenarioSpec`
+    as its serialised JSON (a plain string for the same picklability
+    reason); the worker runs it through
+    :func:`repro.scenario.runner.run_scenario_json` instead of the
+    registry.  ``experiment_id`` then holds the ``scenario:<name>`` label.
     """
 
     task_id: str
@@ -70,8 +76,15 @@ class TaskSpec:
     #: Scheduling weight (heavier dispatches earlier); not a correctness input.
     weight: float = 1.0
     entry_point: Optional[str] = None
+    #: Serialised ScenarioSpec JSON for declarative scenario tasks.
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.scenario is not None and self.entry_point is not None:
+            raise ConfigurationError(
+                "a task carries either a scenario or an entry_point "
+                "override, not both"
+            )
         if self.num_shards < 1:
             raise ConfigurationError(
                 f"num_shards must be >= 1, got {self.num_shards}"

@@ -1,0 +1,88 @@
+"""Declarative scenarios: topology + programs + faults + detectors as data.
+
+The spec layer (:mod:`repro.scenario.spec`) defines the canonicalisable
+:class:`ScenarioSpec` tree; :mod:`repro.scenario.compile` turns a spec
+plus ``(profile, seed)`` into executable measurements;
+:mod:`repro.scenario.runner` wraps that in a generic
+:class:`~repro.experiments.base.ExperimentResult`;
+:mod:`repro.scenario.library` holds the canonical specs behind the
+spec-backed registered experiments; :mod:`repro.scenario.zoo` loads and
+validates the committed ``scenarios/`` directory.
+"""
+
+from repro.scenario.spec import (
+    SCENARIO_KINDS,
+    SCENARIO_SCHEMA_VERSION,
+    Axis,
+    BerSweepParams,
+    ChannelSpec,
+    CodecSpec,
+    CoRunnerSpec,
+    Counts,
+    DefenseEvalParams,
+    DetectorSpec,
+    FaultSweepParams,
+    LevelCompareParams,
+    OnlineDetectionParams,
+    ReceiverSpec,
+    ScenarioSpec,
+    SenderSpec,
+    TraceParams,
+    scenario_key,
+)
+from repro.scenario.compile import CompiledScenario, compile_scenario
+from repro.scenario.runner import (
+    SCENARIO_ID_PREFIX,
+    run_scenario,
+    run_scenario_json,
+    scenario_experiment_id,
+)
+from repro.scenario.library import (
+    LIBRARY,
+    available_library_specs,
+    library_spec,
+)
+from repro.scenario.zoo import (
+    VARIANTS,
+    expand_campaign,
+    load_zoo,
+    verify_zoo,
+    zoo_keys,
+    zoo_specs,
+)
+
+__all__ = [
+    "SCENARIO_ID_PREFIX",
+    "SCENARIO_KINDS",
+    "SCENARIO_SCHEMA_VERSION",
+    "Axis",
+    "BerSweepParams",
+    "ChannelSpec",
+    "CodecSpec",
+    "CoRunnerSpec",
+    "CompiledScenario",
+    "Counts",
+    "DefenseEvalParams",
+    "DetectorSpec",
+    "FaultSweepParams",
+    "LevelCompareParams",
+    "LIBRARY",
+    "OnlineDetectionParams",
+    "ReceiverSpec",
+    "ScenarioSpec",
+    "SenderSpec",
+    "TraceParams",
+    "VARIANTS",
+    "available_library_specs",
+    "compile_scenario",
+    "expand_campaign",
+    "library_spec",
+    "load_zoo",
+    "run_scenario",
+    "run_scenario_json",
+    "scenario_experiment_id",
+    "scenario_key",
+    "verify_zoo",
+    "zoo_keys",
+    "zoo_specs",
+]

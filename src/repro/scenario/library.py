@@ -1,0 +1,205 @@
+"""Canonical scenario specs for the WB-channel experiment family.
+
+Each function returns the :class:`~repro.scenario.spec.ScenarioSpec`
+behind one registered experiment; the experiment modules compile these
+specs and keep only their result shaping.  The committed ``scenarios/``
+zoo serialises the same specs (plus variants) — a drift test keeps the
+two in lockstep, and ``scenarios/KEYS.json`` pins their canonical hashes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.scenario.spec import (
+    Axis,
+    BerSweepParams,
+    ChannelSpec,
+    CodecSpec,
+    Counts,
+    DefenseEvalParams,
+    FaultSweepParams,
+    LevelCompareParams,
+    OnlineDetectionParams,
+    ScenarioSpec,
+    TraceParams,
+)
+
+#: The paper's Ts sweep, shared by Figures 6 and 8.
+PAPER_PERIODS = (800, 1000, 1600, 2200, 5500, 11000)
+
+
+def fig6_spec() -> ScenarioSpec:
+    """Figure 6: binary-encoding BER vs rate, one curve per ``d``."""
+    return ScenarioSpec(
+        name="fig6",
+        kind="wb_ber_sweep",
+        title="Bit error rate vs transmission rate (binary symbols)",
+        paper_reference="Figure 6",
+        description=(
+            "Sweep Ts over the paper's six periods for binary encodings "
+            "d=1..8 (quick: d=1,4,8), one shared calibration per d."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=1)),
+        params=BerSweepParams(
+            periods=PAPER_PERIODS,
+            d_values=Axis(quick=(1, 4, 8), full=(1, 2, 3, 4, 5, 6, 7, 8)),
+            messages=Counts(6, 90),
+            message_bits=Counts(64, 128),
+            calibration_repetitions=Counts(20, 60),
+        ),
+    )
+
+
+def fig7_spec() -> ScenarioSpec:
+    """Figure 7: the multi-bit receiver trace at Ts = 4000."""
+    return ScenarioSpec(
+        name="fig7",
+        kind="wb_trace",
+        title="Multi-bit receiver trace at 1100 Kbps (Ts = Tr = 4000)",
+        paper_reference="Figure 7",
+        description=(
+            "One instrumented run of the 2-bit codec (d=0/3/5/8) capturing "
+            "the receiver's latency trace and decoder thresholds."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="multibit")),
+        params=TraceParams(
+            period=4000,
+            message_bits=Counts(64, 256),
+            calibration_repetitions=Counts(20, 60),
+        ),
+    )
+
+
+def fig8_spec() -> ScenarioSpec:
+    """Figure 8: two-bit-symbol BER vs rate (the 4400 Kbps headline)."""
+    return ScenarioSpec(
+        name="fig8",
+        kind="wb_ber_sweep",
+        title="Bit error rate vs transmission rate (2-bit symbols, d=0/3/5/8)",
+        paper_reference="Figure 8",
+        description=(
+            "The Figure 6 sweep with the paper's 2-bit codec: double the "
+            "rate at every period, 4400 Kbps at Ts = 1000."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="multibit")),
+        params=BerSweepParams(
+            periods=PAPER_PERIODS,
+            messages=Counts(6, 45),
+            message_bits=Counts(64, 256),
+            calibration_repetitions=Counts(20, 60),
+        ),
+    )
+
+
+def extension_l2_spec() -> ScenarioSpec:
+    """Section 3 extension: the channel deployed on L2 vs L1."""
+    return ScenarioSpec(
+        name="extension_l2",
+        kind="wb_level_compare",
+        title="WB channel deployed on L1 vs L2 (d=4, binary)",
+        paper_reference="Section 3 (deployability on deeper cache levels)",
+        description=(
+            "Head-to-head L1 vs L2 deployment: achievable rate, BER and "
+            "the sender's per-symbol operation count."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=4)),
+        params=LevelCompareParams(
+            l1_periods=(5500, 11000),
+            l2_periods=(22000, 44000),
+            messages=Counts(4, 20),
+            message_bits=Counts(48, 128),
+            l1_calibration_repetitions=40,
+        ),
+    )
+
+
+def fault_tolerance_spec() -> ScenarioSpec:
+    """Robustness extension: raw vs hardened protocol under faults."""
+    return ScenarioSpec(
+        name="fault_tolerance",
+        kind="wb_fault_sweep",
+        title="WB channel fault tolerance: raw vs self-healing protocol",
+        paper_reference="robustness extension (beyond the paper)",
+        description=(
+            "Sweep a fault-intensity multiplier (descheduling, drops, "
+            "drift, co-runner bursts); compare the paper's raw Algorithm 3 "
+            "against the framed + CRC + resync + adaptive stack."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=1)),
+        params=FaultSweepParams(
+            period=5500,
+            raw_message_bits=80,
+            payload_bits=64,
+            intensities=Axis(quick=(0.0, 1.0), full=(0.0, 0.5, 1.0, 2.0, 3.0)),
+            runs_per_point=Counts(1, 3),
+        ),
+    )
+
+
+def online_detection_spec() -> ScenarioSpec:
+    """Section 7 stealth claim, held against live detectors."""
+    return ScenarioSpec(
+        name="online_detection",
+        kind="online_detection",
+        title="Online detection: WB vs LRU sender vs benign (Ts = 11000)",
+        paper_reference="Section 7 (stealthiness), extended online",
+        description=(
+            "Calibrate a windowed counter monitor and a conflict-train "
+            "autocorrelation detector on a benign co-run, then score the "
+            "WB sender, the LRU-channel sender and a benign process at "
+            "matched bandwidth."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=1)),
+        params=OnlineDetectionParams(
+            period=11000,
+            target_set=21,
+            start_time=2_000_000,
+            num_symbols=Counts(48, 192),
+        ),
+    )
+
+
+def defenses_spec() -> ScenarioSpec:
+    """Section 8: defense evaluation over a seed range."""
+    return ScenarioSpec(
+        name="defenses",
+        kind="defense_eval",
+        title="WB-channel mitigation strength and benign overhead per defense",
+        paper_reference="Section 8",
+        description=(
+            "Evaluate every registered defense: naive and adaptive channel "
+            "BER plus benign-workload overhead, averaged over seeds."
+        ),
+        params=DefenseEvalParams(num_seeds=Counts(2, 6)),
+    )
+
+
+#: Canonical spec constructors keyed by experiment id.
+LIBRARY: Dict[str, Callable[[], ScenarioSpec]] = {
+    "fig6": fig6_spec,
+    "fig7": fig7_spec,
+    "fig8": fig8_spec,
+    "extension_l2": extension_l2_spec,
+    "fault_tolerance": fault_tolerance_spec,
+    "online_detection": online_detection_spec,
+    "defenses": defenses_spec,
+}
+
+
+def available_library_specs() -> List[str]:
+    """Experiment ids with a canonical library spec."""
+    return list(LIBRARY)
+
+
+def library_spec(experiment_id: str) -> ScenarioSpec:
+    """The canonical spec behind one spec-backed experiment."""
+    try:
+        factory = LIBRARY[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"no library scenario for experiment {experiment_id!r}; "
+            f"available: {', '.join(LIBRARY)}"
+        )
+    return factory()

@@ -1,0 +1,260 @@
+"""The committed ``scenarios/`` zoo: load, validate, expand.
+
+The zoo is the repository's catalogue of ready-to-serve scenario specs:
+one JSON file per spec (file stem == spec name) plus ``KEYS.json``
+pinning every spec's canonical hash.  :func:`zoo_specs` is the in-code
+source of truth — the library specs behind the registered experiments
+plus the variant specs below — and the drift test
+(``tests/test_scenario_spec.py``) plus the ``scenario-zoo`` CI job keep
+the committed files and the code in lockstep.
+
+Campaigns: a ``wb_ber_sweep`` spec naturally factors into one job per
+period.  :func:`expand_campaign` performs that split so a scheduler can
+fan the sweep out as independent, individually memoised scenario jobs
+(see ``scripts/run_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Callable, Dict, List
+
+from repro.cache.configs import HierarchyParams
+from repro.common.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
+from repro.scenario.library import LIBRARY, PAPER_PERIODS
+from repro.scenario.spec import (
+    Axis,
+    BerSweepParams,
+    ChannelSpec,
+    CodecSpec,
+    Counts,
+    FaultSweepParams,
+    ScenarioSpec,
+    TraceParams,
+    scenario_key,
+)
+
+#: Name of the canonical-hash pin file inside a zoo directory.
+KEYS_FILENAME = "KEYS.json"
+
+
+def campaign_ts_sweep_spec() -> ScenarioSpec:
+    """A small sweep campaign: one expandable job per paper period."""
+    return ScenarioSpec(
+        name="campaign-ts-sweep",
+        kind="wb_ber_sweep",
+        title="Campaign: d=2 binary BER across the paper's Ts sweep",
+        paper_reference="Figure 6 (campaign example)",
+        description=(
+            "Sweep-campaign example: expand_campaign() splits this spec "
+            "into one scenario job per period so a scheduler can fan the "
+            "sweep out and memoise each point independently."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=2)),
+        params=BerSweepParams(
+            periods=PAPER_PERIODS,
+            messages=Counts(2, 12),
+            message_bits=Counts(32, 64),
+            calibration_repetitions=Counts(10, 40),
+        ),
+    )
+
+
+def random_l1_trace_spec() -> ScenarioSpec:
+    """The Figure 7 trace on a random-replacement L1 (custom topology)."""
+    return ScenarioSpec(
+        name="random-l1-trace",
+        kind="wb_trace",
+        title="Receiver trace with a random-replacement L1D",
+        paper_reference="Section 6.1 (random replacement), Figure 7 setup",
+        description=(
+            "The instrumented trace run on a non-default topology: the "
+            "Xeon hierarchy with the L1D flipped to random replacement. "
+            "Exercises the spec-level hierarchy override end to end."
+        ),
+        hierarchy=HierarchyParams.xeon(l1_policy="random"),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=8)),
+        params=TraceParams(
+            period=5500,
+            message_bits=Counts(48, 128),
+            calibration_repetitions=Counts(20, 60),
+        ),
+    )
+
+
+def fault_storm_spec() -> ScenarioSpec:
+    """The fault sweep pushed past the paper-adjacent intensity range."""
+    return ScenarioSpec(
+        name="fault-storm",
+        kind="wb_fault_sweep",
+        title="Raw vs hardened protocol under doubled fault pressure",
+        paper_reference="robustness extension (beyond the paper)",
+        description=(
+            "The fault_tolerance sweep with the intensity axis extended "
+            "to 4x: descheduling windows, probe drops/duplicates, drift "
+            "and co-runner bursts all scaled together."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=1)),
+        params=FaultSweepParams(
+            period=5500,
+            raw_message_bits=80,
+            payload_bits=64,
+            intensities=Axis(quick=(0.0, 2.0), full=(0.0, 1.0, 2.0, 4.0)),
+            runs_per_point=Counts(1, 2),
+            fault=FaultSpec(),
+        ),
+    )
+
+
+#: Variant specs committed to the zoo beyond the experiment library.
+VARIANTS: Dict[str, Callable[[], ScenarioSpec]] = {
+    "campaign-ts-sweep": campaign_ts_sweep_spec,
+    "random-l1-trace": random_l1_trace_spec,
+    "fault-storm": fault_storm_spec,
+}
+
+
+def zoo_specs() -> Dict[str, ScenarioSpec]:
+    """Every spec the committed zoo must contain, keyed by name."""
+    specs: Dict[str, ScenarioSpec] = {}
+    for factory in list(LIBRARY.values()) + list(VARIANTS.values()):
+        spec = factory()
+        specs[spec.name] = spec
+    return specs
+
+
+def zoo_keys(specs: Dict[str, ScenarioSpec]) -> Dict[str, str]:
+    """Canonical hash per spec name (the ``KEYS.json`` payload)."""
+    return {name: scenario_key(spec) for name, spec in sorted(specs.items())}
+
+
+def load_spec_file(path: str) -> ScenarioSpec:
+    """Load and validate one spec file; the stem must match the name."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    spec = ScenarioSpec.from_json(text)
+    spec.validate()
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if stem != spec.name:
+        raise ConfigurationError(
+            f"scenario file {os.path.basename(path)!r} holds spec named "
+            f"{spec.name!r}; the file stem must equal the spec name"
+        )
+    return spec
+
+
+def load_zoo(directory: str) -> Dict[str, ScenarioSpec]:
+    """Load every ``*.json`` spec in ``directory`` (except KEYS.json)."""
+    if not os.path.isdir(directory):
+        raise ConfigurationError(f"scenario zoo directory not found: {directory}")
+    specs: Dict[str, ScenarioSpec] = {}
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json") or entry == KEYS_FILENAME:
+            continue
+        spec = load_spec_file(os.path.join(directory, entry))
+        specs[spec.name] = spec
+    if not specs:
+        raise ConfigurationError(f"scenario zoo is empty: {directory}")
+    return specs
+
+
+def load_pinned_keys(directory: str) -> Dict[str, str]:
+    """The committed ``KEYS.json`` hash pins for a zoo directory."""
+    path = os.path.join(directory, KEYS_FILENAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            keys = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigurationError(f"missing {KEYS_FILENAME} in {directory}") from None
+    if not isinstance(keys, dict):
+        raise ConfigurationError(f"{path} must hold a name -> key object")
+    return keys
+
+
+def verify_zoo(directory: str) -> Dict[str, ScenarioSpec]:
+    """Validate a zoo directory against its pinned keys.
+
+    Checks that every committed file parses, validates, matches the
+    in-code :func:`zoo_specs` and hashes to its pinned key — loudly
+    reporting drift in either direction (edited file, edited code, or a
+    stale ``KEYS.json``).
+    """
+    specs = load_zoo(directory)
+    pinned = load_pinned_keys(directory)
+    expected = zoo_specs()
+
+    missing = sorted(set(expected) - set(specs))
+    extra = sorted(set(specs) - set(expected))
+    if missing or extra:
+        raise ConfigurationError(
+            "scenario zoo drift: "
+            + (f"missing files for {', '.join(missing)}; " if missing else "")
+            + (f"unexpected files {', '.join(extra)}" if extra else "")
+        )
+    problems: List[str] = []
+    for name, spec in sorted(specs.items()):
+        if spec != expected[name]:
+            problems.append(f"{name}: committed file differs from zoo_specs()")
+            continue
+        key = scenario_key(spec)
+        if name not in pinned:
+            problems.append(f"{name}: no pinned key in {KEYS_FILENAME}")
+        elif pinned[name] != key:
+            problems.append(
+                f"{name}: canonical key drift (pinned {pinned[name][:12]}..., "
+                f"computed {key[:12]}...)"
+            )
+    stale = sorted(set(pinned) - set(specs))
+    if stale:
+        problems.append(f"stale pinned keys: {', '.join(stale)}")
+    if problems:
+        raise ConfigurationError("scenario zoo drift:\n  " + "\n  ".join(problems))
+    return specs
+
+
+def write_zoo(directory: str) -> List[str]:
+    """(Re)generate the committed zoo files from :func:`zoo_specs`."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    specs = zoo_specs()
+    for name, spec in sorted(specs.items()):
+        path = os.path.join(directory, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(spec.to_json(indent=2) + "\n")
+        written.append(path)
+    keys_path = os.path.join(directory, KEYS_FILENAME)
+    with open(keys_path, "w", encoding="utf-8") as handle:
+        json.dump(zoo_keys(specs), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    written.append(keys_path)
+    return written
+
+
+def expand_campaign(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Split a multi-period sweep into one single-period spec per point.
+
+    Each child is a complete, independently hashable scenario — a
+    scheduler submits them as separate jobs and the result store
+    memoises each period on its own key.
+    """
+    if spec.kind != "wb_ber_sweep":
+        raise ConfigurationError(
+            f"only wb_ber_sweep scenarios expand into campaigns, "
+            f"got kind {spec.kind!r}"
+        )
+    if len(spec.params.periods) < 2:
+        return [spec]
+    children: List[ScenarioSpec] = []
+    for period in spec.params.periods:
+        children.append(
+            dataclasses.replace(
+                spec,
+                name=f"{spec.name}--ts{period}",
+                title=f"{spec.title} [Ts={period}]" if spec.title else "",
+                params=dataclasses.replace(spec.params, periods=(period,)),
+            )
+        )
+    return children

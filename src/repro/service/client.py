@@ -21,11 +21,30 @@ from repro.experiments.base import ExperimentResult
 
 
 class ServiceError(ReproError):
-    """An API call failed; carries the HTTP status and server message."""
+    """An API call failed; carries the HTTP status, code and message.
 
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(f"HTTP {status}: {message}")
+    ``code`` is the machine-readable value from the service's JSON error
+    envelope ``{"error": {"code": ..., "message": ...}}`` (or
+    ``"unknown"`` when the response was not an envelope).
+    """
+
+    def __init__(self, status: int, message: str, code: str = "unknown") -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
         self.status = status
+        self.code = code
+
+
+def _envelope(payload) -> tuple:
+    """``(code, message)`` from an error response of any shape."""
+    if isinstance(payload, dict):
+        error = payload.get("error", payload)
+        if isinstance(error, dict):
+            return (
+                str(error.get("code", "unknown")),
+                str(error.get("message", error)),
+            )
+        return "unknown", str(error)
+    return "unknown", str(payload)
 
 
 class ServiceClient:
@@ -70,9 +89,10 @@ class ServiceClient:
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
-            payload = {"error": raw.decode("utf-8", "replace")}
+            payload = raw.decode("utf-8", "replace")
         if status not in ok:
-            raise ServiceError(status, str(payload.get("error", payload)))
+            code, message = _envelope(payload)
+            raise ServiceError(status, message, code)
         return payload
 
     # ------------------------------------------------------------------
@@ -101,6 +121,40 @@ class ServiceClient:
             body["timeout"] = timeout
         if entry_point is not None:
             body["entry_point"] = entry_point
+        http_timeout = self.timeout
+        if wait:
+            http_timeout += 3600.0 if wait is True else float(wait)
+        return self._json(
+            "POST", "/jobs", body, ok=(200, 202), timeout=http_timeout
+        )
+
+    def submit_scenario(
+        self,
+        scenario: Union[Dict[str, object], object],
+        profile: Union[str, Dict[str, object], None] = None,
+        seed: int = 0,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        wait: Union[bool, float] = False,
+    ) -> Dict[str, object]:
+        """``POST /jobs`` with an inline declarative scenario spec.
+
+        ``scenario`` is a spec dict or anything with ``to_dict()`` (a
+        :class:`repro.scenario.ScenarioSpec`).
+        """
+        spec_dict = (
+            scenario if isinstance(scenario, dict) else scenario.to_dict()
+        )
+        body: Dict[str, object] = {
+            "scenario": spec_dict,
+            "seed": seed,
+            "priority": priority,
+            "wait": wait,
+        }
+        if profile is not None:
+            body["profile"] = profile
+        if timeout is not None:
+            body["timeout"] = timeout
         http_timeout = self.timeout
         if wait:
             http_timeout += 3600.0 if wait is True else float(wait)
@@ -137,10 +191,11 @@ class ServiceClient:
         status, raw = self._request("GET", f"/results/{key}")
         if status != 200:
             try:
-                message = json.loads(raw.decode("utf-8")).get("error", "")
+                payload = json.loads(raw.decode("utf-8"))
             except (json.JSONDecodeError, UnicodeDecodeError):
-                message = raw.decode("utf-8", "replace")
-            raise ServiceError(status, str(message))
+                payload = raw.decode("utf-8", "replace")
+            code, message = _envelope(payload)
+            raise ServiceError(status, message, code)
         return raw
 
     def result(self, key: str) -> ExperimentResult:

@@ -23,12 +23,29 @@ Routes
 
 ``POST /jobs`` body::
 
-    {"experiment_id": "fig6",          # required
+    {"experiment_id": "fig6",          # either this ...
+     "scenario": {...},                # ... or an inline ScenarioSpec dict
      "profile": "quick",               # name or RunProfile dict
      "seed": 0,
      "priority": 0,
      "timeout": null,                  # per-job seconds (isolate mode)
      "wait": false}                    # true/seconds: block for result
+
+A ``scenario`` submission runs an arbitrary declarative
+:class:`repro.scenario.ScenarioSpec` — no registry entry needed.  The
+spec is schema-checked up front (malformed specs are a ``400``) and its
+canonical form joins the cache key, so identical scenarios memoise and
+dedup exactly like registered experiments.
+
+Errors
+======
+
+Every non-2xx response carries one JSON envelope::
+
+    {"error": {"code": "bad_request", "message": "..."}}
+
+with ``code`` one of ``bad_request`` (400), ``not_found`` (404),
+``conflict`` (409), ``queue_full`` (429) or ``internal`` (500).
 """
 
 from __future__ import annotations
@@ -57,6 +74,15 @@ _CONTROL_TIMEOUT = 30.0
 
 #: Hint sent with 429 responses.
 _RETRY_AFTER_SECONDS = 1
+
+#: Machine-readable error codes in the JSON error envelope, by status.
+_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    409: "conflict",
+    429: "queue_full",
+    500: "internal",
+}
 
 
 class ServiceApp:
@@ -222,11 +248,26 @@ def _spec_from_payload(payload: Dict[str, object]) -> JobSpec:
             f"job submission body must be a JSON object, "
             f"got {type(payload).__name__}"
         )
-    experiment_id = payload.get("experiment_id")
-    if not isinstance(experiment_id, str) or not experiment_id:
-        raise ConfigurationError(
-            "job submission requires a non-empty string 'experiment_id'"
-        )
+    scenario = None
+    if payload.get("scenario") is not None:
+        from repro.scenario.spec import ScenarioSpec
+
+        if "experiment_id" in payload:
+            raise ConfigurationError(
+                "submit either 'experiment_id' or 'scenario', not both"
+            )
+        # from_dict is strict: unknown fields, missing/stale
+        # schema_version and unknown kinds all raise ConfigurationError,
+        # which this layer reports as a 400 bad_request.
+        scenario = ScenarioSpec.from_dict(payload["scenario"])
+        experiment_id = None
+    else:
+        experiment_id = payload.get("experiment_id")
+        if not isinstance(experiment_id, str) or not experiment_id:
+            raise ConfigurationError(
+                "job submission requires a non-empty string 'experiment_id' "
+                "or an inline 'scenario' spec object"
+            )
     profile = payload.get("profile")
     if isinstance(profile, dict):
         profile = RunProfile.from_dict(profile)
@@ -246,6 +287,7 @@ def _spec_from_payload(payload: Dict[str, object]) -> JobSpec:
         seed=_int_field(payload, "seed", 0),
         timeout=None if timeout is None else float(timeout),
         entry_point=entry_point,
+        scenario=scenario,
     )
 
 
@@ -276,8 +318,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.wfile.write(blob)
 
     def _send_error_json(self, status: int, message: str,
-                         headers: Optional[Dict[str, str]] = None) -> None:
-        self._send_json(status, {"error": message}, headers)
+                         headers: Optional[Dict[str, str]] = None,
+                         code: Optional[str] = None) -> None:
+        """One error envelope for every endpoint: ``{"error": {code, message}}``."""
+        self._send_json(
+            status,
+            {"error": {"code": code or _ERROR_CODES.get(status, "internal"),
+                       "message": message}},
+            headers,
+        )
 
     def _read_body(self) -> Dict[str, object]:
         length = int(self.headers.get("Content-Length") or 0)

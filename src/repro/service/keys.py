@@ -22,6 +22,13 @@ memoising *direct channel runs* additionally fold the
 :func:`wb_config_fingerprint`, which refuses configs carrying live
 injected objects (decoders, hierarchies, noise models) — those cannot be
 canonicalised, and silently colliding on them would serve wrong results.
+
+Declarative scenario jobs (``repro.scenario``) fold the complete
+canonical spec dict into the material via ``scenario=``: two scenario
+submissions dedup onto one computation exactly when their specs
+canonicalise identically, regardless of JSON formatting or field order.
+The spec carries its own ``schema_version``, so a spec-layout change
+retires scenario keys without touching experiment keys.
 """
 
 from __future__ import annotations
@@ -35,7 +42,8 @@ from repro.experiments.base import SCHEMA_VERSION as RESULT_SCHEMA_VERSION
 from repro.experiments.profiles import ProfileLike, resolve_profile
 
 #: Bump on any change to the key-material layout below.
-KEY_SCHEMA_VERSION = 1
+#: v2: added the ``scenario`` field (declarative scenario jobs).
+KEY_SCHEMA_VERSION = 2
 
 #: WBChannelConfig fields that are declarative data (canonicalisable).
 _WB_PLAIN_FIELDS = (
@@ -103,8 +111,13 @@ def key_material(
     seed: int = 0,
     wb_config=None,
     entry_point: Optional[str] = None,
+    scenario: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """The versioned dict a cache key hashes; stable across processes."""
+    """The versioned dict a cache key hashes; stable across processes.
+
+    ``scenario`` is the canonical ``ScenarioSpec.to_dict()`` payload of a
+    declarative scenario job (``None`` for registered experiments).
+    """
     resolved = resolve_profile(profile)
     return {
         "key_schema_version": KEY_SCHEMA_VERSION,
@@ -116,6 +129,7 @@ def key_material(
             None if wb_config is None else wb_config_fingerprint(wb_config)
         ),
         "entry_point": entry_point,
+        "scenario": scenario,
     }
 
 
@@ -125,6 +139,7 @@ def cache_key(
     seed: int = 0,
     wb_config=None,
     entry_point: Optional[str] = None,
+    scenario: Optional[Dict[str, object]] = None,
 ) -> str:
     """Content address of one experiment configuration (SHA-256 hex)."""
     return canonical_digest(
@@ -134,6 +149,7 @@ def cache_key(
             seed=seed,
             wb_config=wb_config,
             entry_point=entry_point,
+            scenario=scenario,
         ),
         require_version=True,
     )

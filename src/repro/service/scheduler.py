@@ -35,7 +35,7 @@ import asyncio
 import heapq
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError, ManifestError, ReproError
 from repro.experiments.profiles import ProfileLike, RunProfile, resolve_profile
@@ -45,6 +45,9 @@ from repro.runner.sharding import TaskSpec
 from repro.service.keys import cache_key
 from repro.service.metrics import ServiceTelemetry
 from repro.service.store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.spec import ScenarioSpec
 
 
 class QueueFullError(ReproError):
@@ -87,6 +90,12 @@ class JobSpec:
     ``entry_point`` mirrors :class:`repro.runner.TaskSpec`'s dotted
     override and participates in the cache key (two different entry
     points must never collide on one content address).
+
+    ``scenario`` makes the job a declarative scenario run
+    (:mod:`repro.scenario`): ``experiment_id`` then holds the
+    ``scenario:<name>`` label and the canonical spec dict joins the cache
+    key, so two submissions dedup exactly when their specs canonicalise
+    identically.
     """
 
     experiment_id: str
@@ -96,22 +105,44 @@ class JobSpec:
     #: isolates jobs in processes.  Volatile: not part of the cache key.
     timeout: Optional[float] = None
     entry_point: Optional[str] = None
+    scenario: Optional["ScenarioSpec"] = None
+
+    def __post_init__(self) -> None:
+        if self.scenario is not None and self.entry_point is not None:
+            raise ConfigurationError(
+                "a job carries either a scenario or an entry_point "
+                "override, not both"
+            )
 
     @staticmethod
     def create(
-        experiment_id: str,
+        experiment_id: Optional[str] = None,
         profile: ProfileLike = None,
         seed: int = 0,
         timeout: Optional[float] = None,
         entry_point: Optional[str] = None,
+        scenario: Optional["ScenarioSpec"] = None,
     ) -> "JobSpec":
-        """Normalising constructor (accepts profile names)."""
+        """Normalising constructor (accepts profile names).
+
+        Scenario jobs may omit ``experiment_id``; it defaults to the
+        spec's ``scenario:<name>`` label.
+        """
+        if scenario is not None and experiment_id is None:
+            from repro.scenario.runner import scenario_experiment_id
+
+            experiment_id = scenario_experiment_id(scenario)
+        if experiment_id is None:
+            raise ConfigurationError(
+                "a job needs an experiment_id or a scenario spec"
+            )
         return JobSpec(
             experiment_id=experiment_id,
             profile=resolve_profile(profile),
             seed=seed,
             timeout=timeout,
             entry_point=entry_point,
+            scenario=scenario,
         )
 
     @property
@@ -122,6 +153,9 @@ class JobSpec:
             profile=self.profile,
             seed=self.seed,
             entry_point=self.entry_point,
+            scenario=(
+                None if self.scenario is None else self.scenario.to_dict()
+            ),
         )
 
 
@@ -155,6 +189,11 @@ class Job:
             "attempts": self.attempts,
             "wall_seconds": round(self.wall_seconds, 6),
         }
+        if self.spec.scenario is not None:
+            data["scenario"] = {
+                "name": self.spec.scenario.name,
+                "kind": self.spec.scenario.kind,
+            }
         data["result_key"] = self.key if self.state == JobState.DONE else None
         return data
 
@@ -185,6 +224,9 @@ def compute_entry(spec: JobSpec, isolate: bool) -> ManifestEntry:
         profile=spec.profile,
         timeout=spec.timeout,
         entry_point=spec.entry_point,
+        scenario=(
+            None if spec.scenario is None else spec.scenario.to_json()
+        ),
     )
     entries = execute_tasks([task], jobs=2 if isolate else 1)
     return entries[0]
@@ -362,6 +404,9 @@ class JobScheduler:
         return job
 
     def _validate(self, spec: JobSpec) -> None:
+        if spec.scenario is not None:
+            spec.scenario.validate()  # loud schema/codec/policy failures
+            return  # scenario jobs are not registry entries
         if spec.entry_point is not None:
             return  # dotted override: resolved (and rejected) at run time
         from repro.experiments.registry import available_experiments

@@ -59,6 +59,26 @@ class TestFramework:
         with pytest.raises(ConfigurationError):
             run_experiment("table99")
 
+    def test_every_registered_run_is_keyword_only(self):
+        # The spec compiler and the runner invoke entry points uniformly
+        # as run(profile=..., seed=...); positional or extra parameters
+        # would break that contract silently.
+        import inspect
+
+        from repro.experiments import registry
+
+        for experiment_id, runner in registry._EXPERIMENTS.items():
+            signature = inspect.signature(runner)
+            parameters = dict(signature.parameters)
+            assert set(parameters) == {"profile", "seed"}, experiment_id
+            for parameter in parameters.values():
+                assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, (
+                    f"{experiment_id}.run must be keyword-only, "
+                    f"got {parameter.kind} for {parameter.name}"
+                )
+            assert parameters["profile"].default is None, experiment_id
+            assert parameters["seed"].default == 0, experiment_id
+
 
 class TestTable2:
     @pytest.fixture(scope="class")

@@ -1,0 +1,46 @@
+"""Bit-identity of the spec-rebased experiments against committed goldens.
+
+The WB-channel experiment family was rebased from imperative bodies onto
+``compile_scenario`` + the library specs.  These tests pin the refactor:
+each experiment's quick/seed-0 JSON must equal, byte for byte, the output
+captured from the pre-refactor implementation (``tests/golden/``).  Any
+drift — RNG consumption order, loop nesting, seed formulas, row shaping —
+fails here before it can silently change published numbers.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.scenario.library import available_library_specs
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: The spec-backed experiment family (mirrors repro.scenario.library).
+SPEC_BACKED = (
+    "fig6",
+    "fig7",
+    "fig8",
+    "extension_l2",
+    "fault_tolerance",
+    "online_detection",
+    "defenses",
+)
+
+
+def test_every_library_spec_has_a_golden():
+    assert sorted(SPEC_BACKED) == sorted(available_library_specs())
+    for experiment_id in SPEC_BACKED:
+        assert (GOLDEN_DIR / f"{experiment_id}.quick-seed0.json").is_file()
+
+
+@pytest.mark.parametrize("experiment_id", SPEC_BACKED)
+def test_spec_rebased_experiment_matches_golden(experiment_id):
+    golden_path = GOLDEN_DIR / f"{experiment_id}.quick-seed0.json"
+    golden = golden_path.read_text(encoding="utf-8")
+    result = run_experiment(experiment_id, profile="quick", seed=0)
+    assert result.to_json(indent=2) + "\n" == golden, (
+        f"{experiment_id}: spec-compiled output drifted from the "
+        f"pre-refactor golden ({golden_path.name})"
+    )

@@ -1,0 +1,162 @@
+"""Declarative scenario jobs over the service, and the error envelope."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.scenario import ScenarioSpec, run_scenario
+from repro.scenario.spec import (
+    BerSweepParams,
+    ChannelSpec,
+    CodecSpec,
+    Counts,
+    SCENARIO_SCHEMA_VERSION,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import ServiceApp, make_server
+from repro.service.scheduler import JobSpec
+from repro.service.store import ResultStore
+
+
+def tiny_sweep_spec() -> ScenarioSpec:
+    """A scenario cheap enough to compute inside an HTTP test."""
+    return ScenarioSpec(
+        name="http-tiny-sweep",
+        kind="wb_ber_sweep",
+        title="One-period smoke sweep",
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=2)),
+        params=BerSweepParams(
+            periods=(11000,),
+            messages=Counts(1, 2),
+            message_bits=Counts(16, 32),
+            calibration_repetitions=Counts(5, 10),
+        ),
+    )
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    app = ServiceApp(store, workers=2, queue_depth=8)
+    with app:
+        server = make_server(app)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield ServiceClient(f"http://{host}:{port}")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestScenarioJobs:
+    def test_inline_scenario_runs_and_serves_result(self, service):
+        spec = tiny_sweep_spec()
+        job = service.submit_scenario(spec, profile="quick", wait=True)
+        assert job["state"] == "done"
+        assert job["experiment_id"] == "scenario:http-tiny-sweep"
+        assert job["scenario"] == {"name": "http-tiny-sweep", "kind": "wb_ber_sweep"}
+        served = service.result(str(job["result_key"]))
+        assert isinstance(served, ExperimentResult)
+        direct = run_scenario(spec, profile="quick", seed=0)
+        assert served.to_json() == direct.to_json()
+
+    def test_identical_scenario_resubmission_hits_the_store(self, service):
+        spec_dict = tiny_sweep_spec().to_dict()
+        first = service.submit_scenario(spec_dict, profile="quick", wait=True)
+        computations = service.healthz()["scheduler"]["computations"]
+        # Same content, different dict ordering: the canonical key must
+        # still collide, so the resubmission is a store hit.
+        reordered = dict(reversed(list(spec_dict.items())))
+        second = service.submit_scenario(reordered, profile="quick", wait=True)
+        assert second["state"] == "done"
+        assert second["source"] == "store"
+        assert second["result_key"] == first["result_key"]
+        assert service.healthz()["scheduler"]["computations"] == computations
+
+    def test_scenario_and_experiment_keys_never_collide(self):
+        spec = tiny_sweep_spec()
+        scenario_job = JobSpec.create(profile="quick", scenario=spec)
+        plain_job = JobSpec.create(
+            scenario_job.experiment_id, profile="quick"
+        )
+        assert scenario_job.key != plain_job.key
+
+    def test_different_seeds_get_different_keys(self):
+        spec = tiny_sweep_spec()
+        assert (
+            JobSpec.create(profile="quick", scenario=spec, seed=0).key
+            != JobSpec.create(profile="quick", scenario=spec, seed=1).key
+        )
+
+
+class TestErrorEnvelope:
+    def test_malformed_scenario_is_400_bad_request(self, service):
+        payload = tiny_sweep_spec().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit_scenario(payload)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+        assert "surprise" in str(excinfo.value)
+
+    def test_stale_schema_version_is_400_bad_request(self, service):
+        payload = tiny_sweep_spec().to_dict()
+        payload["schema_version"] = SCENARIO_SCHEMA_VERSION + 1
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit_scenario(payload)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_scenario_plus_experiment_id_is_400(self, service):
+        body = {
+            "experiment_id": "fig6",
+            "scenario": tiny_sweep_spec().to_dict(),
+        }
+        with pytest.raises(ServiceError) as excinfo:
+            service._json("POST", "/jobs", body, ok=(200, 202))
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_experiment_is_400_bad_request(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit("not-a-thing")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_job_is_404_not_found(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.job("job-999999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+
+    def test_unknown_route_is_404_not_found(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service._json("GET", "/nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+
+    def test_missing_result_is_404_not_found(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.result_bytes("0" * 64)
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+
+    def test_envelope_shape_on_the_wire(self, service):
+        request = urllib.request.Request(
+            service.base_url + "/jobs",
+            data=b"not json",
+            method="POST",
+            headers={"Content-Length": "8"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert set(body) == {"error"}
+        assert set(body["error"]) == {"code", "message"}
+        assert body["error"]["code"] == "bad_request"
