@@ -1,0 +1,718 @@
+"""NumPy array-of-simulations kernel: B replicas of one geometry per op.
+
+The fast engine (:mod:`repro.engine.trace`) replays one simulation at a
+time in pure Python.  Most real load — sweeps, ablations, detector
+calibration — is thousands of *independent* (seed, trace) replicas of the
+same hierarchy geometry, so :class:`BatchReplay` stacks B replicas into
+shared arrays (tags/dirty shaped ``(B, sets, ways)``, policy metadata in
+:mod:`repro.replacement.batch_state`) and advances all of them one access
+per vectorized operation.
+
+Parity contract
+---------------
+The kernel is a staged transcription of the fast engine's specialised
+loop (:func:`repro.engine.trace._run_trace_soa`) plus the generic
+write-through store path of :meth:`CacheHierarchy.access`: the same
+policy updates, the same RNG streams, the same counter semantics, in the
+same per-access order.  Every replica's observables are bit-identical to
+an independent fast-engine ``run_trace`` over the same seed and trace —
+``tests/test_engine_parity.py`` enforces this for every lifted policy and
+both L1 write policies.
+
+Replica independence is what makes the staging safe: no array cell is
+shared between replicas, and within one vectorized call each replica
+touches at most one set of one level, so scatter updates never collide.
+
+RNG replication
+---------------
+A scalar run builds its hierarchy with ``params.build(rng=Random(seed))``,
+which derives one child generator per level (labels ``l1``/``l2``/``llc``),
+one per set inside each level, and finally the ``hierarchy`` jitter
+generator.  The batch constructor replays exactly that derivation
+per replica — but only materialises what the replay can observe: lifted
+policy constructors never draw, so per-set generators are only built for
+``random``-policy levels, and the jitter stream is reproduced wholesale
+by transplanting ``random.Random``'s Mersenne Twister state into
+``numpy.random.MT19937`` and vectorizing CPython's ``randint`` rejection
+sampling over raw 32-bit words.
+
+Policies without a batched state (and non-write-allocate or deep
+write-through geometries) fall back to per-replica fast-engine replay in
+:func:`run_batch_traces`; results are identical either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import zlib
+from dataclasses import dataclass
+from itertools import chain
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.canonical import canonical_json
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed
+from repro.cache.cache import AllocationPolicy, WritePolicy
+from repro.cache.configs import HierarchyParams, _LEVEL_RNG_KEYS
+from repro.cache.hierarchy import MEMORY_LEVEL
+from repro.cache.latency import LatencyModel
+from repro.cache.stats import ALL_OWNERS, CacheStats
+from repro.engine.trace import Access, TraceResult, run_trace
+from repro.replacement.batch_state import is_lifted, make_batch_state
+
+__all__ = [
+    "BatchPoint",
+    "BatchReplay",
+    "batch_eligibility",
+    "geometry_key",
+    "run_batch_points",
+    "run_batch_traces",
+]
+
+
+def batch_eligibility(params: HierarchyParams) -> Optional[str]:
+    """Why ``params`` cannot take the batched kernel (None = it can).
+
+    Mirrors ``_soa_eligible`` plus the batched world's own constraints:
+    write-allocate everywhere, write-back below L1 (the L1 itself may be
+    write-through — the Section 8 defense), and a lifted policy at every
+    level.
+    """
+    for index, level in enumerate(params.levels):
+        if (
+            AllocationPolicy(level.allocation_policy)
+            is not AllocationPolicy.WRITE_ALLOCATE
+        ):
+            return f"{level.name}: not write-allocate"
+        if index > 0 and WritePolicy(level.write_policy) is not WritePolicy.WRITE_BACK:
+            return f"{level.name}: deep levels must be write-back"
+        if level.size_bytes % (level.ways * params.line_size) != 0:
+            return f"{level.name}: geometry is not sets*ways*line_size"
+        if not is_lifted(level.policy, level.ways):
+            return f"{level.name}: policy {level.policy!r} is not lifted"
+    return None
+
+
+def _jitter_row(seed: int, count: int, jitter: int) -> np.ndarray:
+    """The first ``count`` values of ``Random(seed).randint(0, jitter)``.
+
+    CPython's ``randint`` draws ``k = (jitter+1).bit_length()`` top bits
+    of successive 32-bit Twister words and rejects values > jitter; the
+    same words come out of ``numpy.random.MT19937`` once the state is
+    transplanted, so the rejection loop vectorizes over raw words.
+    Overshooting the scalar stream is harmless — the jitter generator is
+    private to the replica.
+    """
+    state = random.Random(seed).getstate()
+    twister = np.random.MT19937()
+    twister.state = {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": np.array(state[1][:-1], dtype=np.uint32),
+            "pos": state[1][-1],
+        },
+    }
+    bound = jitter + 1
+    shift = 32 - bound.bit_length()
+    out = np.empty(count, dtype=np.int64)
+    filled = 0
+    while filled < count:
+        # Acceptance is always > 1/2, so one doubled draw nearly always
+        # finishes the row.
+        draws = max(64, 2 * (count - filled) + 16)
+        candidates = (twister.random_raw(draws) >> shift).astype(np.int64)
+        accepted = candidates[candidates < bound]
+        take = min(accepted.size, count - filled)
+        out[filled : filled + take] = accepted[:take]
+        filled += take
+    return out
+
+
+@dataclass
+class _LevelArrays:
+    """Geometry constants and replica-stacked state of one cache level."""
+
+    name: str
+    sets: int
+    ways: int
+    offset_bits: int
+    index_mask: int
+    tag_shift: int
+    tags: np.ndarray  # (B, sets, ways) int64; -1 = invalid way
+    dirty: np.ndarray  # (B, sets, ways) bool
+    pol: object  # BatchPolicyState
+
+
+class BatchReplay:
+    """B independent replicas of one hierarchy, stepped in lockstep.
+
+    Parameters
+    ----------
+    params:
+        The shared geometry; must satisfy :func:`batch_eligibility`.
+    seeds:
+        One master seed per replica — replica ``b`` is bit-identical to
+        ``params.build(rng=random.Random(seeds[b]), engine="fast")``
+        replaying ``traces[b]`` through :func:`run_trace`.
+    traces:
+        One ``(address, is_write)`` sequence per replica; lengths may
+        differ (rows are padded and masked out as they finish).
+    """
+
+    def __init__(
+        self,
+        params: HierarchyParams,
+        seeds: Sequence[int],
+        traces: Sequence[Sequence[Access]],
+        *,
+        latency: Optional[LatencyModel] = None,
+        owner: Optional[int] = None,
+    ) -> None:
+        reason = batch_eligibility(params)
+        if reason is not None:
+            raise ConfigurationError(f"geometry not batchable: {reason}")
+        if len(seeds) != len(traces):
+            raise ConfigurationError(
+                f"{len(seeds)} seeds but {len(traces)} traces"
+            )
+        self.params = params
+        self.latency = latency or LatencyModel()
+        self.owner = owner
+        self.replicas = len(seeds)
+        self.l1_write_through = (
+            WritePolicy(params.levels[0].write_policy)
+            is WritePolicy.WRITE_THROUGH
+        )
+        self._ran = False
+
+        # --- trace matrix, padded ------------------------------------
+        # One fromiter over the flattened access stream beats a per-row
+        # ``np.array(list_of_tuples)`` by ~2x at sweep sizes; rows are
+        # then sliced back out of the flat block.
+        rows = [list(trace) for trace in traces]
+        self.lengths = np.array([len(row) for row in rows], dtype=np.int64)
+        steps = int(self.lengths.max()) if rows else 0
+        self.steps = steps
+        self.addr = np.zeros((self.replicas, steps), dtype=np.int64)
+        self.write = np.zeros((self.replicas, steps), dtype=bool)
+        if steps:
+            total = int(self.lengths.sum())
+            packed = np.fromiter(
+                chain.from_iterable(chain.from_iterable(rows)),
+                dtype=np.int64,
+                count=2 * total,
+            ).reshape(total, 2)
+            bounds = np.concatenate(([0], np.cumsum(self.lengths)))
+            for b in range(self.replicas):
+                start, end = int(bounds[b]), int(bounds[b + 1])
+                self.addr[b, : end - start] = packed[start:end, 0]
+                self.write[b, : end - start] = packed[start:end, 1] != 0
+
+        # --- per-replica RNG derivation chain ------------------------
+        line_size = params.line_size
+        level_geometry = []
+        for level in params.levels:
+            sets = level.size_bytes // (level.ways * line_size)
+            offset_bits = line_size.bit_length() - 1
+            index_bits = sets.bit_length() - 1
+            level_geometry.append((sets, offset_bits, index_bits))
+        random_levels = [
+            index
+            for index, level in enumerate(params.levels)
+            if level.policy == "random"
+        ]
+        seed_grids: Dict[int, List[List[int]]] = {
+            index: [] for index in random_levels
+        }
+        set_label_crcs: Dict[int, List[int]] = {}
+        for index in random_levels:
+            name = params.levels[index].name
+            set_label_crcs[index] = [
+                zlib.crc32(f"{name}/set{i}".encode("utf-8"))
+                for i in range(level_geometry[index][0])
+            ]
+        hierarchy_seeds: List[int] = []
+        for seed in seeds:
+            master = random.Random(seed)
+            for index in range(len(params.levels)):
+                level_seed = derive_seed(master, _LEVEL_RNG_KEYS[index])
+                if index in seed_grids:
+                    level_rng = random.Random(level_seed)
+                    crcs = set_label_crcs[index]
+                    seed_grids[index].append(
+                        [level_rng.getrandbits(32) ^ crc for crc in crcs]
+                    )
+            hierarchy_seeds.append(derive_seed(master, "hierarchy"))
+
+        # --- jitter matrix -------------------------------------------
+        jitter = self.latency.jitter
+        self.jitter = np.zeros((self.replicas, steps), dtype=np.int64)
+        if jitter:
+            for b, hier_seed in enumerate(hierarchy_seeds):
+                count = int(self.lengths[b])
+                if count:
+                    self.jitter[b, :count] = _jitter_row(hier_seed, count, jitter)
+
+        # --- level state ---------------------------------------------
+        self.levels: List[_LevelArrays] = []
+        for index, level in enumerate(params.levels):
+            sets, offset_bits, index_bits = level_geometry[index]
+            self.levels.append(
+                _LevelArrays(
+                    name=level.name,
+                    sets=sets,
+                    ways=level.ways,
+                    offset_bits=offset_bits,
+                    index_mask=sets - 1,
+                    tag_shift=offset_bits + index_bits,
+                    tags=np.full(
+                        (self.replicas, sets, level.ways), -1, dtype=np.int64
+                    ),
+                    dirty=np.zeros(
+                        (self.replicas, sets, level.ways), dtype=bool
+                    ),
+                    pol=make_batch_state(
+                        level.policy,
+                        self.replicas,
+                        sets,
+                        level.ways,
+                        seed_grid=seed_grids.get(index),
+                    ),
+                )
+            )
+
+        # --- observables ---------------------------------------------
+        num_levels = len(self.levels)
+        self.hit_levels = np.zeros((self.replicas, steps), dtype=np.int16)
+        self.latencies = np.zeros((self.replicas, steps), dtype=np.int64)
+        self.dirty_ev = np.zeros((self.replicas, steps), dtype=bool)
+        self.level_writebacks = np.zeros((num_levels, self.replicas), dtype=np.int64)
+        self.memory_writes = np.zeros(self.replicas, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Kernel
+    # ------------------------------------------------------------------
+    def run(self) -> "BatchReplay":
+        """Advance every replica through its whole trace; idempotent."""
+        if self._ran:
+            return self
+        self._ran = True
+        if self.steps == 0 or self.replicas == 0:
+            return self
+
+        latency_model = self.latency
+        num_levels = len(self.levels)
+        hit_lat = [
+            latency_model.hit_latency(i + 1) for i in range(num_levels)
+        ]
+        # served-at-level cost by hit_level value (MEMORY_LEVEL -> dram).
+        cost_lut = np.full(MEMORY_LEVEL + 1, latency_model.dram, dtype=np.int64)
+        for i in range(num_levels):
+            cost_lut[i + 1] = hit_lat[i]
+        l1_wb_penalty = latency_model.writeback_penalty(1)
+        wt_penalty = latency_model.write_through_store_penalty
+        write_through = self.l1_write_through
+
+        # Rows sorted by descending trace length: the alive set at step t
+        # is a prefix of `order`.
+        order = np.argsort(-self.lengths, kind="stable")
+        sorted_lengths = self.lengths[order]
+
+        l1 = self.levels[0]
+        for t in range(self.steps):
+            alive = int(
+                np.searchsorted(-sorted_lengths, -t, side="left")
+            )
+            rows = order[:alive]
+            addresses = self.addr[rows, t]
+            writes = self.write[rows, t]
+            lat = self.jitter[rows, t]  # fancy index -> private copy
+
+            # --- walk ------------------------------------------------
+            # `missing` after the level-`index` hit check is exactly the
+            # set of rows needing a fill at level `index` (those with
+            # hit_level > index + 1), so the walk saves each stage in
+            # `miss_after` and the fill loop below reuses it instead of
+            # re-deriving the masks from hit_level.
+            hit_level = np.full(alive, MEMORY_LEVEL, dtype=np.int64)
+            l1_sets = (addresses >> l1.offset_bits) & l1.index_mask
+            l1_way = np.zeros(alive, dtype=np.int64)
+            block = l1.tags[rows, l1_sets]
+            hit_mask = block == (addresses >> l1.tag_shift)[:, None]
+            l1_hit = hit_mask.any(axis=1)
+            hit_pos = np.flatnonzero(l1_hit)
+            if hit_pos.size:
+                ways = hit_mask[hit_pos].argmax(axis=1)
+                l1_way[hit_pos] = ways
+                l1.pol.on_hit(rows[hit_pos], l1_sets[hit_pos], ways)
+                hit_level[hit_pos] = 1
+            missing = np.flatnonzero(~l1_hit)
+            miss_after = [missing] * num_levels
+            for index in range(1, num_levels):
+                if missing.size:
+                    level = self.levels[index]
+                    sub_addr = addresses[missing]
+                    sub_sets = (
+                        sub_addr >> level.offset_bits
+                    ) & level.index_mask
+                    block = level.tags[rows[missing], sub_sets]
+                    hit_mask = block == (sub_addr >> level.tag_shift)[:, None]
+                    deep_hit = hit_mask.any(axis=1)
+                    deep_pos = np.flatnonzero(deep_hit)
+                    if deep_pos.size:
+                        hit_pos = missing[deep_pos]
+                        ways = hit_mask[deep_pos].argmax(axis=1)
+                        level.pol.on_hit(
+                            rows[hit_pos], sub_sets[deep_pos], ways
+                        )
+                        hit_level[hit_pos] = index + 1
+                        missing = missing[~deep_hit]
+                miss_after[index] = missing
+
+            lat += cost_lut[hit_level]
+
+            # --- fill path (deepest first) ---------------------------
+            if miss_after[0].size:
+                for index in range(num_levels - 1, -1, -1):
+                    fill_pos = miss_after[index]
+                    if fill_pos.size == 0:
+                        continue
+                    fill_addr = addresses[fill_pos]
+                    level = self.levels[index]
+                    sets = (fill_addr >> level.offset_bits) & level.index_mask
+                    ways, dirty_victims = self._fill_level(
+                        index,
+                        rows[fill_pos],
+                        sets,
+                        fill_addr >> level.tag_shift,
+                        fill_dirty=False,
+                    )
+                    if index == 0:
+                        l1_way[fill_pos] = ways
+                        dirty_idx = np.flatnonzero(dirty_victims)
+                        if dirty_idx.size:
+                            dirty_pos = fill_pos[dirty_idx]
+                            lat[dirty_pos] += l1_wb_penalty
+                            self.dirty_ev[rows[dirty_pos], t] = True
+
+            # --- store finalisation ----------------------------------
+            store_pos = np.flatnonzero(writes)
+            if store_pos.size:
+                if write_through:
+                    lat[store_pos] += wt_penalty
+                    self._propagate_store(
+                        rows[store_pos], addresses[store_pos]
+                    )
+                else:
+                    l1.dirty[
+                        rows[store_pos], l1_sets[store_pos], l1_way[store_pos]
+                    ] = True
+
+            # --- observables -----------------------------------------
+            self.hit_levels[rows, t] = hit_level
+            self.latencies[rows, t] = lat
+        return self
+
+    def _fill_level(
+        self,
+        index: int,
+        rows: np.ndarray,
+        sets: np.ndarray,
+        tags: np.ndarray,
+        fill_dirty: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Install one line per (replica, set); returns (ways, dirty-victim).
+
+        Transcribes ``FastSet.fill``: lowest invalid way wins, otherwise
+        the policy chooses; a valid victim is invalidated (policy notified)
+        before the install, and dirty victims are recorded and cascaded
+        one level deeper, exactly like ``CacheHierarchy._writeback``.
+        """
+        level = self.levels[index]
+        count = len(rows)
+        block = level.tags[rows, sets]
+        invalid = block == -1
+        has_invalid = invalid.any(axis=1)
+        full_pos = np.flatnonzero(~has_invalid)
+        dirty_victims = np.zeros(count, dtype=bool)
+        cascade = None
+        if full_pos.size == 0:
+            ways = invalid.argmax(axis=1)
+        else:
+            ways = np.zeros(count, dtype=np.int64)
+            inv_pos = np.flatnonzero(has_invalid)
+            if inv_pos.size:
+                ways[inv_pos] = invalid[inv_pos].argmax(axis=1)
+            full_rows = rows[full_pos]
+            full_sets = sets[full_pos]
+            victim_ways = level.pol.victim(full_rows, full_sets)
+            ways[full_pos] = victim_ways
+            victim_tags = level.tags[full_rows, full_sets, victim_ways]
+            victim_dirty = level.dirty[full_rows, full_sets, victim_ways]
+            level.pol.on_invalidate(full_rows, full_sets, victim_ways)
+            dirty_idx = np.flatnonzero(victim_dirty)
+            if dirty_idx.size:
+                dirty_pos = full_pos[dirty_idx]
+                dirty_victims[dirty_pos] = True
+                wb_rows = rows[dirty_pos]
+                wb_sets = sets[dirty_pos]
+                self.level_writebacks[index][wb_rows] += 1
+                victim_addr = (
+                    victim_tags[dirty_idx] << level.tag_shift
+                ) | (wb_sets << level.offset_bits)
+                cascade = (index + 1, wb_rows, victim_addr)
+        # Install, then let the dirty victims land one level deeper —
+        # matching the scalar order: fill returns the evicted line and the
+        # caller cascades it afterwards.
+        level.tags[rows, sets, ways] = tags
+        level.dirty[rows, sets, ways] = fill_dirty
+        level.pol.on_fill(rows, sets, ways)
+        if cascade is not None:
+            self._writeback(*cascade)
+        return ways, dirty_victims
+
+    def _writeback(
+        self, index: int, rows: np.ndarray, addresses: np.ndarray
+    ) -> None:
+        """Land dirty victims evicted from level ``index-1`` at ``index``."""
+        if rows.size == 0:
+            return
+        if index >= len(self.levels):
+            self.memory_writes[rows] += 1
+            return
+        level = self.levels[index]
+        sets = (addresses >> level.offset_bits) & level.index_mask
+        tags = addresses >> level.tag_shift
+        block = level.tags[rows, sets]
+        present_mask = block == tags[:, None]
+        present = present_mask.any(axis=1)
+        pos = np.flatnonzero(present)
+        if pos.size:
+            ways = present_mask[pos].argmax(axis=1)
+            # mark_dirty on a resident copy: no policy touch, no counters.
+            level.dirty[rows[pos], sets[pos], ways] = True
+        absent = np.flatnonzero(~present)
+        if absent.size:
+            self._fill_level(
+                index,
+                rows[absent],
+                sets[absent],
+                tags[absent],
+                fill_dirty=True,
+            )
+
+    def _propagate_store(self, rows: np.ndarray, addresses: np.ndarray) -> None:
+        """Write-through store routing: settle at the first deeper
+        write-back level holding the line, else count a memory write."""
+        remaining_rows = rows
+        remaining_addr = addresses
+        for index in range(1, len(self.levels)):
+            if remaining_rows.size == 0:
+                return
+            level = self.levels[index]
+            sets = (remaining_addr >> level.offset_bits) & level.index_mask
+            tags = remaining_addr >> level.tag_shift
+            block = level.tags[remaining_rows, sets]
+            present_mask = block == tags[:, None]
+            present = present_mask.any(axis=1)
+            pos = np.flatnonzero(present)
+            if pos.size:
+                ways = present_mask[pos].argmax(axis=1)
+                level.dirty[remaining_rows[pos], sets[pos], ways] = True
+            keep = np.flatnonzero(~present)
+            remaining_rows = remaining_rows[keep]
+            remaining_addr = remaining_addr[keep]
+        if remaining_rows.size:
+            self.memory_writes[remaining_rows] += 1
+
+    # ------------------------------------------------------------------
+    # Per-replica views
+    # ------------------------------------------------------------------
+    def result(self, replica: int) -> TraceResult:
+        """The :class:`TraceResult` of one replica (plain Python lists)."""
+        length = int(self.lengths[replica])
+        return TraceResult(
+            hit_levels=[int(v) for v in self.hit_levels[replica, :length]],
+            latencies=[int(v) for v in self.latencies[replica, :length]],
+            dirty_evictions=self.dirty_ev[replica, :length].tolist(),
+        )
+
+    def results(self) -> List[TraceResult]:
+        """All replica results, replica order."""
+        return [self.result(b) for b in range(self.replicas)]
+
+    def fingerprints(self) -> List[Tuple[int, int, int, int]]:
+        """Per-replica fingerprint tuples without list materialisation."""
+        out = []
+        for b in range(self.replicas):
+            length = int(self.lengths[b])
+            hl = self.hit_levels[b, :length]
+            out.append(
+                (
+                    length,
+                    int(hl.sum()),
+                    int(self.latencies[b, :length].sum()),
+                    int(self.dirty_ev[b, :length].sum()),
+                )
+            )
+        return out
+
+    def stats(self, replica: int) -> CacheStats:
+        """A :class:`CacheStats` equal to the scalar engine's accumulator.
+
+        Walk counters are derived from the hit-level matrix (a level was
+        visited iff the walk reached it); writeback and memory counters
+        were accumulated during the fill stages.  Levels never visited
+        stay absent, matching the generic path's lazy counter creation.
+        """
+        stats = CacheStats()
+        length = int(self.lengths[replica])
+        hit_levels = self.hit_levels[replica, :length]
+        writes = self.write[replica, :length]
+        keys = (
+            (ALL_OWNERS,)
+            if self.owner is None
+            else (self.owner, ALL_OWNERS)
+        )
+        for index in range(len(self.levels)):
+            level_number = index + 1
+            visited = hit_levels >= level_number
+            accesses = int(visited.sum())
+            if accesses == 0:
+                continue
+            hits = int((hit_levels == level_number).sum())
+            stores = int((writes & visited).sum())
+            writebacks = int(self.level_writebacks[index][replica])
+            for key in keys:
+                counter = stats._counters[level_number][key]
+                counter.accesses = accesses
+                counter.hits = hits
+                counter.stores = stores
+                counter.writebacks = writebacks
+        stats.memory_reads = int((hit_levels == MEMORY_LEVEL).sum())
+        stats.memory_writes = int(self.memory_writes[replica])
+        return stats
+
+    def way_states(
+        self, replica: int, level_index: int, set_index: int
+    ) -> Tuple[Tuple[bool, Optional[int], bool, bool, Optional[int]], ...]:
+        """One set's normalised way states (``FastSet.way_states`` shape)."""
+        level = self.levels[level_index]
+        tags = level.tags[replica, set_index]
+        dirty = level.dirty[replica, set_index]
+        states = []
+        for way in range(level.ways):
+            if tags[way] == -1:
+                states.append((False, None, False, False, None))
+            else:
+                states.append(
+                    (True, int(tags[way]), bool(dirty[way]), False, self.owner)
+                )
+        return tuple(states)
+
+    def index_snapshot(
+        self, replica: int, level_index: int, set_index: int
+    ) -> Dict[int, int]:
+        """tag -> way mapping of one set (``FastSet.index_snapshot``)."""
+        level = self.levels[level_index]
+        tags = level.tags[replica, set_index]
+        return {
+            int(tags[way]): way
+            for way in range(level.ways)
+            if tags[way] != -1
+        }
+
+
+def run_batch_traces(
+    params: HierarchyParams,
+    seeds: Sequence[int],
+    traces: Sequence[Sequence[Access]],
+    *,
+    latency: Optional[LatencyModel] = None,
+    owner: Optional[int] = None,
+) -> List[TraceResult]:
+    """Replay one trace per seed over a shared geometry, batched if possible.
+
+    Eligible geometries run through :class:`BatchReplay`; anything else
+    (unlifted policy, exotic write/allocation pairing) falls back to
+    per-replica fast-engine replay.  Either way the results are
+    bit-identical to building ``params`` per seed and calling
+    :func:`run_trace`.
+    """
+    if batch_eligibility(params) is None:
+        replay = BatchReplay(
+            params, seeds, traces, latency=latency, owner=owner
+        )
+        return replay.run().results()
+    return [
+        run_trace(
+            params.build(
+                rng=random.Random(seed), engine="fast", latency=latency
+            ),
+            trace,
+            owner=owner,
+        )
+        for seed, trace in zip(seeds, traces)
+    ]
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One sweep point: a seeded trace over some geometry.
+
+    The driver below groups points by :func:`geometry_key` so that
+    same-geometry points — e.g. the seed axis of a sweep ``Axis`` —
+    share one :class:`BatchReplay` regardless of submission order.
+    """
+
+    params: HierarchyParams
+    seed: int
+    trace: Tuple[Access, ...]
+    latency: Optional[LatencyModel] = None
+    owner: Optional[int] = None
+
+
+def geometry_key(
+    params: HierarchyParams,
+    latency: Optional[LatencyModel] = None,
+    owner: Optional[int] = None,
+) -> str:
+    """Canonical digest of everything replicas must share to batch."""
+    payload = {
+        "hierarchy": params.to_dict(),
+        "latency": None if latency is None else dataclasses.asdict(latency),
+        "owner": owner,
+    }
+    return f"{zlib.crc32(canonical_json(payload).encode('utf-8')):08x}"
+
+
+def run_batch_points(
+    points: Sequence[BatchPoint], max_group: int = 256
+) -> List[TraceResult]:
+    """Run arbitrary sweep points, coalescing same-geometry ones.
+
+    Results come back in input order; ``max_group`` bounds replica count
+    per kernel so memory stays proportional to one group.
+    """
+    groups: Dict[str, List[int]] = {}
+    for position, point in enumerate(points):
+        key = geometry_key(point.params, point.latency, point.owner)
+        groups.setdefault(key, []).append(position)
+    results: List[Optional[TraceResult]] = [None] * len(points)
+    for positions in groups.values():
+        for start in range(0, len(positions), max_group):
+            chunk = positions[start : start + max_group]
+            first = points[chunk[0]]
+            chunk_results = run_batch_traces(
+                first.params,
+                [points[i].seed for i in chunk],
+                [points[i].trace for i in chunk],
+                latency=first.latency,
+                owner=first.owner,
+            )
+            for position, trace_result in zip(chunk, chunk_results):
+                results[position] = trace_result
+    return results  # type: ignore[return-value]

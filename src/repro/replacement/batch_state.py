@@ -1,0 +1,357 @@
+"""Replica-stacked (batched) forms of the fast replacement states.
+
+The fast engine's integer-coded policy states (:mod:`repro.replacement
+.fast_state`) update one set at a time.  The batch engine
+(:mod:`repro.engine.batch`) runs B independent replicas of one hierarchy
+geometry side by side, so each policy here keeps its metadata for *every*
+set of *every* replica in one NumPy array — shape ``(B, sets)`` or
+``(B, sets, ways)`` — and applies one update to many (replica, set) pairs
+per vectorized call.
+
+Parity contract
+---------------
+A batched update on B replicas must equal B independent scalar updates:
+for every lifted policy, feeding the same operation sequence through a
+batch state and through per-replica :class:`~repro.replacement.fast_state
+.FastPolicyState` instances must leave identical metadata and return
+identical victims (``tests/test_batch_state.py`` fuzzes exactly this, and
+the engine-level parity suite holds the whole kernel to it).
+
+Call convention: ``rows``/``sets``/``ways`` are equal-length integer
+arrays selecting one set per listed replica.  A single call must not
+contain the same (replica, set) pair twice — the engine's staging
+guarantees that, and the scatter updates below rely on it.
+
+Policies not lifted here (NRU, the noisy/dirty-protecting surrogates,
+the LFSR) fall back to per-replica fast-engine replay at the driver
+level; there is deliberately no adapter state in the batched world.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.replacement.fast_state import (
+    BitPLRUState,
+    FIFOState,
+    FastPolicyState,
+    SRRIPState,
+    TreePLRUState,
+    TrueLRUState,
+    UniformRandomState,
+    _tree_masks,
+    _tree_victims,
+)
+
+#: Largest way count tree-plru is lifted for: the shared state -> victim
+#: table has 2**(ways-1) entries, so 16 ways (32k entries) is the knee.
+_TREE_PLRU_MAX_WAYS = 16
+
+
+class BatchPolicyState:
+    """Interface of a batched policy state (duck-typed, like fast_state)."""
+
+    def on_fill(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def on_invalidate(
+        self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray
+    ) -> None:
+        pass
+
+    def victim(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def snapshot(self, replica: int, set_index: int) -> Tuple[object, ...]:
+        """Canonical metadata of one set, comparable to a scalar state."""
+        raise NotImplementedError
+
+
+class BatchRankOrder(BatchPolicyState):
+    """Recency/insertion order as a rank permutation per set.
+
+    ``rank[b, s, w]`` is way ``w``'s position in the scalar order list:
+    rank 0 is the victim end (LRU / FIFO front), rank ``ways-1`` the most
+    recently touched / inserted.  Moving a way to the back decrements
+    every rank behind it; moving it to the front increments every rank
+    ahead of it — exactly ``list.remove`` + ``append``/``insert(0)``.
+
+    :class:`BatchTrueLRU` and :class:`BatchFIFO` differ only in whether a
+    hit refreshes the order.
+    """
+
+    def __init__(self, replicas: int, sets: int, ways: int) -> None:
+        self.ways = ways
+        # Ranks live in [0, ways); int8 keeps the (B, sets, ways) block
+        # an order of magnitude smaller than the tag arrays.
+        self.rank = np.broadcast_to(
+            np.arange(ways, dtype=np.int8), (replicas, sets, ways)
+        ).copy()
+
+    def _to_back(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        block = self.rank[rows, sets]
+        current = block[np.arange(len(rows)), ways]
+        block -= block > current[:, None]
+        block[np.arange(len(rows)), ways] = self.ways - 1
+        self.rank[rows, sets] = block
+
+    def _to_front(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        block = self.rank[rows, sets]
+        current = block[np.arange(len(rows)), ways]
+        block += block < current[:, None]
+        block[np.arange(len(rows)), ways] = 0
+        self.rank[rows, sets] = block
+
+    on_fill = _to_back
+    on_invalidate = _to_front
+
+    def victim(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        return np.argmin(self.rank[rows, sets], axis=1)
+
+    def snapshot(self, replica: int, set_index: int) -> Tuple[object, ...]:
+        order = np.argsort(self.rank[replica, set_index])
+        return ("order", tuple(int(way) for way in order))
+
+
+class BatchTrueLRU(BatchRankOrder):
+    """Exact LRU: hits refresh the order like fills."""
+
+    on_hit = BatchRankOrder._to_back
+
+
+class BatchFIFO(BatchRankOrder):
+    """Insertion order only: hits do not refresh."""
+
+    def on_hit(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        pass
+
+
+class BatchTreePLRU(BatchPolicyState):
+    """Tree-PLRU: one packed tree-bit int per set, shared lookup tables."""
+
+    def __init__(self, replicas: int, sets: int, ways: int) -> None:
+        clear, set_masks = _tree_masks(ways)
+        self._clear = np.array(clear, dtype=np.int64)
+        self._set = np.array(set_masks, dtype=np.int64)
+        self._victims = np.array(_tree_victims(ways), dtype=np.int64)
+        self.state = np.zeros((replicas, sets), dtype=np.int64)
+
+    def _touch(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        self.state[rows, sets] = (self.state[rows, sets] & self._clear[ways]) | (
+            self._set[ways]
+        )
+
+    on_fill = _touch
+    on_hit = _touch
+
+    def victim(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        return self._victims[self.state[rows, sets]]
+
+    def snapshot(self, replica: int, set_index: int) -> Tuple[object, ...]:
+        return ("tree", int(self.state[replica, set_index]))
+
+
+class BatchBitPLRU(BatchPolicyState):
+    """MRU-bit pseudo-LRU: packed bit mask plus set-bit count per set."""
+
+    def __init__(self, replicas: int, sets: int, ways: int) -> None:
+        self.ways = ways
+        self._full = (1 << ways) - 1
+        self.mru = np.zeros((replicas, sets), dtype=np.int64)
+        self.count = np.zeros((replicas, sets), dtype=np.int64)
+
+    def _touch(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        mru = self.mru[rows, sets]
+        count = self.count[rows, sets]
+        bit = np.int64(1) << ways.astype(np.int64)
+        fresh = (mru & bit) == 0
+        wrap = fresh & (count == self.ways - 1)
+        mru = np.where(wrap, 0, mru)
+        count = np.where(wrap, 0, count)
+        self.mru[rows, sets] = np.where(fresh, mru | bit, mru)
+        self.count[rows, sets] = np.where(fresh, count + 1, count)
+
+    on_fill = _touch
+    on_hit = _touch
+
+    def victim(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        clear = ~self.mru[rows, sets] & self._full
+        lowbit = clear & -clear
+        # log2 of a power of two is exact in float64; clear == 0 falls back
+        # to way 0 like the scalar state.
+        return np.where(
+            clear == 0,
+            0,
+            np.log2(np.maximum(lowbit, 1)).astype(np.int64),
+        )
+
+    def on_invalidate(
+        self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray
+    ) -> None:
+        mru = self.mru[rows, sets]
+        bit = np.int64(1) << ways.astype(np.int64)
+        was_set = (mru & bit) != 0
+        self.mru[rows, sets] = np.where(was_set, mru & ~bit, mru)
+        self.count[rows, sets] = self.count[rows, sets] - was_set
+
+    def snapshot(self, replica: int, set_index: int) -> Tuple[object, ...]:
+        return (
+            "bitplru",
+            int(self.mru[replica, set_index]),
+            int(self.count[replica, set_index]),
+        )
+
+
+class BatchSRRIP(BatchPolicyState):
+    """Static RRIP: per-way re-reference prediction values."""
+
+    def __init__(
+        self, replicas: int, sets: int, ways: int, max_rrpv: int = 3
+    ) -> None:
+        self.max_rrpv = max_rrpv
+        # RRPVs live in [0, max_rrpv]; int8 matters at LLC geometry
+        # (e.g. 16384 sets x 20 ways x B replicas).
+        self.rrpv = np.full((replicas, sets, ways), max_rrpv, dtype=np.int8)
+
+    def on_fill(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        self.rrpv[rows, sets, ways] = self.max_rrpv - 1
+
+    def on_hit(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        self.rrpv[rows, sets, ways] = 0
+
+    def victim(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        # The scalar loop ages every way by +1 until one reaches max_rrpv;
+        # one uniform bump by the row's deficit lands the identical state.
+        block = self.rrpv[rows, sets]
+        deficit = self.max_rrpv - block.max(axis=1)
+        block += deficit[:, None]
+        self.rrpv[rows, sets] = block
+        return np.argmax(block == self.max_rrpv, axis=1)
+
+    def on_invalidate(
+        self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray
+    ) -> None:
+        self.rrpv[rows, sets, ways] = self.max_rrpv
+
+    def snapshot(self, replica: int, set_index: int) -> Tuple[object, ...]:
+        return ("rrpv", tuple(int(v) for v in self.rrpv[replica, set_index]))
+
+
+class BatchUniformRandom(BatchPolicyState):
+    """Uniform random victims drawn from per-(replica, set) generators.
+
+    Victim draws must replicate the scalar engine's private per-set
+    ``random.Random`` streams bit-for-bit, so they stay scalar: one
+    ``randrange`` per requesting (replica, set) pair, with generators
+    materialised lazily from the seed grid the engine derived.  Touch
+    hooks are free, so random-policy levels still batch everything but
+    the draw itself.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        sets: int,
+        ways: int,
+        seed_grid: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        if seed_grid is None:
+            raise ValueError("BatchUniformRandom needs the per-set seed grid")
+        self.ways = ways
+        self.seed_grid = seed_grid
+        self._rngs: Dict[Tuple[int, int], random.Random] = {}
+
+    def on_fill(self, rows: np.ndarray, sets: np.ndarray, ways: np.ndarray) -> None:
+        pass
+
+    on_hit = on_fill
+    on_invalidate = on_fill
+
+    def victim(self, rows: np.ndarray, sets: np.ndarray) -> np.ndarray:
+        out = np.empty(len(rows), dtype=np.int64)
+        rngs = self._rngs
+        for position, (row, set_index) in enumerate(
+            zip(rows.tolist(), sets.tolist())
+        ):
+            rng = rngs.get((row, set_index))
+            if rng is None:
+                rng = rngs[(row, set_index)] = random.Random(
+                    self.seed_grid[row][set_index]
+                )
+            out[position] = rng.randrange(self.ways)
+        return out
+
+    def snapshot(self, replica: int, set_index: int) -> Tuple[object, ...]:
+        return ("random",)
+
+
+#: Batch constructors by registry policy name.  ``random`` additionally
+#: needs the engine to thread its per-set seed grid through.
+_BATCH_STATES = {
+    "lru": BatchTrueLRU,
+    "fifo": BatchFIFO,
+    "tree-plru": BatchTreePLRU,
+    "bit-plru": BatchBitPLRU,
+    "srrip": BatchSRRIP,
+    "random": BatchUniformRandom,
+}
+
+
+def lifted_policies() -> List[str]:
+    """Policy names with a batched state, in canonical order."""
+    return sorted(_BATCH_STATES)
+
+
+def is_lifted(policy_name: str, ways: int) -> bool:
+    """Whether ``policy_name`` at ``ways`` associativity batches."""
+    if policy_name not in _BATCH_STATES:
+        return False
+    if policy_name == "tree-plru":
+        return ways > 1 and ways & (ways - 1) == 0 and ways <= _TREE_PLRU_MAX_WAYS
+    return True
+
+
+def make_batch_state(
+    policy_name: str,
+    replicas: int,
+    sets: int,
+    ways: int,
+    seed_grid: Optional[Sequence[Sequence[int]]] = None,
+) -> BatchPolicyState:
+    """Build the batched state for one cache level's policy."""
+    if not is_lifted(policy_name, ways):
+        raise ValueError(
+            f"policy {policy_name!r} with {ways} ways has no batched state"
+        )
+    if policy_name == "random":
+        return BatchUniformRandom(replicas, sets, ways, seed_grid)
+    return _BATCH_STATES[policy_name](replicas, sets, ways)
+
+
+def scalar_snapshot(state: FastPolicyState) -> Tuple[object, ...]:
+    """Canonical metadata of a scalar fast state, for batched-vs-scalar
+    comparisons (same tagged shape as :meth:`BatchPolicyState.snapshot`).
+
+    Exact-type dispatch, like ``fast_state._FAST_STATES``: subclasses
+    (noisy/dirty-protecting variants) are not lifted and must not match.
+    """
+    state_type = type(state)
+    if state_type is TrueLRUState:
+        return ("order", tuple(state.order))
+    if state_type is FIFOState:
+        return ("order", tuple(state.queue))
+    if state_type is TreePLRUState:
+        return ("tree", state.state)
+    if state_type is BitPLRUState:
+        return ("bitplru", state.mru, state.count)
+    if state_type is SRRIPState:
+        return ("rrpv", tuple(state.rrpv))
+    if state_type is UniformRandomState:
+        return ("random",)
+    raise TypeError(f"no canonical snapshot for {state_type.__name__}")

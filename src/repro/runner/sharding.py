@@ -39,6 +39,7 @@ EXPERIMENT_WEIGHTS: Dict[str, float] = {
     "table7": 0.8,
     "table5": 0.8,
     "sidechannel": 0.4,
+    "trace_sweep": 0.4,
     "fig5": 0.4,
     "table2": 0.3,
     "fig4": 0.3,
@@ -78,6 +79,11 @@ class TaskSpec:
     entry_point: Optional[str] = None
     #: Serialised ScenarioSpec JSON for declarative scenario tasks.
     scenario: Optional[str] = None
+    #: Opaque coalescing label: tasks sharing a hint (and profile and
+    #: execution route) may be dispatched as one batch group — a pure
+    #: scheduling affinity, never a correctness input and never part of
+    #: any cache key.  ``None`` opts out.
+    batch_hint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scenario is not None and self.entry_point is not None:

@@ -29,6 +29,7 @@ Routes
      "seed": 0,
      "priority": 0,
      "timeout": null,                  # per-job seconds (isolate mode)
+     "batch_hint": null,               # coalesce same-hint queued jobs
      "wait": false}                    # true/seconds: block for result
 
 A ``scenario`` submission runs an arbitrary declarative
@@ -281,6 +282,11 @@ def _spec_from_payload(payload: Dict[str, object]) -> JobSpec:
         raise ConfigurationError(
             f"'entry_point' must be a dotted-path string, got {entry_point!r}"
         )
+    batch_hint = payload.get("batch_hint")
+    if batch_hint is not None and not isinstance(batch_hint, str):
+        raise ConfigurationError(
+            f"'batch_hint' must be a string label or null, got {batch_hint!r}"
+        )
     return JobSpec.create(
         experiment_id,
         profile=profile,
@@ -288,6 +294,7 @@ def _spec_from_payload(payload: Dict[str, object]) -> JobSpec:
         timeout=None if timeout is None else float(timeout),
         entry_point=entry_point,
         scenario=scenario,
+        batch_hint=batch_hint,
     )
 
 

@@ -96,6 +96,13 @@ class JobSpec:
     ``scenario:<name>`` label and the canonical spec dict joins the cache
     key, so two submissions dedup exactly when their specs canonicalise
     identically.
+
+    ``batch_hint`` is an opaque coalescing label (see
+    :mod:`repro.runner.batching`): queued jobs sharing a hint, a profile
+    and an execution route are claimed together by one worker and run as
+    a single batch group, with each result stored under its own
+    unchanged cache key.  A scheduling affinity only — never part of the
+    key.
     """
 
     experiment_id: str
@@ -106,6 +113,8 @@ class JobSpec:
     timeout: Optional[float] = None
     entry_point: Optional[str] = None
     scenario: Optional["ScenarioSpec"] = None
+    #: Opaque batch-group label; volatile like ``timeout``, not keyed.
+    batch_hint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scenario is not None and self.entry_point is not None:
@@ -122,6 +131,7 @@ class JobSpec:
         timeout: Optional[float] = None,
         entry_point: Optional[str] = None,
         scenario: Optional["ScenarioSpec"] = None,
+        batch_hint: Optional[str] = None,
     ) -> "JobSpec":
         """Normalising constructor (accepts profile names).
 
@@ -143,6 +153,7 @@ class JobSpec:
             timeout=timeout,
             entry_point=entry_point,
             scenario=scenario,
+            batch_hint=batch_hint,
         )
 
     @property
@@ -208,6 +219,55 @@ class _Computation:
     jobs: List[Job] = field(default_factory=list)
     state: str = JobState.QUEUED
     cancelled: bool = False
+    #: Claimed into another computation's batch group: the claimer runs
+    #: it, and a worker popping its own heap entry must skip it (same
+    #: lazy-skip mechanism as ``cancelled``).
+    claimed: bool = False
+
+
+def _batch_group_key(spec: JobSpec) -> Optional[tuple]:
+    """Scheduler-side mirror of :func:`repro.runner.batching
+    .batch_group_key`: hint + execution route + profile, else no group."""
+    if spec.batch_hint is None:
+        return None
+    if spec.entry_point is not None:
+        route = f"entry:{spec.entry_point}"
+    elif spec.scenario is not None:
+        route = "scenario"
+    else:
+        route = f"registry:{spec.experiment_id}"
+    return (spec.batch_hint, route, spec.profile)
+
+
+def compute_group(specs: List[JobSpec], isolate: bool) -> List[ManifestEntry]:
+    """Run a batch group through the runner engine, one entry per spec.
+
+    The specs' shared ``batch_hint`` flows into the task list, so with
+    ``isolate=True`` the process pool coalesces them onto one worker
+    process (see :mod:`repro.runner.batching`); ``isolate=False`` runs
+    them back to back in-process.  Either way each spec computes from
+    its own pinned configuration — grouping never mixes results.
+    """
+    tasks = [
+        TaskSpec(
+            task_id=(
+                spec.experiment_id
+                if len(specs) == 1
+                else f"{spec.experiment_id}#g{index}"
+            ),
+            experiment_id=spec.experiment_id,
+            seed=spec.seed,
+            profile=spec.profile,
+            timeout=spec.timeout,
+            entry_point=spec.entry_point,
+            scenario=(
+                None if spec.scenario is None else spec.scenario.to_json()
+            ),
+            batch_hint=spec.batch_hint,
+        )
+        for index, spec in enumerate(specs)
+    ]
+    return execute_tasks(tasks, jobs=2 if isolate else 1)
 
 
 def compute_entry(spec: JobSpec, isolate: bool) -> ManifestEntry:
@@ -217,19 +277,7 @@ def compute_entry(spec: JobSpec, isolate: bool) -> ManifestEntry:
     is what grants the runner's timeout enforcement and crash retry;
     ``isolate=False`` takes the in-process serial path.
     """
-    task = TaskSpec(
-        task_id=spec.experiment_id,
-        experiment_id=spec.experiment_id,
-        seed=spec.seed,
-        profile=spec.profile,
-        timeout=spec.timeout,
-        entry_point=spec.entry_point,
-        scenario=(
-            None if spec.scenario is None else spec.scenario.to_json()
-        ),
-    )
-    entries = execute_tasks([task], jobs=2 if isolate else 1)
-    return entries[0]
+    return compute_group([spec], isolate)[0]
 
 
 class JobScheduler:
@@ -279,6 +327,13 @@ class JobScheduler:
             "deduplicated": 0,
             "store_served": 0,
             "computations": 0,
+            # Batch coalescing (jobs sharing a batch_hint run as one
+            # worker group): groups formed, replicas they carried, and
+            # how many of those replicas rode along instead of waiting
+            # for their own worker slot.
+            "batch_groups": 0,
+            "batch_replicas": 0,
+            "batch_coalesced": 0,
         }
 
     # ------------------------------------------------------------------
@@ -489,43 +544,71 @@ class JobScheduler:
                 while not self._heap:
                     await self._wakeup.wait()
                 _neg_priority, _seq, computation = heapq.heappop(self._heap)
-            if computation.cancelled:
+            if computation.cancelled or computation.claimed:
                 continue
             self._queued -= 1
-            computation.state = JobState.RUNNING
-            for job in computation.jobs:
-                job.state = JobState.RUNNING
+            group = [computation]
+            # Opportunistic batch coalescing: claim every queued
+            # computation sharing this one's batch group (hint + route +
+            # profile) so the whole set runs in one executor call.  The
+            # claim happens synchronously on the event loop, so no other
+            # worker can race for the same computations.
+            group_key = _batch_group_key(computation.spec)
+            if group_key is not None:
+                from repro.runner.batching import MAX_GROUP_SIZE
+
+                for _p, _s, other in self._heap:
+                    if len(group) >= MAX_GROUP_SIZE:
+                        break
+                    if other.cancelled or other.claimed:
+                        continue
+                    if _batch_group_key(other.spec) == group_key:
+                        other.claimed = True
+                        self._queued -= 1
+                        group.append(other)
+                self.counters["batch_groups"] += 1
+                self.counters["batch_replicas"] += len(group)
+                self.counters["batch_coalesced"] += len(group) - 1
+            for member in group:
+                member.state = JobState.RUNNING
+                for job in member.jobs:
+                    job.state = JobState.RUNNING
             loop = asyncio.get_running_loop()
             try:
-                entry = await loop.run_in_executor(
-                    None, compute_entry, computation.spec, self.isolate
+                entries = await loop.run_in_executor(
+                    None,
+                    compute_group,
+                    [member.spec for member in group],
+                    self.isolate,
                 )
             except Exception as exc:  # noqa: BLE001 - fan failure out
-                self._finish_computation(
-                    computation,
-                    state=JobState.FAILED,
-                    error=f"scheduler execution error: {exc!r}",
-                )
-                continue
-            if entry.ok:
-                evicted = self.store.put(computation.key, entry.result)
-                self.telemetry.result_stored(
-                    computation.key, self.telemetry.bus.time
-                )
-                for victim in evicted:
-                    self.telemetry.store_evicted(
-                        victim.key, self.telemetry.bus.time
+                for member in group:
+                    self._finish_computation(
+                        member,
+                        state=JobState.FAILED,
+                        error=f"scheduler execution error: {exc!r}",
                     )
-                self._finish_computation(
-                    computation, state=JobState.DONE, entry=entry
-                )
-            else:
-                self._finish_computation(
-                    computation,
-                    state=JobState.FAILED,
-                    error=f"{entry.status}: {entry.error}",
-                    entry=entry,
-                )
+                continue
+            for member, entry in zip(group, entries):
+                if entry.ok:
+                    evicted = self.store.put(member.key, entry.result)
+                    self.telemetry.result_stored(
+                        member.key, self.telemetry.bus.time
+                    )
+                    for victim in evicted:
+                        self.telemetry.store_evicted(
+                            victim.key, self.telemetry.bus.time
+                        )
+                    self._finish_computation(
+                        member, state=JobState.DONE, entry=entry
+                    )
+                else:
+                    self._finish_computation(
+                        member,
+                        state=JobState.FAILED,
+                        error=f"{entry.status}: {entry.error}",
+                        entry=entry,
+                    )
 
     def _finish_computation(
         self,

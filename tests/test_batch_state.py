@@ -1,0 +1,156 @@
+"""Property tests: batched policy updates equal independent scalar updates.
+
+For every lifted policy, a :class:`~repro.replacement.batch_state
+.BatchPolicyState` holding B replicas x S sets must behave exactly like
+B*S independent :mod:`repro.replacement.fast_state` machines fed the same
+operation sequence: identical victim choices at every draw, identical
+canonical metadata snapshots at every checkpoint.  This is the unit-level
+half of the batch parity contract — the engine-level half lives in
+``tests/test_engine_parity.py``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.replacement.batch_state import (
+    is_lifted,
+    lifted_policies,
+    make_batch_state,
+    scalar_snapshot,
+)
+from repro.replacement.fast_state import fast_state_for
+from repro.replacement.registry import available_policies, make_policy_factory
+
+REPLICAS = 5
+SETS = 4
+WAYS = 4
+ROUNDS = 400
+
+_OPS = ("fill", "hit", "invalidate", "victim")
+
+
+def _build_pair(policy_name, seed):
+    """One batch state plus a mirrored grid of scalar fast states."""
+    rng = random.Random(seed)
+    seed_grid = [
+        [rng.getrandbits(32) for _ in range(SETS)] for _ in range(REPLICAS)
+    ]
+    batch = make_batch_state(
+        policy_name, REPLICAS, SETS, WAYS, seed_grid=seed_grid
+    )
+    factory = make_policy_factory(policy_name)
+    scalars = [
+        [
+            fast_state_for(factory(WAYS, random.Random(seed_grid[b][s])))
+            for s in range(SETS)
+        ]
+        for b in range(REPLICAS)
+    ]
+    return batch, scalars
+
+
+def _assert_snapshots_equal(policy_name, batch, scalars, context):
+    for b in range(REPLICAS):
+        for s in range(SETS):
+            assert batch.snapshot(b, s) == scalar_snapshot(scalars[b][s]), (
+                f"{policy_name}: replica {b} set {s} diverged after {context}"
+            )
+
+
+@pytest.mark.parametrize("policy_name", lifted_policies())
+def test_batched_update_equals_scalar_updates(policy_name):
+    """Seeded fuzz: one random (set, op, way) per replica per round."""
+    batch, scalars = _build_pair(policy_name, seed=20220415)
+    driver = random.Random(99)
+    for round_index in range(ROUNDS):
+        sets, ops, ways = [], [], []
+        for _ in range(REPLICAS):
+            sets.append(driver.randrange(SETS))
+            ops.append(driver.choice(_OPS))
+            ways.append(driver.randrange(WAYS))
+        rows_arr = np.arange(REPLICAS, dtype=np.int64)
+        sets_arr = np.array(sets, dtype=np.int64)
+        ways_arr = np.array(ways, dtype=np.int64)
+        # Group the round by op so each batched call still selects at
+        # most one set per replica (the documented call convention).
+        for op in _OPS:
+            mask = np.array([o == op for o in ops])
+            if not mask.any():
+                continue
+            rows_op = rows_arr[mask]
+            sets_op = sets_arr[mask]
+            ways_op = ways_arr[mask]
+            if op == "victim":
+                got = batch.victim(rows_op, sets_op)
+                expected = [
+                    scalars[b][s].victim()
+                    for b, s in zip(rows_op.tolist(), sets_op.tolist())
+                ]
+                assert got.tolist() == expected, (
+                    f"{policy_name}: victim mismatch in round {round_index}"
+                )
+            else:
+                getattr(batch, f"on_{op}")(rows_op, sets_op, ways_op)
+                for b, s, w in zip(
+                    rows_op.tolist(), sets_op.tolist(), ways_op.tolist()
+                ):
+                    getattr(scalars[b][s], f"on_{op}")(w)
+        if round_index % 50 == 0:
+            _assert_snapshots_equal(
+                policy_name, batch, scalars, f"round {round_index}"
+            )
+    _assert_snapshots_equal(policy_name, batch, scalars, "the final round")
+
+
+@pytest.mark.parametrize("policy_name", lifted_policies())
+def test_scatter_update_hits_only_selected_sets(policy_name):
+    """A batched call must not disturb unselected (replica, set) pairs."""
+    batch, scalars = _build_pair(policy_name, seed=7)
+    before = {
+        (b, s): batch.snapshot(b, s)
+        for b in range(REPLICAS)
+        for s in range(SETS)
+    }
+    rows = np.array([1, 3], dtype=np.int64)
+    sets = np.array([2, 0], dtype=np.int64)
+    ways = np.array([1, 3], dtype=np.int64)
+    batch.on_fill(rows, sets, ways)
+    batch.victim(rows, sets)
+    touched = {(1, 2), (3, 0)}
+    for b in range(REPLICAS):
+        for s in range(SETS):
+            if (b, s) not in touched:
+                assert batch.snapshot(b, s) == before[(b, s)], (
+                    f"{policy_name}: untouched ({b}, {s}) changed"
+                )
+
+
+def test_lifted_set_is_the_documented_one():
+    """The lifted subset is stable and every name exists in the registry."""
+    assert lifted_policies() == [
+        "bit-plru",
+        "fifo",
+        "lru",
+        "random",
+        "srrip",
+        "tree-plru",
+    ]
+    assert set(lifted_policies()) <= set(available_policies())
+
+
+def test_tree_plru_lift_requires_power_of_two_ways():
+    assert is_lifted("tree-plru", 8)
+    assert is_lifted("tree-plru", 16)
+    assert not is_lifted("tree-plru", 6)
+    assert not is_lifted("tree-plru", 32)
+    assert not is_lifted("nru", 8)
+    assert is_lifted("lru", 6)
+
+
+def test_unlifted_policy_has_no_batch_state():
+    with pytest.raises(ValueError):
+        make_batch_state("nru", 2, 2, 4)
+    with pytest.raises(ValueError):
+        make_batch_state("tree-plru", 2, 2, 6)

@@ -1,0 +1,166 @@
+"""Batch-group coalescing in the runner: grouping rules, split-back parity.
+
+A batch group is a scheduling affinity, never a correctness input: these
+tests hold the grouped pool to bit-identical manifests against ungrouped
+execution, and pin the grouping rules (hint + profile + route must all
+agree; hintless tasks stay singletons; groups cap at ``max_group``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.profiles import FULL, QUICK
+from repro.runner import (
+    STATUS_FAILED,
+    STATUS_OK,
+    TaskSpec,
+    batch_group_key,
+    coalesce_tasks,
+    execute_group_payload,
+    group_timeout,
+    run_tasks,
+)
+from repro.runner.batching import group_weight
+
+
+def _task(task_id, seed=0, hint=None, profile=QUICK, **kwargs):
+    return TaskSpec(
+        task_id=task_id,
+        experiment_id="fake",
+        seed=seed,
+        profile=profile,
+        entry_point="tests.fake_experiments:seed_echo",
+        batch_hint=hint,
+        **kwargs,
+    )
+
+
+class TestGroupKey:
+    def test_hintless_task_never_groups(self):
+        assert batch_group_key(_task("a")) is None
+
+    def test_same_hint_profile_route_share_a_key(self):
+        assert batch_group_key(_task("a", 1, "g")) == batch_group_key(
+            _task("b", 2, "g")
+        )
+
+    def test_different_hint_splits(self):
+        assert batch_group_key(_task("a", hint="g1")) != batch_group_key(
+            _task("b", hint="g2")
+        )
+
+    def test_different_profile_splits(self):
+        assert batch_group_key(_task("a", hint="g")) != batch_group_key(
+            _task("b", hint="g", profile=FULL)
+        )
+
+    def test_different_route_splits(self):
+        by_entry = _task("a", hint="g")
+        by_registry = TaskSpec(
+            task_id="b", experiment_id="fig7", seed=0, profile=QUICK,
+            batch_hint="g",
+        )
+        by_scenario = TaskSpec(
+            task_id="c", experiment_id="scenario:x", seed=0, profile=QUICK,
+            scenario="{}", batch_hint="g",
+        )
+        keys = {
+            batch_group_key(by_entry),
+            batch_group_key(by_registry),
+            batch_group_key(by_scenario),
+        }
+        assert len(keys) == 3
+
+
+class TestCoalesce:
+    def test_hintless_tasks_stay_singletons(self):
+        groups = coalesce_tasks([_task("a"), _task("b")])
+        assert [[t.task_id for t in g] for g in groups] == [["a"], ["b"]]
+
+    def test_compatible_tasks_group_in_first_seen_order(self):
+        tasks = [
+            _task("a", 1, "g"),
+            _task("x", 2, None),
+            _task("b", 3, "g"),
+            _task("c", 4, "other"),
+            _task("d", 5, "g"),
+        ]
+        groups = coalesce_tasks(tasks)
+        assert [[t.task_id for t in g] for g in groups] == [
+            ["a", "b", "d"], ["x"], ["c"],
+        ]
+
+    def test_concatenation_is_a_permutation(self):
+        tasks = [_task(f"t{i}", i, "g" if i % 2 else None) for i in range(9)]
+        groups = coalesce_tasks(tasks)
+        flat = [t.task_id for g in groups for t in g]
+        assert sorted(flat) == sorted(t.task_id for t in tasks)
+
+    def test_overflow_starts_a_fresh_group(self):
+        tasks = [_task(f"t{i}", i, "g") for i in range(5)]
+        groups = coalesce_tasks(tasks, max_group=2)
+        assert [len(g) for g in groups] == [2, 2, 1]
+
+    def test_group_weight_is_member_sum(self):
+        tasks = [_task("a", weight=2.0), _task("b", weight=0.5)]
+        assert group_weight(tasks) == 2.5
+
+    def test_group_timeout_sums_and_none_wins(self):
+        assert group_timeout(
+            [_task("a", timeout=3.0), _task("b", timeout=4.5)]
+        ) == pytest.approx(7.5)
+        assert group_timeout([_task("a", timeout=3.0), _task("b")]) is None
+
+
+class TestGroupExecution:
+    def test_group_payload_isolates_member_failures(self):
+        group = [
+            _task("good", seed=7),
+            dataclasses.replace(
+                _task("bad", seed=8),
+                entry_point="tests.fake_experiments:raises_error",
+            ),
+            _task("also-good", seed=9),
+        ]
+        payload = execute_group_payload(group)
+        assert [kind for kind, _ in payload] == ["ok", "error", "ok"]
+        assert "deliberate failure" in payload[1][1]
+
+    def test_grouped_manifest_bit_identical_to_ungrouped(self):
+        plain = [_task(f"t{i}", seed=10 + i) for i in range(4)]
+        hinted = [dataclasses.replace(t, batch_hint="geom") for t in plain]
+        baseline = run_tasks(plain, jobs=2)
+        grouped = run_tasks(hinted, jobs=2)
+        assert [e.task_id for e in grouped.entries] == [
+            e.task_id for e in baseline.entries
+        ]
+        for a, b in zip(grouped.entries, baseline.entries):
+            assert a.status == STATUS_OK
+            assert a.result.to_json() == b.result.to_json()
+
+    def test_group_members_run_on_one_worker(self):
+        tasks = [
+            _task(f"t{i}", seed=i, hint="geom", weight=1.0) for i in range(3)
+        ]
+        manifest = run_tasks(tasks, jobs=3)
+        workers = {entry.worker_id for entry in manifest.entries}
+        assert len(workers) == 1
+
+    def test_failed_member_does_not_sink_the_group(self):
+        # Grouping requires one shared execution route, so the failure
+        # keys off the seed: all three coalesce, only the middle fails.
+        entry = "tests.fake_experiments:fails_when_seed_negative"
+        tasks = [
+            dataclasses.replace(_task("ok1", seed=1, hint="geom"),
+                                entry_point=entry),
+            dataclasses.replace(_task("bad", seed=-2, hint="geom"),
+                                entry_point=entry),
+            dataclasses.replace(_task("ok2", seed=3, hint="geom"),
+                                entry_point=entry),
+        ]
+        manifest = run_tasks(tasks, jobs=2)
+        statuses = {e.task_id: e.status for e in manifest.entries}
+        assert statuses["ok1"] == STATUS_OK
+        assert statuses["ok2"] == STATUS_OK
+        assert statuses["bad"] == STATUS_FAILED

@@ -1,0 +1,221 @@
+"""Scheduler batch-group coalescing: claiming, counters, metrics, HTTP.
+
+The batch hint is pure scheduling affinity: queued computations sharing
+a hint (plus profile and execution route) run as one worker group, but
+every result still lands under its own content address.  The gated fake
+(tests/fake_experiments.py) pins the timing — a blocker holds the only
+worker while hinted submissions pile up in the heap, so the claim set is
+deterministic.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import ServiceApp, make_server
+from repro.service.metrics import render_prometheus
+from repro.service.scheduler import JobScheduler, JobSpec, JobState
+from repro.service.store import ResultStore
+from tests.fake_experiments import COUNT_FILE_ENV, GATE_FILE_ENV
+
+GATED = "tests.fake_experiments:gated_count"
+WELL_BEHAVED = "tests.fake_experiments:well_behaved"
+SEED_GATED = "tests.fake_experiments:fails_when_seed_negative"
+
+WAIT = 30.0
+
+
+class Gate:
+    def __init__(self, tmp_path):
+        self.count_file = tmp_path / "invocations"
+        self.gate_file = tmp_path / "gate"
+
+    def open(self):
+        self.gate_file.write_text("go")
+
+    def invocations(self):
+        if not self.count_file.exists():
+            return []
+        return self.count_file.read_text().split()
+
+
+@pytest.fixture
+def gate(tmp_path, monkeypatch):
+    handle = Gate(tmp_path)
+    monkeypatch.setenv(COUNT_FILE_ENV, str(handle.count_file))
+    monkeypatch.setenv(GATE_FILE_ENV, str(handle.gate_file))
+    return handle
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+async def eventually(predicate, timeout=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(0.01)
+
+
+async def finish(scheduler, jobs):
+    return [
+        await asyncio.wait_for(scheduler.wait(job.job_id), WAIT)
+        for job in jobs
+    ]
+
+
+async def _submit_behind_blocker(scheduler, gate, specs):
+    """Block the single worker, queue ``specs`` behind it, release."""
+    blocker = await scheduler.submit(
+        JobSpec.create("fake", entry_point=GATED, seed=0)
+    )
+    await eventually(lambda: len(gate.invocations()) == 1)
+    jobs = [await scheduler.submit(spec) for spec in specs]
+    gate.open()
+    await finish(scheduler, [blocker])
+    return jobs
+
+
+class TestCoalescing:
+    def test_queued_same_hint_jobs_run_as_one_group(self, gate, store):
+        async def scenario():
+            async with JobScheduler(store, workers=1) as scheduler:
+                specs = [
+                    JobSpec.create(
+                        "fake", entry_point=WELL_BEHAVED, seed=seed,
+                        batch_hint="geom",
+                    )
+                    for seed in (1, 2, 3)
+                ]
+                jobs = await _submit_behind_blocker(scheduler, gate, specs)
+                done = await finish(scheduler, jobs)
+                assert [job.state for job in done] == [JobState.DONE] * 3
+                assert scheduler.counters["batch_groups"] == 1
+                assert scheduler.counters["batch_replicas"] == 3
+                assert scheduler.counters["batch_coalesced"] == 2
+                # Every member still lands under its own content address.
+                assert len({job.key for job in done}) == 3
+                for job in done:
+                    assert store.get(job.key) is not None
+
+        asyncio.run(scenario())
+
+    def test_hintless_jobs_never_group(self, gate, store):
+        async def scenario():
+            async with JobScheduler(store, workers=1) as scheduler:
+                specs = [
+                    JobSpec.create("fake", entry_point=WELL_BEHAVED, seed=seed)
+                    for seed in (1, 2)
+                ]
+                jobs = await _submit_behind_blocker(scheduler, gate, specs)
+                await finish(scheduler, jobs)
+                assert scheduler.counters["batch_groups"] == 0
+                assert scheduler.counters["batch_coalesced"] == 0
+
+        asyncio.run(scenario())
+
+    def test_different_hints_stay_apart(self, gate, store):
+        async def scenario():
+            async with JobScheduler(store, workers=1) as scheduler:
+                specs = [
+                    JobSpec.create(
+                        "fake", entry_point=WELL_BEHAVED, seed=seed,
+                        batch_hint=hint,
+                    )
+                    for seed, hint in ((1, "a"), (2, "b"))
+                ]
+                jobs = await _submit_behind_blocker(scheduler, gate, specs)
+                await finish(scheduler, jobs)
+                assert scheduler.counters["batch_groups"] == 2
+                assert scheduler.counters["batch_replicas"] == 2
+                assert scheduler.counters["batch_coalesced"] == 0
+
+        asyncio.run(scenario())
+
+    def test_failed_member_does_not_sink_the_group(self, gate, store):
+        async def scenario():
+            async with JobScheduler(store, workers=1) as scheduler:
+                specs = [
+                    JobSpec.create(
+                        "fake", entry_point=SEED_GATED, seed=seed,
+                        batch_hint="geom",
+                    )
+                    for seed in (1, -2, 3)
+                ]
+                jobs = await _submit_behind_blocker(scheduler, gate, specs)
+                done = await finish(scheduler, jobs)
+                states = {job.spec.seed: job.state for job in done}
+                assert states[1] == JobState.DONE
+                assert states[3] == JobState.DONE
+                assert states[-2] == JobState.FAILED
+                assert "deliberate failure" in done[1].error
+                assert scheduler.counters["batch_groups"] == 1
+                assert scheduler.counters["batch_coalesced"] == 2
+
+        asyncio.run(scenario())
+
+
+class TestMetricsRendering:
+    SCHEDULER = {
+        "batch_groups": 4,
+        "batch_replicas": 12,
+        "batch_coalesced": 8,
+        "queued": 0,
+        "computations": 12,
+    }
+
+    def test_batch_series_are_rendered(self):
+        text = render_prometheus(dict(self.SCHEDULER), {})
+        assert "repro_service_batch_groups_total 4" in text
+        assert "repro_service_batch_replicas_total 12" in text
+        assert "repro_service_batch_coalesced_total 8" in text
+        assert "repro_service_batch_replicas_per_group 3" in text
+        assert "repro_service_batch_coalesce_hit_rate 0.666667" in text
+        # Not double-rendered by the generic counter loop.
+        assert "repro_service_jobs_batch_groups_total" not in text
+
+    def test_ratios_degrade_to_zero_without_traffic(self):
+        text = render_prometheus({"queued": 0}, {})
+        assert "repro_service_batch_replicas_per_group 0" in text
+        assert "repro_service_batch_coalesce_hit_rate 0" in text
+
+
+class TestHTTP:
+    @pytest.fixture
+    def service(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        app = ServiceApp(store, workers=2, queue_depth=8)
+        with app:
+            server = make_server(app)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            host, port = server.server_address[:2]
+            try:
+                yield ServiceClient(f"http://{host}:{port}")
+            finally:
+                server.shutdown()
+                server.server_close()
+
+    def test_batch_hint_rides_submission_and_metrics(self, service):
+        job = service.submit(
+            "fake", entry_point=WELL_BEHAVED, seed=11,
+            batch_hint="geom:abc", wait=True,
+        )
+        assert job["state"] == "done"
+        text = service.metrics_text()
+        assert "repro_service_batch_groups_total 1" in text
+        assert "repro_service_batch_replicas_per_group 1" in text
+
+    def test_non_string_batch_hint_is_rejected(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.submit(
+                "fake", entry_point=WELL_BEHAVED, seed=11, batch_hint=7
+            )
+        assert excinfo.value.status == 400
+        assert "batch_hint" in str(excinfo.value)
