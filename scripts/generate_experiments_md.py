@@ -138,6 +138,18 @@ PAPER_CONTEXT = {
         "push dirty lines to L2, at roughly a quarter of the L1 "
         "deployment's rate (LLC-bound measurements, longer periods)."
     ),
+    "cross_core_wb": (
+        "Coherence extension beyond the paper: the WB channel without "
+        "the shared-SMT-core requirement. On the multi-core MESI model "
+        "(repro.coherence) the sender's stores leave lines Modified in "
+        "its private L1D; the receiver's timed loads on another core "
+        "force M-to-S downgrade write-backs whose drain latency "
+        "(l2_hit + writeback penalty, ~22 cycles/line vs ~4 clean) "
+        "carries the bit. The Section 7 stealth question is re-asked "
+        "with detectors on every core: the coherence write-back train "
+        "is periodic and burst-detectable on the sender core, so the "
+        "cross-core deployment buys reach, not stealth."
+    ),
     "fault_tolerance": (
         "Robustness extension beyond the paper: the same faulted channel "
         "(descheduling slips, co-runner bursts, threshold drift, dropped "
@@ -217,7 +229,8 @@ identical concurrent submissions coalesce into one computation — see
 the README's "Serving experiments" section.
 
 The WB-channel family — ``fig6``, ``fig7``, ``fig8``, ``extension_l2``,
-``fault_tolerance``, ``online_detection``, ``defenses`` — is
+``cross_core_wb``, ``fault_tolerance``, ``online_detection``,
+``defenses`` — is
 **spec-backed**: each experiment's full configuration lives in a
 declarative ``ScenarioSpec`` (``repro.scenario.library``, committed as
 JSON in ``scenarios/``), the module body only shapes results from the

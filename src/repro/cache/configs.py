@@ -126,6 +126,11 @@ class HierarchyParams:
 
     levels: Tuple[LevelParams, ...]
     line_size: int = 64
+    #: Number of cores.  1 (the default) is the historic single-core
+    #: hierarchy; >= 2 builds a :class:`~repro.coherence.hierarchy.
+    #: CoherentHierarchy` with one private copy of ``levels[0]`` per core
+    #: over the shared deeper levels, kept coherent by a MESI directory.
+    cores: int = 1
 
     def __post_init__(self) -> None:
         if not self.levels:
@@ -135,20 +140,34 @@ class HierarchyParams:
                 f"HierarchyParams supports at most {len(_LEVEL_RNG_KEYS)} "
                 f"levels, got {len(self.levels)}"
             )
+        if self.cores < 1:
+            raise ConfigurationError(
+                f"cores must be >= 1, got {self.cores}"
+            )
+        if self.cores > 1 and len(self.levels) < 2:
+            raise ConfigurationError(
+                "a multi-core hierarchy needs a shared level below the "
+                "per-core L1s"
+            )
 
     @classmethod
     def xeon(
         cls,
         config: Optional[XeonE5_2650Config] = None,
+        cores: int = 1,
         **overrides: object,
     ) -> "HierarchyParams":
         """Params for the paper's Xeon E5-2650 (``overrides`` as in
-        :func:`make_xeon_hierarchy`, e.g. ``l1_policy="random"``)."""
+        :func:`make_xeon_hierarchy`, e.g. ``l1_policy="random"``).
+
+        ``cores > 1`` replicates the L1D per core over the shared L2/LLC
+        (see :mod:`repro.coherence`)."""
         if config is None:
             config = XeonE5_2650Config()
         if overrides:
             config = dataclass_replace(config, **overrides)
         return cls(
+            cores=cores,
             levels=(
                 LevelParams(
                     name="L1D",
@@ -210,8 +229,24 @@ class HierarchyParams:
 
         RNG streams are derived from ``rng`` in level order with the
         fixed labels ``l1``/``l2``/``llc``, then ``hierarchy`` — the
-        exact draw sequence of the historic factory functions.
+        exact draw sequence of the historic factory functions, so
+        single-core hierarchies stay bit-identical.  With ``cores > 1``
+        the per-core L1s use ``l1/core0`` … instead (a new stream
+        family), and the result is a
+        :class:`~repro.coherence.hierarchy.CoherentHierarchy`.
         """
+        if self.cores > 1:
+            # Imported lazily: repro.coherence builds on repro.cache.
+            from repro.coherence.hierarchy import make_coherent_hierarchy
+
+            return make_coherent_hierarchy(  # type: ignore[return-value]
+                cores=self.cores,
+                levels=self.levels,
+                line_size=self.line_size,
+                rng=rng,
+                engine=engine,
+                latency=latency,
+            )
         cache_cls = _cache_class(engine)
         master = ensure_rng(rng)
         caches: List[Cache] = []
@@ -235,10 +270,16 @@ class HierarchyParams:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        # ``cores`` is serialised only when it departs from the default:
+        # every cores=1 spec keeps its historic canonical form, so the
+        # scenario keys pinned in scenarios/KEYS.json are unchanged.
+        data: Dict[str, object] = {
             "line_size": self.line_size,
             "levels": [level.to_dict() for level in self.levels],
         }
+        if self.cores != 1:
+            data["cores"] = self.cores
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "HierarchyParams":
@@ -249,6 +290,7 @@ class HierarchyParams:
         return cls(
             levels=tuple(LevelParams.from_dict(dict(entry)) for entry in levels),
             line_size=int(data.get("line_size", 64)),  # type: ignore[arg-type]
+            cores=int(data.get("cores", 1)),  # type: ignore[arg-type]
         )
 
 

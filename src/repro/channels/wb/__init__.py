@@ -14,6 +14,9 @@
 * :mod:`~repro.channels.wb.robust` — the self-healing stack: framing +
   online threshold recalibration + ACK/retransmission, built for the
   :mod:`repro.faults` regime.
+* :mod:`~repro.channels.wb.cross_core` — the channel across cores of a
+  :class:`~repro.coherence.CoherentHierarchy`, signalling through MESI
+  downgrade write-backs instead of replacement evictions.
 """
 
 from repro.channels.wb.sender import WBSenderProgram
@@ -29,6 +32,13 @@ from repro.channels.wb.framing import (
     encode_frame,
     encode_payload,
     scan_frames,
+)
+from repro.channels.wb.cross_core import (
+    CrossCoreTransmission,
+    CrossCoreWBChannelConfig,
+    calibrate_cross_core,
+    run_cross_core_wb_channel,
+    transmit_cross_core_schedule,
 )
 from repro.channels.wb.l2 import (
     L2ChannelRunResult,
@@ -53,6 +63,8 @@ from repro.channels.wb.robust import (
 
 __all__ = [
     "ChannelRunResult",
+    "CrossCoreTransmission",
+    "CrossCoreWBChannelConfig",
     "DEFAULT_SYNC",
     "FrameConfig",
     "FrameScanResult",
@@ -64,6 +76,7 @@ __all__ = [
     "WBChannelConfig",
     "WBReceiverProgram",
     "WBSenderProgram",
+    "calibrate_cross_core",
     "calibrate_decoder",
     "encode_frame",
     "encode_payload",
@@ -73,7 +86,9 @@ __all__ = [
     "resolve_channel_decoder",
     "run_l2_wb_channel",
     "run_wb_channel",
+    "run_cross_core_wb_channel",
     "run_robust_wb_channel",
     "scan_frames",
+    "transmit_cross_core_schedule",
     "transmit_symbol_schedule",
 ]

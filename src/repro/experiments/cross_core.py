@@ -1,0 +1,90 @@
+"""Cross-core WB channel — the dirty-state leak without shared SMT.
+
+The paper's channel needs sender and receiver co-resident on one SMT
+core, sharing an L1D.  This experiment drops that requirement: with the
+:mod:`repro.coherence` multi-core model, a line the sender (core 0)
+leaves Modified must be drained by a coherence write-back before the
+receiver's (core 1) load completes — the M→S downgrade adds the same
+write-back penalty the single-core channel measures, so the dirty bit
+stays timing-visible across private caches.
+
+The run transmits messages through
+:mod:`repro.channels.wb.cross_core` while the Section 7 online
+detectors watch **every core**, re-asking the stealth question in the
+cross-core setting: does the channel's miss footprint, or its
+coherence write-back signature, give it away first?
+
+Compiled from :func:`repro.scenario.library.cross_core_wb_spec`; this
+module keeps only the result shaping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import cross_core_wb_spec
+
+EXPERIMENT_ID = "cross_core_wb"
+
+#: The default topology: sender core and receiver core over a shared L2.
+CORES = 2
+#: Symbol period — cheaper per symbol than the L2 channel (no eviction
+#: sweeps), pricier than the L1 channel (per-line downgrade round-trips).
+PERIOD = 9000
+#: Dirty lines per 1-bit; four downgrade write-backs ≈ 70-cycle gap.
+D_ON = 4
+
+
+def run(*, profile: ProfileLike = None, seed: int = 0) -> ExperimentResult:
+    """Run the cross-core transmission with per-core detectors attached."""
+    profile = resolve_profile(profile)
+    measurement = compile_scenario(cross_core_wb_spec(), profile, seed).measure()
+
+    rows: List[List[object]] = []
+    for name in measurement.detector_names:
+        rows.append(
+            [
+                name,
+                f"{measurement.thresholds[name]:.2f}",
+                f"{measurement.alarm_rates[name]:.1%}",
+            ]
+        )
+
+    intact = measurement.all_payloads_intact
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Cross-core WB channel over MESI downgrade write-backs",
+        paper_reference="coherence extension (beyond the paper's SMT setting)",
+        columns=["detector", "threshold", "channel flagged"],
+        rows=rows,
+        params={
+            "cores": measurement.cores,
+            "period": PERIOD,
+            "d_on": D_ON,
+            "messages": measurement.messages,
+            "message_bits": measurement.message_bits,
+            "rate_kbps": measurement.rate_kbps,
+            "mean_ber": measurement.mean_ber,
+            "all_payloads_intact": intact,
+            "coherence": measurement.coherence,
+            "alarm_rates": measurement.alarm_rates,
+            "stealth_holds": measurement.stealth_holds,
+            "seed": seed,
+        },
+        series=measurement.series,
+        notes=(
+            (
+                "Payload decoded bit-exactly across cores: every 1-bit "
+                "surfaced as M-to-S downgrade write-backs in the "
+                "receiver's load latency. "
+                if intact
+                else f"Mean BER {measurement.mean_ber:.1%} across cores. "
+            )
+            + "Per-core detectors were calibrated on a two-core benign "
+            "co-run; alarm rates above show which core's view flags the "
+            "channel."
+        ),
+    )

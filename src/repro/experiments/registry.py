@@ -10,6 +10,7 @@ from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.experiments import (
     ablation_errors,
     ablation_replacement_set,
+    cross_core,
     defenses_exp,
     extension_3bit,
     extension_l2,
@@ -51,6 +52,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     # Extensions and ablations beyond the paper's own evaluation.
     "extension_3bit": extension_3bit.run,
     "extension_l2": extension_l2.run,
+    "cross_core_wb": cross_core.run,
     "fault_tolerance": fault_tolerance.run,
     "ablation_errors": ablation_errors.run,
     "ablation_replacement_set": ablation_replacement_set.run,

@@ -19,6 +19,7 @@ from repro.scenario.spec import (
     CodecSpec,
     CoRunnerSpec,
     Counts,
+    CrossCoreParams,
     DefenseEvalParams,
     DetectorSpec,
     FaultSweepParams,
@@ -62,6 +63,7 @@ __all__ = [
     "CoRunnerSpec",
     "CompiledScenario",
     "Counts",
+    "CrossCoreParams",
     "DefenseEvalParams",
     "DetectorSpec",
     "FaultSweepParams",

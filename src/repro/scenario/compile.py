@@ -404,6 +404,12 @@ def _measure_online_detection(spec: ScenarioSpec, profile: RunProfile, seed: int
     return measure_online_detection(spec, profile, seed)
 
 
+def _measure_cross_core_wb(spec: ScenarioSpec, profile: RunProfile, seed: int):
+    from repro.scenario.cross_core import measure_cross_core
+
+    return measure_cross_core(spec, profile, seed)
+
+
 def _measure_defense_eval(
     spec: ScenarioSpec, profile: RunProfile, seed: int
 ) -> DefenseEvalMeasurement:
@@ -432,6 +438,7 @@ _RUNNERS: Dict[str, Callable] = {
     "wb_fault_sweep": _measure_wb_fault_sweep,
     "online_detection": _measure_online_detection,
     "defense_eval": _measure_defense_eval,
+    "cross_core_wb": _measure_cross_core_wb,
 }
 
 

@@ -18,6 +18,7 @@ from repro.scenario.spec import (
     ChannelSpec,
     CodecSpec,
     Counts,
+    CrossCoreParams,
     DefenseEvalParams,
     FaultSweepParams,
     LevelCompareParams,
@@ -161,6 +162,32 @@ def online_detection_spec() -> ScenarioSpec:
     )
 
 
+def cross_core_wb_spec() -> ScenarioSpec:
+    """Coherence extension: the WB channel across cores via MESI."""
+    from repro.cache.configs import HierarchyParams
+
+    return ScenarioSpec(
+        name="cross_core_wb",
+        kind="cross_core_wb",
+        title="Cross-core WB channel over MESI downgrade write-backs",
+        paper_reference="coherence extension (beyond the paper's SMT setting)",
+        description=(
+            "Sender on core 0 dirties shared lines; receiver on core 1 "
+            "times loads whose latency reveals the M-to-S downgrade "
+            "write-back.  Per-core miss-rate and write-back-burst "
+            "detectors re-ask the Section 7 stealth question cross-core."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=4)),
+        hierarchy=HierarchyParams.xeon(cores=2),
+        params=CrossCoreParams(
+            period=9000,
+            messages=Counts(1, 3),
+            message_bits=Counts(24, 64),
+            calibration_repetitions=Counts(12, 30),
+        ),
+    )
+
+
 def defenses_spec() -> ScenarioSpec:
     """Section 8: defense evaluation over a seed range."""
     return ScenarioSpec(
@@ -185,6 +212,7 @@ LIBRARY: Dict[str, Callable[[], ScenarioSpec]] = {
     "fault_tolerance": fault_tolerance_spec,
     "online_detection": online_detection_spec,
     "defenses": defenses_spec,
+    "cross_core_wb": cross_core_wb_spec,
 }
 
 

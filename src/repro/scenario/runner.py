@@ -193,6 +193,34 @@ def _shape_defense_eval(spec, measurement: DefenseEvalMeasurement, seed):
     }
 
 
+def _shape_cross_core_wb(spec, measurement, seed):
+    rows = [
+        [
+            name,
+            f"{measurement.thresholds[name]:.2f}",
+            f"{measurement.alarm_rates[name]:.1%}",
+        ]
+        for name in measurement.detector_names
+    ]
+    return {
+        "columns": ["detector", "threshold", "channel flagged"],
+        "rows": rows,
+        "series": measurement.series,
+        "params": {
+            "cores": measurement.cores,
+            "messages": measurement.messages,
+            "message_bits": measurement.message_bits,
+            "rate_kbps": measurement.rate_kbps,
+            "mean_ber": measurement.mean_ber,
+            "all_payloads_intact": measurement.all_payloads_intact,
+            "coherence": measurement.coherence,
+            "alarm_rates": measurement.alarm_rates,
+            "stealth_holds": measurement.stealth_holds,
+            "seed": seed,
+        },
+    }
+
+
 _SHAPERS = {
     "wb_ber_sweep": _shape_wb_ber_sweep,
     "wb_trace": _shape_wb_trace,
@@ -200,6 +228,7 @@ _SHAPERS = {
     "wb_fault_sweep": _shape_wb_fault_sweep,
     "online_detection": _shape_online_detection,
     "defense_eval": _shape_defense_eval,
+    "cross_core_wb": _shape_cross_core_wb,
 }
 
 

@@ -47,6 +47,7 @@ SCENARIO_KINDS = (
     "wb_fault_sweep",
     "online_detection",
     "defense_eval",
+    "cross_core_wb",
 )
 
 
@@ -579,6 +580,91 @@ class DefenseEvalParams:
         )
 
 
+@dataclass(frozen=True)
+class CrossCoreParams:
+    """Cross-core WB channel over MESI downgrade write-backs.
+
+    Requires a multi-core hierarchy (``cores >= 2`` in the spec's
+    :class:`~repro.cache.configs.HierarchyParams`); sender runs on
+    core 0, receiver on core 1.  The channel structure (codec,
+    target set, start time, receiver phase/slack) comes from the
+    spec's :class:`ChannelSpec`; the per-core stealth re-run of the
+    Section 7 question is configured here.
+    """
+
+    period: int = 9000
+    #: Independent messages, seeded ``seed * seed_stride + index``.
+    messages: Counts = field(default_factory=lambda: Counts(1, 3))
+    message_bits: Counts = field(default_factory=lambda: Counts(24, 64))
+    calibration_repetitions: Counts = field(default_factory=lambda: Counts(12, 30))
+    seed_stride: int = 101
+    #: Detectors attached per core during transmissions (stealth check).
+    #: Windows are counted in clock-anchor accesses; the cross-core
+    #: receiver only touches ``d_on`` lines per period (no sweeps), so
+    #: the burst geometry is much smaller than the single-core default
+    #: or segments would never complete.
+    detectors: Tuple[DetectorSpec, ...] = field(
+        default_factory=lambda: (
+            DetectorSpec(kind="miss_rate", name="monitor", window=100),
+            DetectorSpec(
+                kind="writeback_burst", name="burst", window=4, segment=6, max_lag=3
+            ),
+        )
+    )
+    threshold_sigmas: float = 3.0
+    calibration_seed_offset: int = 7919
+    #: Benign co-run length (periods) used to fit detector baselines.
+    benign_periods: Counts = field(default_factory=lambda: Counts(48, 160))
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if not self.detectors:
+            raise ConfigurationError(
+                "cross_core_wb needs at least one detector for the stealth check"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "period": self.period,
+            "messages": self.messages.to_dict(),
+            "message_bits": self.message_bits.to_dict(),
+            "calibration_repetitions": self.calibration_repetitions.to_dict(),
+            "seed_stride": self.seed_stride,
+            "detectors": [d.to_dict() for d in self.detectors],
+            "threshold_sigmas": self.threshold_sigmas,
+            "calibration_seed_offset": self.calibration_seed_offset,
+            "benign_periods": self.benign_periods.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "CrossCoreParams":
+        _check_fields(cls, data, "cross_core_wb params")
+        defaults = cls()
+        detectors = data.get("detectors")
+        return cls(
+            period=int(data.get("period", 9000)),
+            messages=Counts.from_dict(data.get("messages", {"quick": 1, "full": 3})),
+            message_bits=Counts.from_dict(
+                data.get("message_bits", {"quick": 24, "full": 64})
+            ),
+            calibration_repetitions=Counts.from_dict(
+                data.get("calibration_repetitions", {"quick": 12, "full": 30})
+            ),
+            seed_stride=int(data.get("seed_stride", 101)),
+            detectors=(
+                defaults.detectors
+                if detectors is None
+                else tuple(DetectorSpec.from_dict(d) for d in detectors)
+            ),
+            threshold_sigmas=float(data.get("threshold_sigmas", 3.0)),
+            calibration_seed_offset=int(data.get("calibration_seed_offset", 7919)),
+            benign_periods=Counts.from_dict(
+                data.get("benign_periods", {"quick": 48, "full": 160})
+            ),
+        )
+
+
 _PARAMS_TYPES: Dict[str, Type] = {
     "wb_ber_sweep": BerSweepParams,
     "wb_trace": TraceParams,
@@ -586,6 +672,7 @@ _PARAMS_TYPES: Dict[str, Type] = {
     "wb_fault_sweep": FaultSweepParams,
     "online_detection": OnlineDetectionParams,
     "defense_eval": DefenseEvalParams,
+    "cross_core_wb": CrossCoreParams,
 }
 
 

@@ -31,6 +31,7 @@ from repro.scenario.spec import (
     ChannelSpec,
     CodecSpec,
     Counts,
+    CrossCoreParams,
     FaultSweepParams,
     ScenarioSpec,
     TraceParams,
@@ -109,11 +110,40 @@ def fault_storm_spec() -> ScenarioSpec:
     )
 
 
+def cross_core_quad_spec() -> ScenarioSpec:
+    """The cross-core channel on a 4-core topology (idle cores 2 and 3).
+
+    Same sender/receiver pair as the library spec; the extra cores add
+    directory-state breadth (4-way sharing vectors) and two more
+    per-core detector instances to the stealth check.
+    """
+    return ScenarioSpec(
+        name="cross-core-quad",
+        kind="cross_core_wb",
+        title="Cross-core WB channel on a 4-core MESI topology",
+        paper_reference="coherence extension (beyond the paper's SMT setting)",
+        description=(
+            "The cross_core_wb run with cores=4: sender on core 0, "
+            "receiver on core 1, cores 2-3 idle but coherent. Exercises "
+            "the N-core directory and the per-core detector fan-out."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=4)),
+        hierarchy=HierarchyParams.xeon(cores=4),
+        params=CrossCoreParams(
+            period=9000,
+            messages=Counts(1, 2),
+            message_bits=Counts(24, 48),
+            calibration_repetitions=Counts(12, 24),
+        ),
+    )
+
+
 #: Variant specs committed to the zoo beyond the experiment library.
 VARIANTS: Dict[str, Callable[[], ScenarioSpec]] = {
     "campaign-ts-sweep": campaign_ts_sweep_spec,
     "random-l1-trace": random_l1_trace_spec,
     "fault-storm": fault_storm_spec,
+    "cross-core-quad": cross_core_quad_spec,
 }
 
 

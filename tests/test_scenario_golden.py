@@ -26,6 +26,9 @@ SPEC_BACKED = (
     "fault_tolerance",
     "online_detection",
     "defenses",
+    # Added with the coherence layer (no pre-refactor ancestor; the
+    # golden pins cross-engine/cross-version determinism from day one).
+    "cross_core_wb",
 )
 
 

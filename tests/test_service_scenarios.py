@@ -7,6 +7,7 @@ import urllib.request
 
 import pytest
 
+from repro.cache.configs import HierarchyParams
 from repro.experiments.base import ExperimentResult
 from repro.scenario import ScenarioSpec, run_scenario
 from repro.scenario.spec import (
@@ -14,6 +15,7 @@ from repro.scenario.spec import (
     ChannelSpec,
     CodecSpec,
     Counts,
+    CrossCoreParams,
     SCENARIO_SCHEMA_VERSION,
 )
 from repro.service.client import ServiceClient, ServiceError
@@ -34,6 +36,23 @@ def tiny_sweep_spec() -> ScenarioSpec:
             messages=Counts(1, 2),
             message_bits=Counts(16, 32),
             calibration_repetitions=Counts(5, 10),
+        ),
+    )
+
+
+def tiny_cross_core_spec() -> ScenarioSpec:
+    """A 2-core coherence scenario cheap enough for an HTTP test."""
+    return ScenarioSpec(
+        name="http-cross-core",
+        kind="cross_core_wb",
+        title="Cross-core smoke transmission",
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=4)),
+        hierarchy=HierarchyParams.xeon(cores=2),
+        params=CrossCoreParams(
+            messages=Counts(1, 1),
+            message_bits=Counts(20, 24),
+            calibration_repetitions=Counts(8, 10),
+            benign_periods=Counts(24, 32),
         ),
     )
 
@@ -78,6 +97,35 @@ class TestScenarioJobs:
         assert second["source"] == "store"
         assert second["result_key"] == first["result_key"]
         assert service.healthz()["scheduler"]["computations"] == computations
+
+    def test_inline_cross_core_scenario_round_trips(self, service):
+        """POST /jobs with a multi-core topology decodes across cores."""
+        spec = tiny_cross_core_spec()
+        job = service.submit_scenario(spec, profile="quick", wait=True)
+        assert job["state"] == "done"
+        assert job["experiment_id"] == "scenario:http-cross-core"
+        assert job["scenario"] == {
+            "name": "http-cross-core",
+            "kind": "cross_core_wb",
+        }
+        served = service.result(str(job["result_key"]))
+        assert isinstance(served, ExperimentResult)
+        assert served.params["all_payloads_intact"] is True
+        assert served.params["cores"] == 2
+        assert served.params["coherence"]["coherence_writebacks"] > 0
+
+    def test_cores_1_key_schema_is_unchanged(self):
+        """An explicit cores=1 hierarchy serialises without a ``cores``
+        key, so every pre-coherence job key stays stable."""
+        spec_dict = tiny_sweep_spec().to_dict()
+        explicit = ScenarioSpec.from_dict(spec_dict)
+        assert explicit.hierarchy is None
+        single = HierarchyParams.xeon()
+        assert "cores" not in single.to_dict()
+        assert (
+            JobSpec.create(profile="quick", scenario=tiny_sweep_spec()).key
+            == JobSpec.create(profile="quick", scenario=explicit).key
+        )
 
     def test_scenario_and_experiment_keys_never_collide(self):
         spec = tiny_sweep_spec()
