@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Two-worker fleet smoke: kill a worker mid-job, results stay bit-exact.
+
+The CI-level end-to-end proof of the lease protocol with *real
+processes* (no in-process shortcuts):
+
+1. start ``python -m repro.service`` on an ephemeral port;
+2. start two ``python -m repro.service.worker`` processes;
+3. submit one slow stub job plus a block of quick ones;
+4. ``SIGKILL`` the worker holding the slow job's lease — no drain, no
+   goodbye, exactly the crash the supervisor exists for;
+5. assert every job still completes, the recovered job's blob is
+   byte-identical to a direct in-process computation, the lease was
+   expired and re-dispatched, and the survivor did the work;
+6. ``SIGTERM`` the service and assert it drains cleanly.
+
+Exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+STUB_ENTRY = "repro.service.bench:stub_experiment"
+#: The slow job computes for ~3 s — a wide window to land the SIGKILL in.
+SLOW_PROFILE = {"name": "smoke-slow", "reduced": True, "scale": 60.0}
+QUICK_PROFILE = {"name": "smoke-quick", "reduced": True, "scale": 1.0}
+WAIT = 60.0
+
+
+def child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def start_service(store: str) -> tuple:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0", "--store", store, "--quiet",
+            "--lease-ttl", "1.0", "--dead-letter-after", "5",
+            "--drain-timeout", "30",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=child_env(),
+    )
+    deadline = time.monotonic() + WAIT
+    while True:
+        line = process.stdout.readline()
+        if "listening on http://" in line:
+            url = line.split("listening on ", 1)[1].split()[0]
+            return process, url
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError(f"service never came up (last: {line!r})")
+
+
+def start_worker(url: str, worker_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.worker",
+            "--url", url, "--worker-id", worker_id, "--poll", "0.05",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=child_env(),
+    )
+
+
+def eventually(predicate, what: str, timeout: float = WAIT):
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"timed out waiting for {what}")
+        time.sleep(0.05)
+
+
+def main() -> int:
+    failures: List[str] = []
+    report: Dict[str, object] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as tmp:
+        service, url = start_service(os.path.join(tmp, "store"))
+        workers: Dict[str, subprocess.Popen] = {}
+        try:
+            client = ServiceClient(url, timeout=WAIT)
+            for worker_id in ("smoke-w0", "smoke-w1"):
+                workers[worker_id] = start_worker(url, worker_id)
+            eventually(
+                lambda: client.fleet()["workers_live"] >= 2,
+                "both workers to register",
+            )
+
+            slow = client.submit(
+                "bench", entry_point=STUB_ENTRY,
+                profile=SLOW_PROFILE, seed=100,
+            )
+            # The slow job's lease names its holder: that's the victim.
+            lease = eventually(
+                lambda: next(iter(client.fleet()["leases"]), None),
+                "a worker to claim the slow job",
+            )
+            victim_id = str(lease["worker_id"])
+            victim_key = str(lease["key"])
+            quick = [
+                client.submit(
+                    "bench", entry_point=STUB_ENTRY,
+                    profile=QUICK_PROFILE, seed=seed,
+                )
+                for seed in range(4)
+            ]
+            workers[victim_id].send_signal(signal.SIGKILL)
+            workers[victim_id].wait(timeout=WAIT)
+            report["victim"] = victim_id
+
+            records = [
+                client.wait(str(job["job_id"]), timeout=WAIT)
+                for job in [slow] + quick
+            ]
+            states = [record["state"] for record in records]
+            report["states"] = states
+            if states != ["done"] * len(records):
+                failures.append(f"job states after the kill: {states}")
+
+            # The recovered blob must be byte-identical to a direct
+            # in-process computation of the same configuration.
+            from repro.experiments.profiles import RunProfile
+            from repro.service.bench import stub_experiment
+
+            expected = stub_experiment(
+                profile=RunProfile.from_dict(SLOW_PROFILE), seed=100
+            ).to_json().encode("utf-8")
+            served = client.result_bytes(str(records[0]["result_key"]))
+            if served != expected:
+                failures.append(
+                    "recovered job's blob differs from a direct run"
+                )
+            if str(records[0]["result_key"]) != victim_key:
+                failures.append("lease key does not match the slow job")
+
+            history = records[0].get("lease_history", [])
+            report["slow_job_lease_history"] = history
+            outcomes = [entry["outcome"] for entry in history]
+            if "expired" not in outcomes or outcomes[-1] != "completed":
+                failures.append(
+                    f"slow job never traversed expiry -> re-dispatch -> "
+                    f"success: {outcomes}"
+                )
+            survivor = {"smoke-w0", "smoke-w1"} - {victim_id}
+            if history and history[-1]["worker_id"] not in survivor:
+                failures.append(
+                    f"final attempt ran on {history[-1]['worker_id']}, "
+                    f"not the survivor"
+                )
+
+            counters = client.fleet()["counters"]
+            report["fleet_counters"] = counters
+            if counters["leases_expired"] < 1:
+                failures.append("no lease ever expired")
+            if counters["redispatches"] < 1:
+                failures.append("no lease was ever re-dispatched")
+            if counters["dead_letter"] != 0:
+                failures.append("a job was wrongly dead-lettered")
+
+            # Graceful shutdown: SIGTERM must drain and exit zero.
+            service.send_signal(signal.SIGTERM)
+            output, _ = service.communicate(timeout=WAIT)
+            report["service_exit"] = service.returncode
+            if service.returncode != 0:
+                failures.append(
+                    f"service exited {service.returncode} on SIGTERM"
+                )
+            if "drained cleanly" not in output:
+                failures.append(f"service did not drain cleanly: {output!r}")
+        except (ServiceError, RuntimeError, subprocess.TimeoutExpired) as exc:
+            failures.append(str(exc))
+        finally:
+            for process in workers.values():
+                if process.poll() is None:
+                    process.terminate()
+                    try:
+                        process.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        process.kill()
+            if service.poll() is None:
+                service.kill()
+
+    report["failures"] = failures
+    report["ok"] = not failures
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

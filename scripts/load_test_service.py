@@ -17,6 +17,17 @@ assertions — the duplicate block must coalesce into exactly one
 computation, and the warm resubmission must be served from the store
 without any new computation.  Exit status is non-zero when an assertion
 fails.
+
+``--bench`` is the **multi-worker saturation benchmark**: rounds of
+sleep-bound stub jobs (``repro.service.bench:stub_experiment``, so the
+per-job cost is known and hardware-neutral) are pushed through fleets of
+1, 2 and 4 lease-protocol workers to measure throughput scaling, a
+duplicate block measures the dedup ratio under fleet dispatch, and a
+failover round kills a lease-holding worker to measure the expiry →
+re-dispatch → completion latency.  ``--out`` writes the report
+(committed as ``BENCH_service.json``); ``--baseline`` gates CI against
+regressions: throughput per round within 30%, fleet scaling preserved,
+dedup ratio exact, failover latency bounded.
 """
 
 from __future__ import annotations
@@ -74,6 +85,21 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: scaled-down fig6 burst with "
                              "assertions; non-zero exit on failure")
+    bench = parser.add_argument_group("saturation benchmark (--bench)")
+    bench.add_argument("--bench", action="store_true",
+                       help="multi-worker fleet saturation benchmark "
+                            "(throughput, dedup ratio, failover latency)")
+    bench.add_argument("--bench-jobs", type=int, default=24,
+                       help="stub jobs per saturation round "
+                            "(default: %(default)s)")
+    bench.add_argument("--bench-workers", default="1,2,4",
+                       help="comma-separated fleet sizes to sweep "
+                            "(default: %(default)s)")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the --bench report JSON here")
+    bench.add_argument("--baseline", default=None, metavar="FILE",
+                       help="committed BENCH_service.json to gate "
+                            "regressions against (non-zero exit)")
     return parser.parse_args(argv)
 
 
@@ -133,8 +159,302 @@ def run_burst(
     }
 
 
+STUB_ENTRY = "repro.service.bench:stub_experiment"
+#: Profile for bench stub jobs: scale 1.0 → one job sleeps BASE_SECONDS.
+BENCH_PROFILE = {"name": "bench", "reduced": True, "scale": 1.0}
+
+
+class _BenchService:
+    """A private in-process fleet-enabled service for one bench phase."""
+
+    def __init__(self, fleet_kwargs: Dict[str, object], timeout: float):
+        from repro.service.fleet import FleetConfig
+        from repro.service.http import ServiceApp, make_server
+        from repro.service.metrics import ServiceTelemetry
+        from repro.service.store import ResultStore
+
+        self.temp_dir = tempfile.TemporaryDirectory(prefix="repro-bench-")
+        self.app = ServiceApp(
+            ResultStore(self.temp_dir.name),
+            workers=1,
+            queue_depth=4096,
+            telemetry=ServiceTelemetry(),
+            fleet=FleetConfig(**fleet_kwargs),
+        ).start()
+        self.server = make_server(self.app)
+        threading.Thread(target=self.server.serve_forever, daemon=True).start()
+        host, port = self.server.server_address[:2]
+        self.client = ServiceClient(f"http://{host}:{port}", timeout=timeout)
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.app.stop()
+        self.temp_dir.cleanup()
+
+
+def _start_fleet(client: ServiceClient, count: int, timeout: float):
+    """``count`` in-thread FleetWorkers, registered live before return."""
+    from repro.service.worker import FleetWorker
+
+    workers = [
+        FleetWorker(client.base_url, f"bench-w{i}", poll_seconds=0.01)
+        for i in range(count)
+    ]
+    threads = [
+        threading.Thread(target=worker.run, daemon=True) for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + timeout
+    while client.fleet()["workers_live"] < count:
+        if time.monotonic() > deadline:
+            raise RuntimeError("bench fleet workers never registered")
+        time.sleep(0.01)
+    return workers, threads
+
+
+def _stop_fleet(workers, threads, timeout: float) -> None:
+    for worker in workers:
+        worker.stop()
+    for thread in threads:
+        thread.join(timeout=timeout)
+
+
+def _submit_stub_batch(
+    client: ServiceClient, seeds: List[int], timeout: float
+) -> List[Dict[str, object]]:
+    def submit_and_wait(seed: int) -> Dict[str, object]:
+        job = client.submit(
+            "bench", entry_point=STUB_ENTRY, profile=BENCH_PROFILE,
+            seed=seed,
+        )
+        return client.wait(str(job["job_id"]), timeout=timeout)
+
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=max(1, len(seeds))
+    ) as pool:
+        return list(pool.map(submit_and_wait, seeds))
+
+
+def run_bench(args: argparse.Namespace) -> Dict[str, object]:
+    """The multi-worker saturation benchmark; returns the report dict."""
+    import platform
+
+    from repro.service.bench import BASE_SECONDS
+
+    fleet_sizes = [
+        int(token) for token in args.bench_workers.split(",") if token.strip()
+    ]
+    report: Dict[str, object] = {
+        "schema_version": 1,
+        "mode": "bench",
+        "python": platform.python_version(),
+        "stub_base_seconds": BASE_SECONDS,
+        "bench_jobs": args.bench_jobs,
+    }
+    failures: List[str] = []
+
+    # ---- saturation sweep: throughput vs fleet size --------------------
+    saturation: List[Dict[str, object]] = []
+    for round_index, count in enumerate(fleet_sizes):
+        service = _BenchService({"lease_ttl": 10.0}, args.timeout)
+        try:
+            workers, threads = _start_fleet(
+                service.client, count, args.timeout
+            )
+            seeds = [
+                round_index * 100_000 + offset
+                for offset in range(args.bench_jobs)
+            ]
+            started = time.monotonic()
+            records = _submit_stub_batch(service.client, seeds, args.timeout)
+            elapsed = time.monotonic() - started
+            _stop_fleet(workers, threads, args.timeout)
+            bad = [r for r in records if r["state"] != "done"]
+            if bad:
+                failures.append(
+                    f"saturation round with {count} worker(s): "
+                    f"{len(bad)} job(s) not done"
+                )
+            throughput = len(records) / elapsed if elapsed else 0.0
+            saturation.append(
+                {
+                    "workers": count,
+                    "jobs": len(records),
+                    "elapsed_seconds": round(elapsed, 3),
+                    "throughput_jobs_per_second": round(throughput, 3),
+                    # Sleep-bound ideal: count / BASE_SECONDS jobs per
+                    # second; efficiency is hardware-neutral.
+                    "efficiency": round(
+                        throughput * BASE_SECONDS / count, 3
+                    ),
+                }
+            )
+        finally:
+            service.close()
+    report["saturation"] = saturation
+    if len(saturation) >= 2 and saturation[0]["throughput_jobs_per_second"]:
+        report["fleet_scaling"] = round(
+            saturation[-1]["throughput_jobs_per_second"]
+            / saturation[0]["throughput_jobs_per_second"],
+            3,
+        )
+    else:
+        report["fleet_scaling"] = 0.0
+
+    # ---- dedup under fleet dispatch ------------------------------------
+    service = _BenchService({"lease_ttl": 10.0}, args.timeout)
+    try:
+        workers, threads = _start_fleet(service.client, 2, args.timeout)
+        duplicates, distinct = 8, 8
+        seeds = [0] * duplicates + list(range(1, distinct + 1))
+        records = _submit_stub_batch(service.client, seeds, args.timeout)
+        _stop_fleet(workers, threads, args.timeout)
+        scheduler = service.client.healthz()["scheduler"]
+        dedup_ratio = round(
+            int(scheduler["deduplicated"]) / int(scheduler["submitted"]), 4
+        )
+        report["dedup"] = {
+            "duplicates": duplicates,
+            "distinct": distinct,
+            "dedup_ratio": dedup_ratio,
+            "computations": int(scheduler["computations"]),
+        }
+        if any(r["state"] != "done" for r in records):
+            failures.append("dedup round left non-done jobs")
+        if int(scheduler["computations"]) > duplicates + distinct:
+            failures.append(
+                f"dedup round ran {scheduler['computations']} computations "
+                f"for {duplicates + distinct} submissions"
+            )
+    finally:
+        service.close()
+
+    # ---- failover latency: kill a lease holder, measure recovery -------
+    lease_ttl, backoff_cap = 0.5, 0.5
+    service = _BenchService(
+        {
+            "lease_ttl": lease_ttl,
+            "backoff_cap": backoff_cap,
+            "supervisor_interval": 0.05,
+            "worker_ttl": 30.0,
+        },
+        args.timeout,
+    )
+    try:
+        # A fake worker registers (idle claim), the job queues for the
+        # fleet, the fake worker claims it and "dies" (never heartbeats).
+        service.client.fleet_claim("bench-dead")
+        job = service.client.submit(
+            "bench", entry_point=STUB_ENTRY, profile=BENCH_PROFILE, seed=0
+        )
+        started = time.monotonic()
+        grant = service.client.fleet_claim("bench-dead")
+        if not grant.get("lease"):
+            failures.append("failover round: the doomed claim got no lease")
+        workers, threads = _start_fleet(service.client, 1, args.timeout)
+        record = service.client.wait(
+            str(job["job_id"]), timeout=args.timeout
+        )
+        latency = time.monotonic() - started
+        _stop_fleet(workers, threads, args.timeout)
+        counters = service.client.fleet()["counters"]
+        report["failover"] = {
+            "lease_ttl": lease_ttl,
+            "backoff_cap": backoff_cap,
+            "latency_seconds": round(latency, 3),
+            "leases_expired": int(counters["leases_expired"]),
+            "redispatches": int(counters["redispatches"]),
+            "state": record["state"],
+        }
+        if record["state"] != "done":
+            failures.append(
+                f"failover job ended {record['state']!r}, not 'done'"
+            )
+        if int(counters["redispatches"]) < 1:
+            failures.append("failover round never re-dispatched the lease")
+        # Physics bound: TTL + supervisor tick + capped backoff (with
+        # jitter) + worker poll + the job itself, padded 2x for CI noise.
+        bound = 2 * (lease_ttl + 0.05 + backoff_cap * 1.5 + 0.1) + 1.0
+        if latency > bound:
+            failures.append(
+                f"failover latency {latency:.3f}s exceeds bound {bound:.3f}s"
+            )
+    finally:
+        service.close()
+
+    report["failures"] = failures
+    report["ok"] = not failures
+    return report
+
+
+def gate_against_baseline(
+    report: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Regression gates for CI; returns human-readable violations."""
+    problems: List[str] = []
+    base_rounds = {
+        entry["workers"]: entry for entry in baseline.get("saturation", [])
+    }
+    for entry in report["saturation"]:
+        base = base_rounds.get(entry["workers"])
+        if base is None:
+            continue
+        floor = 0.7 * float(base["throughput_jobs_per_second"])
+        if float(entry["throughput_jobs_per_second"]) < floor:
+            problems.append(
+                f"throughput with {entry['workers']} worker(s) regressed: "
+                f"{entry['throughput_jobs_per_second']} < 0.7 x baseline "
+                f"{base['throughput_jobs_per_second']}"
+            )
+    # Fleet scaling is hardware-neutral (jobs are sleep-bound): adding
+    # workers must keep buying real throughput.
+    if float(report.get("fleet_scaling", 0.0)) < 1.8:
+        problems.append(
+            f"fleet scaling {report.get('fleet_scaling')} < 1.8 — extra "
+            f"workers no longer increase throughput"
+        )
+    base_dedup = baseline.get("dedup", {}).get("dedup_ratio")
+    if base_dedup is not None:
+        if report["dedup"]["dedup_ratio"] != base_dedup:
+            problems.append(
+                f"dedup ratio drifted: {report['dedup']['dedup_ratio']} "
+                f"!= baseline {base_dedup} (coalescing is deterministic)"
+            )
+    base_failover = baseline.get("failover", {}).get("latency_seconds")
+    if base_failover is not None:
+        ceiling = max(2.5 * float(base_failover), 3.0)
+        if float(report["failover"]["latency_seconds"]) > ceiling:
+            problems.append(
+                f"failover latency {report['failover']['latency_seconds']}s "
+                f"exceeds {ceiling:.2f}s (2.5 x baseline, min 3s)"
+            )
+    return problems
+
+
+def bench_main(args: argparse.Namespace) -> int:
+    report = run_bench(args)
+    if args.baseline:
+        baseline = json.loads(
+            pathlib.Path(args.baseline).read_text(encoding="utf-8")
+        )
+        gate = gate_against_baseline(report, baseline)
+        report["baseline_violations"] = gate
+        if gate:
+            report["failures"] = list(report["failures"]) + gate
+            report["ok"] = False
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n", encoding="utf-8")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = parse_args(argv)
+    if args.bench:
+        return bench_main(args)
     profile = resolve_profile_arg(args)
     report: Dict[str, object] = {
         "experiment": args.experiment,

@@ -19,6 +19,12 @@ from repro.faults.chaos import (
     crash_once_then_run,
     hang_once_then_run,
 )
+from repro.faults.fleet import (
+    DEFAULT_FLEET_FAULT_SPEC,
+    FLEET_FAULT_CLASSES,
+    FleetFaultDecision,
+    fleet_fault_decision,
+)
 from repro.faults.injector import (
     CORUNNER_TID,
     CoRunnerProgram,
@@ -36,10 +42,14 @@ __all__ = [
     "CORUNNER_TID",
     "CoRunnerProgram",
     "DEFAULT_FAULT_SPEC",
+    "DEFAULT_FLEET_FAULT_SPEC",
+    "FLEET_FAULT_CLASSES",
     "FaultSchedule",
     "FaultSpec",
+    "FleetFaultDecision",
     "apply_measurement_faults",
     "build_fault_schedule",
+    "fleet_fault_decision",
     "crash_once_then_run",
     "desched_plan",
     "emit_fault_events",

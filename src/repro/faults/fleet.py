@@ -1,0 +1,121 @@
+"""Service-level fault materialisation for the worker fleet.
+
+The fleet's chaos classes — a worker crashing or hanging mid-lease, a
+heartbeat stream going stale while the computation continues, a result
+upload that never arrives, a store interaction that stalls — are
+materialised here the same way :mod:`repro.faults.schedule` materialises
+channel faults: as a pure function of ``(spec, seed)``.  The decision
+for one lease attempt depends only on the job's content-address key and
+the attempt number, never on wall-clock time or worker identity, so a
+chaos campaign replays bit-identically regardless of how many workers
+run it, in what order they claim jobs, or how the OS schedules them.
+
+Each fault class draws from its own labelled child RNG stream (the
+:func:`repro.common.rng.derive_rng` discipline), so changing one class's
+rate never perturbs another class's stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import derive_rng, derive_seed, ensure_rng
+from repro.faults.spec import FaultSpec
+
+#: Fault classes a fleet decision can select, in precedence order: a
+#: crash pre-empts a hang pre-empts a stale heartbeat, and so on.  At
+#: most one class fires per lease attempt — overlapping faults on one
+#: attempt are indistinguishable from the strongest of them (the lease
+#: expires either way), so stacking them adds noise, not coverage.
+FLEET_FAULT_CLASSES = (
+    "crash",
+    "hang",
+    "stale_heartbeat",
+    "drop_upload",
+    "slow_store",
+)
+
+
+@dataclass(frozen=True)
+class FleetFaultDecision:
+    """What (if anything) goes wrong during one lease attempt.
+
+    At most one of the boolean flags is set (see
+    :data:`FLEET_FAULT_CLASSES` for the precedence).  ``slow_store``
+    carries its stall magnitude so the worker does not need the spec.
+    """
+
+    crash: bool = False
+    hang: bool = False
+    stale_heartbeat: bool = False
+    drop_upload: bool = False
+    slow_store: bool = False
+    store_slow_seconds: float = 0.0
+
+    @property
+    def fault(self) -> str | None:
+        """Name of the selected class, or ``None`` for a clean attempt."""
+        for name, flag in (
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("stale_heartbeat", self.stale_heartbeat),
+            ("drop_upload", self.drop_upload),
+            ("slow_store", self.slow_store),
+        ):
+            if flag:
+                return name
+        return None
+
+    @property
+    def loses_lease(self) -> bool:
+        """True when this attempt cannot complete its lease (the
+        supervisor must expire it and re-dispatch)."""
+        return self.crash or self.hang or self.stale_heartbeat or self.drop_upload
+
+
+def fleet_fault_decision(
+    spec: FaultSpec, seed: int, key: str, attempt: int
+) -> FleetFaultDecision:
+    """Materialise the fault decision for one ``(job, lease attempt)``.
+
+    ``key`` is the job's content-address (the lease key) and ``attempt``
+    the 1-based lease attempt number.  Every class always draws exactly
+    one variate from its own child stream, so the decision for attempt
+    ``n`` of one job is independent of every other job and attempt —
+    the property the chaos suite leans on to prove the invariant holds
+    per job rather than per run ordering.
+    """
+    root = ensure_rng(derive_seed(seed, f"fleet/{key}#a{attempt}"))
+    draws = {
+        name: derive_rng(root, name).random() for name in FLEET_FAULT_CLASSES
+    }
+    rates = {
+        "crash": spec.worker_crash_rate,
+        "hang": spec.worker_hang_rate,
+        "stale_heartbeat": spec.heartbeat_stale_rate,
+        "drop_upload": spec.upload_drop_rate,
+        "slow_store": spec.store_slow_rate,
+    }
+    for name in FLEET_FAULT_CLASSES:
+        if draws[name] < rates[name]:
+            return FleetFaultDecision(
+                **{name: True},
+                store_slow_seconds=(
+                    spec.store_slow_seconds if name == "slow_store" else 0.0
+                ),
+            )
+    return FleetFaultDecision()
+
+
+#: Reference fleet chaos regime for the chaos suite and the CI fleet
+#: job: every class present, tuned so that at intensity 1.0 roughly a
+#: third of first lease attempts fail but a run of ``dead_letter_after``
+#: consecutive faulty attempts on one job stays (very) unlikely.
+DEFAULT_FLEET_FAULT_SPEC = FaultSpec(
+    worker_crash_rate=0.12,
+    worker_hang_rate=0.06,
+    heartbeat_stale_rate=0.06,
+    upload_drop_rate=0.12,
+    store_slow_rate=0.10,
+    store_slow_seconds=0.05,
+)

@@ -36,7 +36,16 @@ Fault classes
     and planting spurious dirty states.
 ``worker_crash`` / ``worker_hang``
     Runner-level chaos (a worker process dying or wedging), consumed by
-    :mod:`repro.faults.chaos` rather than the channel simulator.
+    :mod:`repro.faults.chaos` and by the service fleet
+    (:mod:`repro.faults.fleet`) rather than the channel simulator.
+``heartbeat_stale`` / ``upload_drop`` / ``store_slow``
+    Service-level chaos for the worker fleet's lease protocol
+    (:mod:`repro.service.fleet`): a worker whose heartbeats stop while
+    it still holds a lease, a computed result whose upload never
+    arrives, and a store interaction that stalls for
+    ``store_slow_seconds`` before completing.  Materialised per
+    ``(job key, lease attempt)`` by
+    :func:`repro.faults.fleet.fleet_fault_decision`.
 """
 
 from __future__ import annotations
@@ -53,6 +62,20 @@ _RATE_FIELDS = (
     "corunner_rate",
     "worker_crash_rate",
     "worker_hang_rate",
+    "heartbeat_stale_rate",
+    "upload_drop_rate",
+    "store_slow_rate",
+)
+
+#: Fields added for the service fleet (PR 9).  They default to "off" and
+#: are omitted from :meth:`FaultSpec.to_dict` at their defaults so every
+#: canonical form hashed before they existed — scenario KEYS.json pins,
+#: golden results, cache keys — stays byte-identical.
+_FLEET_FIELDS = (
+    "heartbeat_stale_rate",
+    "upload_drop_rate",
+    "store_slow_rate",
+    "store_slow_seconds",
 )
 
 
@@ -85,6 +108,17 @@ class FaultSpec:
     #: Runner chaos: probability a worker crashes / hangs on first attempt.
     worker_crash_rate: float = 0.0
     worker_hang_rate: float = 0.0
+    #: Fleet chaos: probability per lease attempt that the worker keeps
+    #: computing but its heartbeats stop (partition; lease expires).
+    heartbeat_stale_rate: float = 0.0
+    #: Fleet chaos: probability per lease attempt that the computed
+    #: result's upload never arrives.
+    upload_drop_rate: float = 0.0
+    #: Fleet chaos: probability per lease attempt that store interaction
+    #: stalls for ``store_slow_seconds`` before completing normally.
+    store_slow_rate: float = 0.0
+    #: Magnitude of a ``store_slow`` stall, in wall-clock seconds.
+    store_slow_seconds: float = 0.5
 
     def __post_init__(self) -> None:
         for name in _RATE_FIELDS:
@@ -105,6 +139,11 @@ class FaultSpec:
         if self.corunner_accesses <= 0:
             raise ConfigurationError(
                 f"corunner_accesses must be positive, got {self.corunner_accesses}"
+            )
+        if self.store_slow_seconds < 0:
+            raise ConfigurationError(
+                f"store_slow_seconds must be non-negative, got "
+                f"{self.store_slow_seconds}"
             )
 
     def scaled(self, intensity: float) -> "FaultSpec":
@@ -130,8 +169,19 @@ class FaultSpec:
         return replace(self, **changes)
 
     def to_dict(self) -> dict:
-        """JSON-ready form (stored in fault summaries and manifests)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """JSON-ready form (stored in fault summaries and manifests).
+
+        Fleet-era fields are omitted while at their defaults: the dict
+        feeds canonical JSON that is hashed into scenario keys and
+        pinned in ``scenarios/KEYS.json``, so pre-existing specs must
+        keep producing byte-identical canonical forms.
+        """
+        defaults = {f.name: f.default for f in fields(self)}
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        for name in _FLEET_FIELDS:
+            if data[name] == defaults[name]:
+                del data[name]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultSpec":

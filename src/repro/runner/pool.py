@@ -62,9 +62,18 @@ BACKOFF_FACTOR = 2.0
 BACKOFF_JITTER_FRACTION = 0.25
 
 
-def crash_backoff_seconds(task_id: str, attempt: int) -> float:
-    """Deterministic backoff before retry number ``attempt`` (2-based)."""
+def crash_backoff_seconds(
+    task_id: str, attempt: int, cap: Optional[float] = None
+) -> float:
+    """Deterministic backoff before retry number ``attempt`` (2-based).
+
+    ``cap`` bounds the pre-jitter base — the fleet supervisor re-uses
+    this curve for lease re-dispatch, where an unbounded exponential
+    would leave a job parked behind one flaky worker for minutes.
+    """
     base = BACKOFF_BASE_SECONDS * BACKOFF_FACTOR ** max(0, attempt - 2)
+    if cap is not None:
+        base = min(base, cap)
     jitter_rng = random.Random(derive_seed(0, f"backoff/{task_id}/{attempt}"))
     return base * (1.0 + BACKOFF_JITTER_FRACTION * jitter_rng.random())
 

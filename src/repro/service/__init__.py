@@ -21,6 +21,14 @@ behind traffic (the ROADMAP's north star):
   :class:`~repro.telemetry.subscribers.WindowedCounters` /
   :class:`~repro.telemetry.subscribers.BusProfiler` machinery
   (:mod:`repro.service.metrics`).
+* :mod:`repro.service.fleet` + :mod:`repro.service.worker` — a
+  **crash-safe distributed worker fleet**: external worker processes
+  claim jobs through a TTL lease protocol (``POST /fleet/claim``),
+  renew with heartbeats and upload result blobs; a supervisor loop
+  expires dead leases, re-dispatches with capped deterministic backoff,
+  and quarantines poison jobs into a ``dead_letter`` state.  With zero
+  live workers the scheduler degrades gracefully back to the in-process
+  pool path.
 
 Quick start::
 
@@ -36,6 +44,11 @@ or, over HTTP: ``python -m repro.service --port 8321`` and see the
 README's "Serving experiments" section for curl examples.
 """
 
+from repro.service.fleet import (
+    FleetConfig,
+    FleetUnavailableError,
+    LeaseError,
+)
 from repro.service.keys import (
     KEY_SCHEMA_VERSION,
     cache_key,
@@ -51,12 +64,17 @@ from repro.service.scheduler import (
     UnknownJobError,
 )
 from repro.service.store import ResultStore, StoreStats
+from repro.service.worker import FleetWorker
 
 __all__ = [
     "KEY_SCHEMA_VERSION",
+    "FleetConfig",
+    "FleetUnavailableError",
+    "FleetWorker",
     "JobScheduler",
     "JobSpec",
     "JobState",
+    "LeaseError",
     "QueueFullError",
     "ResultStore",
     "ServiceTelemetry",

@@ -14,6 +14,7 @@ import sys
 from typing import List, Optional
 
 from repro.common.errors import ReproError
+from repro.service.fleet import FleetConfig
 from repro.service.http import serve
 
 
@@ -47,6 +48,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: %(default)s)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logging")
+    fleet = parser.add_argument_group("fleet (distributed workers)")
+    fleet.add_argument("--lease-ttl", type=float, default=10.0,
+                       help="fleet lease TTL in seconds (default: %(default)s)")
+    fleet.add_argument("--dead-letter-after", type=int, default=3,
+                       help="quarantine a job after this many failed "
+                            "leases (default: %(default)s)")
+    fleet.add_argument("--min-workers", type=int, default=0,
+                       help="shed load with 503 below this many live fleet "
+                            "workers; 0 falls back to the in-process pool "
+                            "(default: %(default)s)")
+    fleet.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds SIGTERM waits for in-flight leases "
+                            "(default: %(default)s)")
     return parser
 
 
@@ -67,6 +81,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             isolate=args.isolate,
             window=args.window,
             verbose=not args.quiet,
+            fleet=FleetConfig(
+                lease_ttl=args.lease_ttl,
+                dead_letter_after=args.dead_letter_after,
+                min_workers=args.min_workers,
+            ),
+            drain_timeout=args.drain_timeout,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,40 @@
+"""Deterministic sleep-bound stub experiment for service benchmarks.
+
+The saturation benchmark (``scripts/load_test_service.py --bench``) and
+the fleet smoke need a job whose cost is *known and tunable* — real
+experiments would make throughput numbers hostage to simulation speed
+on the host.  ``stub_experiment`` sleeps ``BASE_SECONDS × profile.scale``
+and returns a result that depends only on the seed, so:
+
+* wall-clock per job is controlled by the submitted profile;
+* blobs are bit-identical across runs, workers, and fault regimes —
+  exactly the property the chaos invariant checks;
+* it is importable by dotted ``entry_point`` path from worker
+  processes, like the fixtures in ``tests/fake_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import resolve_profile
+
+#: Nominal cost of one stub job at ``scale=1.0``, in seconds.
+BASE_SECONDS = 0.05
+
+
+def stub_experiment(profile=None, seed: int = 0) -> ExperimentResult:
+    """Sleep a profile-scaled beat, then return a seed-keyed result."""
+    resolved = resolve_profile(profile)
+    time.sleep(BASE_SECONDS * resolved.scale)
+    # A couple of derived cells so the blob is not a bare echo (torn or
+    # mixed-up uploads cannot accidentally collide with another seed).
+    return ExperimentResult(
+        experiment_id="service_bench_stub",
+        title="service bench stub",
+        paper_reference="benchmarks",
+        columns=["seed", "square", "parity"],
+        rows=[[seed, seed * seed, seed % 2]],
+        params={"scale": resolved.scale},
+    )

@@ -19,6 +19,9 @@ from typing import Dict, List, Optional, Union
 from repro.common.errors import ReproError
 from repro.experiments.base import ExperimentResult
 
+#: Job states a poll loop can stop on (mirrors ``JobState.TERMINAL``).
+TERMINAL_STATES = ("done", "failed", "cancelled", "dead_letter")
+
 
 class ServiceError(ReproError):
     """An API call failed; carries the HTTP status, code and message.
@@ -186,7 +189,7 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         while True:
             record = self.job(job_id)
-            if record["state"] in ("done", "failed", "cancelled"):
+            if record["state"] in TERMINAL_STATES:
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
@@ -213,6 +216,58 @@ class ServiceClient:
 
     def experiments(self) -> List[str]:
         return list(self._json("GET", "/experiments")["experiments"])
+
+    # ------------------------------------------------------------------
+    # Fleet lease protocol (used by repro.service.worker)
+    # ------------------------------------------------------------------
+    def fleet(self) -> Dict[str, object]:
+        """``GET /fleet``: workers, live leases, dead letters, counters."""
+        return self._json("GET", "/fleet")
+
+    def fleet_claim(self, worker_id: str) -> Dict[str, object]:
+        """Claim a leased job; the response's ``lease`` is ``None`` when
+        the queue is empty or the service is draining."""
+        return self._json(
+            "POST", "/fleet/claim", {"worker_id": worker_id}
+        )
+
+    def fleet_heartbeat(
+        self, lease_id: str, worker_id: str
+    ) -> Dict[str, object]:
+        """Renew a lease (``ServiceError`` with status 409 when dead)."""
+        return self._json(
+            "POST",
+            f"/fleet/leases/{lease_id}/heartbeat",
+            {"worker_id": worker_id},
+        )
+
+    def fleet_complete(
+        self,
+        lease_id: str,
+        worker_id: str,
+        result: Dict[str, object],
+        wall_seconds: float = 0.0,
+    ) -> Dict[str, object]:
+        """Upload the result blob for a held lease."""
+        return self._json(
+            "POST",
+            f"/fleet/leases/{lease_id}/complete",
+            {
+                "worker_id": worker_id,
+                "result": result,
+                "wall_seconds": wall_seconds,
+            },
+        )
+
+    def fleet_fail(
+        self, lease_id: str, worker_id: str, error: str
+    ) -> Dict[str, object]:
+        """Report a deterministic failure for a held lease."""
+        return self._json(
+            "POST",
+            f"/fleet/leases/{lease_id}/fail",
+            {"worker_id": worker_id, "error": error},
+        )
 
     def healthz(self) -> Dict[str, object]:
         return self._json("GET", "/healthz")

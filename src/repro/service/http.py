@@ -9,17 +9,29 @@ scheduler *and store* state is therefore touched only on the loop thread
 Routes
 ======
 
-===========================  =========================================
-``POST /jobs``               submit a job; ``202`` queued/coalesced,
-                             ``200`` when memoised or ``wait`` given and
-                             the job finished, ``400`` invalid,
-                             ``429`` + ``Retry-After`` queue full
-``GET /jobs/{id}``           job record; ``404`` unknown id
-``GET /results/{key}``       the stored result blob, verbatim bytes
-``GET /experiments``         registered experiment ids
-``GET /healthz``             liveness + queue/store/telemetry summary
-``GET /metrics``             Prometheus text exposition
-===========================  =========================================
+==================================  =========================================
+``POST /jobs``                      submit a job; ``202`` queued/coalesced,
+                                    ``200`` when memoised or ``wait`` given
+                                    and the job finished, ``400`` invalid,
+                                    ``429`` + ``Retry-After`` queue full,
+                                    ``503`` + ``Retry-After`` draining or
+                                    unhealthy fleet shedding load
+``GET /jobs/{id}``                  job record; ``404`` unknown id
+``GET /results/{key}``              the stored result blob, verbatim bytes
+``GET /experiments``                registered experiment ids
+``GET /healthz``                    liveness + queue/store/fleet summary
+``GET /metrics``                    Prometheus text exposition
+``GET /fleet``                      fleet view: workers, leases, dead letters
+``POST /fleet/claim``               fleet worker asks for a leased job
+``POST /fleet/leases/{id}/heartbeat``  renew a lease (``409`` when dead)
+``POST /fleet/leases/{id}/complete``   upload the result blob for a lease
+``POST /fleet/leases/{id}/fail``       report a deterministic failure
+==================================  =========================================
+
+The ``Retry-After`` hint on 429/503 is not a constant: it derives from
+current queue depth, live worker count and the recent seconds-per-job
+average (see :meth:`repro.service.scheduler.JobScheduler
+.retry_after_seconds`).
 
 ``POST /jobs`` body::
 
@@ -46,7 +58,8 @@ Every non-2xx response carries one JSON envelope::
     {"error": {"code": "bad_request", "message": "..."}}
 
 with ``code`` one of ``bad_request`` (400), ``not_found`` (404),
-``conflict`` (409), ``queue_full`` (429) or ``internal`` (500).
+``conflict`` (409), ``queue_full`` (429), ``unavailable`` (503) or
+``internal`` (500).
 """
 
 from __future__ import annotations
@@ -54,12 +67,14 @@ from __future__ import annotations
 import asyncio
 import json
 import pathlib
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError, ManifestError, ReproError
 from repro.experiments.profiles import RunProfile
+from repro.service.fleet import FleetConfig, FleetUnavailableError, LeaseError
 from repro.service.metrics import ServiceTelemetry, now, render_prometheus
 from repro.service.scheduler import (
     JobScheduler,
@@ -73,9 +88,6 @@ from repro.service.store import ResultStore
 #: Cross-thread bridge timeout for calls that do not run experiments.
 _CONTROL_TIMEOUT = 30.0
 
-#: Hint sent with 429 responses.
-_RETRY_AFTER_SECONDS = 1
-
 #: Machine-readable error codes in the JSON error envelope, by status.
 _ERROR_CODES = {
     400: "bad_request",
@@ -83,6 +95,7 @@ _ERROR_CODES = {
     409: "conflict",
     429: "queue_full",
     500: "internal",
+    503: "unavailable",
 }
 
 
@@ -96,6 +109,7 @@ class ServiceApp:
         queue_depth: int = 32,
         isolate: bool = False,
         telemetry: Optional[ServiceTelemetry] = None,
+        fleet: Optional[FleetConfig] = None,
     ) -> None:
         self.store = store
         self.telemetry = telemetry or ServiceTelemetry()
@@ -105,6 +119,7 @@ class ServiceApp:
             queue_depth=queue_depth,
             isolate=isolate,
             telemetry=self.telemetry,
+            fleet=fleet,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -235,6 +250,74 @@ class ServiceApp:
 
         return self._call(render())
 
+    # ------------------------------------------------------------------
+    # Fleet lease protocol (worker-facing)
+    # ------------------------------------------------------------------
+    def fleet_view(self) -> Tuple[int, Dict[str, object]]:
+        async def snapshot():
+            return self.scheduler.fleet.snapshot()
+
+        return 200, self._call(snapshot())
+
+    def fleet_claim(self, payload: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        worker_id = _worker_id(payload)
+        # Always 200: an idle poll is a successful claim attempt whose
+        # body says "no work" (a 204 could not carry the JSON hints).
+        return 200, self._call(self.scheduler.fleet_claim(worker_id))
+
+    def fleet_heartbeat(
+        self, lease_id: str, payload: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        worker_id = _worker_id(payload)
+        return 200, self._call(
+            self.scheduler.fleet_heartbeat(lease_id, worker_id)
+        )
+
+    def fleet_complete(
+        self, lease_id: str, payload: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        worker_id = _worker_id(payload)
+        result = payload.get("result")
+        wall = payload.get("wall_seconds", 0.0)
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+            raise ConfigurationError(
+                f"'wall_seconds' must be a number, got {wall!r}"
+            )
+        return 200, self._call(
+            self.scheduler.fleet_complete(
+                lease_id, worker_id, result, wall_seconds=float(wall)
+            )
+        )
+
+    def fleet_fail(
+        self, lease_id: str, payload: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object]]:
+        worker_id = _worker_id(payload)
+        error = payload.get("error")
+        if not isinstance(error, str) or not error:
+            raise ConfigurationError(
+                "'error' must be a non-empty string describing the failure"
+            )
+        return 200, self._call(
+            self.scheduler.fleet_fail(lease_id, worker_id, error)
+        )
+
+    def retry_after(self) -> int:
+        """Current backpressure hint, computed on the scheduler loop."""
+        async def hint():
+            return self.scheduler.retry_after_seconds()
+
+        return self._call(hint())
+
+
+def _worker_id(payload: Dict[str, object]) -> str:
+    worker_id = payload.get("worker_id")
+    if not isinstance(worker_id, str) or not worker_id:
+        raise ConfigurationError(
+            "fleet requests require a non-empty string 'worker_id'"
+        )
+    return worker_id
+
 
 def _int_field(payload: Dict[str, object], name: str, default: int) -> int:
     value = payload.get(name, default)
@@ -358,12 +441,35 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 job_id = self.path[len("/jobs/"):-len("/cancel")]
                 status, body = self.app.cancel(job_id)
                 self._send_json(status, body)
+            elif self.path == "/fleet/claim":
+                self._send_json(*self.app.fleet_claim(self._read_body()))
+            elif self.path.startswith("/fleet/leases/"):
+                rest = self.path[len("/fleet/leases/"):]
+                lease_id, _, action = rest.rpartition("/")
+                body = self._read_body()
+                if action == "heartbeat":
+                    self._send_json(*self.app.fleet_heartbeat(lease_id, body))
+                elif action == "complete":
+                    self._send_json(*self.app.fleet_complete(lease_id, body))
+                elif action == "fail":
+                    self._send_json(*self.app.fleet_fail(lease_id, body))
+                else:
+                    self._send_error_json(
+                        404, f"no fleet lease action {action!r}"
+                    )
             else:
                 self._send_error_json(404, f"no POST route {self.path!r}")
         except QueueFullError as exc:
             self._send_error_json(
-                429, str(exc), {"Retry-After": str(_RETRY_AFTER_SECONDS)}
+                429, str(exc), {"Retry-After": str(self.app.retry_after())}
             )
+        except FleetUnavailableError as exc:
+            self._send_error_json(
+                503, str(exc),
+                {"Retry-After": str(int(max(1, exc.retry_after)))},
+            )
+        except LeaseError as exc:
+            self._send_error_json(409, str(exc))
         except UnknownJobError as exc:
             self._send_error_json(404, str(exc))
         except ConfigurationError as exc:
@@ -386,6 +492,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self.wfile.write(text)
             elif self.path == "/experiments":
                 self._send_json(*self.app.experiments())
+            elif self.path == "/fleet":
+                self._send_json(*self.app.fleet_view())
             elif self.path.startswith("/jobs/"):
                 self._send_json(*self.app.job(self.path[len("/jobs/"):]))
             elif self.path.startswith("/results/"):
@@ -417,6 +525,10 @@ class ServiceServer(ThreadingHTTPServer):
     """HTTP server carrying its :class:`ServiceApp` for the handler."""
 
     daemon_threads = True
+    #: Accept backlog.  The stdlib default of 5 drops connections
+    #: (ECONNRESET) under saturation bursts — a whole fleet of workers
+    #: claiming/heartbeating while a submission burst lands.
+    request_queue_size = 128
 
     def __init__(self, address, app: ServiceApp, verbose: bool = False) -> None:
         super().__init__(address, ServiceHandler)
@@ -444,8 +556,16 @@ def serve(
     isolate: bool = False,
     window: int = 64,
     verbose: bool = True,
+    fleet: Optional[FleetConfig] = None,
+    drain_timeout: float = 30.0,
 ) -> None:
-    """Blocking entry point used by ``python -m repro.service``."""
+    """Blocking entry point used by ``python -m repro.service``.
+
+    SIGTERM triggers a graceful drain (mirroring the runner's SIGINT
+    handling): new submissions shed with 503, no new leases are
+    granted, in-flight leases get up to ``drain_timeout`` seconds to
+    finish, then the server exits.
+    """
     store = ResultStore(store_root, capacity_bytes=capacity_bytes)
     app = ServiceApp(
         store,
@@ -453,6 +573,7 @@ def serve(
         queue_depth=queue_depth,
         isolate=isolate,
         telemetry=ServiceTelemetry(window=window),
+        fleet=fleet,
     )
     with app:
         server = make_server(app, host=host, port=port, verbose=verbose)
@@ -460,12 +581,34 @@ def serve(
         print(
             f"repro-service listening on http://{bound_host}:{bound_port} "
             f"(store={store.root}, workers={workers}, "
-            f"queue_depth={queue_depth}, isolate={isolate})"
+            f"queue_depth={queue_depth}, isolate={isolate})",
+            flush=True,
         )
+
+        def _drain_then_stop() -> None:
+            drained = app._call(
+                app.scheduler.drain(timeout=drain_timeout),
+                timeout=drain_timeout + _CONTROL_TIMEOUT,
+            )
+            print(
+                "drained cleanly" if drained
+                else "drain timed out; stopping with leases outstanding",
+                flush=True,
+            )
+            # shutdown() must come from another thread than serve_forever.
+            server.shutdown()
+
+        def _handle_sigterm(signum, frame) -> None:
+            del signum, frame
+            print("SIGTERM: draining in-flight leases", flush=True)
+            threading.Thread(target=_drain_then_stop, daemon=True).start()
+
+        previous = signal.signal(signal.SIGTERM, _handle_sigterm)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             print("shutting down")
         finally:
+            signal.signal(signal.SIGTERM, previous)
             server.shutdown()
             server.server_close()

@@ -150,7 +150,14 @@ def render_prometheus(
                 value_text = str(int(value))
             lines.append(f"{name}{label_text} {value_text}")
 
-    gauge_names = {"queued", "running", "inflight_keys", "workers"}
+    gauge_names = {
+        "queued",
+        "running",
+        "inflight_keys",
+        "workers",
+        "delayed",
+        "retry_after_seconds",
+    }
     batch_names = {"batch_groups", "batch_replicas", "batch_coalesced"}
     for name, value in sorted(scheduler_counters.items()):
         if not isinstance(value, (int, float)):
@@ -209,6 +216,59 @@ def render_prometheus(
         "waiting for their own worker slot.",
         [({}, round(coalesced / replicas, 6) if replicas else 0.0)],
     )
+
+    # Fleet lease protocol: per-worker liveness, live lease gauge, and
+    # the failure-handling counters (expirations, re-dispatches,
+    # dead-letter quarantines, rejected stale uploads, shed load).
+    fleet = scheduler_counters.get("fleet")
+    if isinstance(fleet, dict):
+        fleet_counters = fleet.get("counters", {})
+        fleet_workers = fleet.get("workers", [])
+        metric(
+            "repro_service_fleet_workers_live",
+            "gauge",
+            "Fleet workers heard from within the worker TTL.",
+            [({}, float(fleet.get("workers_live", 0)))],
+        )
+        metric(
+            "repro_service_fleet_worker_up",
+            "gauge",
+            "Per-worker liveness (1 = heartbeat/claim within TTL).",
+            [
+                ({"worker_id": worker["worker_id"]}, 1.0 if worker["live"] else 0.0)
+                for worker in fleet_workers
+            ]
+            or [({}, 0.0)],
+        )
+        metric(
+            "repro_service_fleet_leases_active",
+            "gauge",
+            "Leases currently held by fleet workers.",
+            [({}, float(fleet.get("leases_active", 0)))],
+        )
+        metric(
+            "repro_service_fleet_draining",
+            "gauge",
+            "1 while the service drains for shutdown (shedding load).",
+            [({}, 1.0 if fleet.get("draining") else 0.0)],
+        )
+        for name in (
+            "leases_granted",
+            "leases_renewed",
+            "leases_expired",
+            "redispatches",
+            "dead_letter",
+            "uploads_rejected",
+            "fleet_completed",
+            "fleet_failed",
+            "shed",
+        ):
+            metric(
+                f"repro_service_fleet_{name}_total",
+                "counter",
+                f"Fleet lease-protocol counter: {name}.",
+                [({}, float(fleet_counters.get(name, 0)))],
+            )
 
     for name in ("hits", "misses", "puts", "evictions", "corrupt_discarded"):
         metric(

@@ -27,6 +27,15 @@ task runs in a worker *process* through the same pool machinery the CLI
 uses — inheriting its per-task timeout, crash retry with deterministic
 backoff, and serial fallback; ``isolate=False`` runs in-process (cheap,
 but timeouts are then advisory only).
+
+With live *fleet* workers (external processes claiming jobs over HTTP
+through the lease protocol in :mod:`repro.service.fleet`), the
+in-process executor path stands down and workers pull queued
+computations via :meth:`JobScheduler.fleet_claim`, heartbeat their
+leases, and upload result blobs; a supervisor loop expires dead leases,
+re-dispatches with capped deterministic backoff, and quarantines poison
+jobs into the ``dead_letter`` state.  With zero live workers the
+scheduler degrades gracefully back to the in-process pool.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -42,6 +52,14 @@ from repro.experiments.profiles import ProfileLike, RunProfile, resolve_profile
 from repro.runner.manifest import ManifestEntry
 from repro.runner.pool import execute_tasks
 from repro.runner.sharding import TaskSpec
+from repro.service.fleet import (
+    DEAD_LETTER,
+    FleetConfig,
+    FleetState,
+    FleetUnavailableError,
+    LeaseError,
+    lease_backoff_seconds,
+)
 from repro.service.keys import cache_key
 from repro.service.metrics import ServiceTelemetry
 from repro.service.store import ResultStore
@@ -73,8 +91,10 @@ class JobState:
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Quarantined after ``dead_letter_after`` failed fleet leases.
+    DEAD_LETTER = DEAD_LETTER
 
-    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, DEAD_LETTER})
 
 
 #: How a DONE job's result was obtained.
@@ -185,6 +205,9 @@ class Job:
     #: Runner provenance for computed jobs (attempts, wall seconds).
     attempts: int = 0
     wall_seconds: float = 0.0
+    #: Fleet provenance: lease attempts this job's computation went
+    #: through, each ``{attempt, worker_id, lease_id, outcome}``.
+    lease_history: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON view served by ``GET /jobs/{id}``."""
@@ -205,6 +228,8 @@ class Job:
                 "name": self.spec.scenario.name,
                 "kind": self.spec.scenario.kind,
             }
+        if self.lease_history:
+            data["lease_history"] = list(self.lease_history)
         data["result_key"] = self.key if self.state == JobState.DONE else None
         return data
 
@@ -223,6 +248,12 @@ class _Computation:
     #: it, and a worker popping its own heap entry must skip it (same
     #: lazy-skip mechanism as ``cancelled``).
     claimed: bool = False
+    #: Fleet lease bookkeeping: id of the live lease (None when not
+    #: leased), how many leases have been granted, and the full attempt
+    #: history (shared into each rider's ``Job.lease_history``).
+    lease_id: Optional[str] = None
+    lease_attempts: int = 0
+    lease_history: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _batch_group_key(spec: JobSpec) -> Optional[tuple]:
@@ -295,6 +326,7 @@ class JobScheduler:
         queue_depth: int = 32,
         isolate: bool = False,
         telemetry: Optional[ServiceTelemetry] = None,
+        fleet: Optional[FleetConfig] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -307,16 +339,25 @@ class JobScheduler:
         self.queue_depth = queue_depth
         self.isolate = isolate
         self.telemetry = telemetry or ServiceTelemetry()
+        self.fleet = FleetState(config=fleet or FleetConfig())
         self._jobs: Dict[str, Job] = {}
         self._futures: Dict[str, asyncio.Future] = {}
         self._inflight: Dict[str, _Computation] = {}
         self._heap: List[tuple] = []
         self._queued = 0
+        #: Expired-lease computations waiting out their re-dispatch
+        #: backoff: ``(ready_at, computation)``, promoted by the
+        #: supervisor.  They still count against ``queue_depth``.
+        self._delayed: List[tuple] = []
         self._sequence = itertools.count()
         self._job_sequence = itertools.count(1)
         self._worker_tasks: List[asyncio.Task] = []
+        self._supervisor_task: Optional[asyncio.Task] = None
         self._wakeup: Optional[asyncio.Condition] = None
         self._started = False
+        #: EWMA of recent computation wall time, seeding the queue-depth
+        #: derived ``Retry-After`` hint (seconds).
+        self._recent_wall_seconds = 0.5
         # Counters surfaced by /metrics (telemetry holds the windowed view).
         self.counters: Dict[str, int] = {
             "submitted": 0,
@@ -348,6 +389,9 @@ class JobScheduler:
             asyncio.get_running_loop().create_task(self._worker_loop(index))
             for index in range(self.workers)
         ]
+        self._supervisor_task = asyncio.get_running_loop().create_task(
+            self._supervisor_loop()
+        )
         self._started = True
         return self
 
@@ -357,18 +401,26 @@ class JobScheduler:
             return
         if drain:
             await self.join()
-        for task in self._worker_tasks:
+        tasks = list(self._worker_tasks)
+        if self._supervisor_task is not None:
+            tasks.append(self._supervisor_task)
+        for task in tasks:
             task.cancel()
-        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        await asyncio.gather(*tasks, return_exceptions=True)
         self._worker_tasks = []
+        self._supervisor_task = None
         self._started = False
-        # Fail anything still queued so waiters do not hang forever.
+        # Fail anything still queued, leased out, or parked in re-dispatch
+        # backoff, so waiters do not hang forever.
+        for lease in list(self.fleet.leases.values()):
+            self.fleet.release(lease.lease_id)
+        self._delayed = []
         for computation in list(self._inflight.values()):
-            if computation.state == JobState.QUEUED:
+            if computation.state in (JobState.QUEUED, JobState.RUNNING):
                 self._finish_computation(
                     computation,
                     state=JobState.CANCELLED,
-                    error="scheduler stopped before this job ran",
+                    error="scheduler stopped before this job finished",
                 )
 
     async def join(self) -> None:
@@ -399,7 +451,9 @@ class JobScheduler:
         Raises :class:`QueueFullError` when the submission would need a
         new computation and the queue is at depth — memoised and
         coalesced submissions are never rejected (they cost no queue
-        slot).
+        slot).  Raises :class:`FleetUnavailableError` (HTTP 503) when
+        the service is draining or an unhealthy fleet is shedding load;
+        memoised and coalesced submissions are still served.
         """
         if not self._started:
             raise ConfigurationError(
@@ -438,7 +492,17 @@ class JobScheduler:
             self.telemetry.coalesced(key, tick)
             return job
 
-        # 3. New computation: bounded queue with explicit backpressure.
+        # 3. New computation: first the fleet's degradation ladder (a
+        # draining or unhealthy fleet sheds load with 503), then the
+        # bounded queue with explicit 429 backpressure.
+        shed_reason = self._shed_reason()
+        if shed_reason is not None:
+            self.fleet.counters["shed"] += 1
+            del self._jobs[job.job_id]
+            del self._futures[job.job_id]
+            raise FleetUnavailableError(
+                shed_reason, retry_after=self.retry_after_seconds()
+            )
         if self._queued >= self.queue_depth:
             self.counters["rejected"] += 1
             del self._jobs[job.job_id]
@@ -536,13 +600,36 @@ class JobScheduler:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
+    def _fleet_engaged(self) -> bool:
+        """True while external fleet workers own the queue.
+
+        The in-process pool path stands down whenever live fleet
+        workers exist (they claim over HTTP), when the operator pinned
+        ``min_workers > 0`` (running in-process would dodge the
+        shedding contract), or while draining.  With zero live workers
+        and no such pin, the scheduler degrades gracefully back to the
+        in-process pool — exactly the pre-fleet behaviour.
+        """
+        if self.fleet.draining:
+            return True
+        if self.fleet.config.min_workers > 0:
+            return True
+        return bool(self.fleet.live_workers())
+
     async def _worker_loop(self, worker_index: int) -> None:
         del worker_index
         assert self._wakeup is not None
         while True:
             async with self._wakeup:
-                while not self._heap:
-                    await self._wakeup.wait()
+                # Poll (rather than wait forever) so the loop notices
+                # fleet workers appearing/expiring and delayed
+                # computations being promoted without an explicit
+                # notification for every such event.
+                while not self._heap or self._fleet_engaged():
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), 0.1)
+                    except asyncio.TimeoutError:
+                        pass
                 _neg_priority, _seq, computation = heapq.heappop(self._heap)
             if computation.cancelled or computation.claimed:
                 continue
@@ -616,12 +703,19 @@ class JobScheduler:
         state: str,
         error: Optional[str] = None,
         entry: Optional[ManifestEntry] = None,
+        attempts: Optional[int] = None,
+        wall_seconds: Optional[float] = None,
     ) -> None:
         computation.state = state
         self._inflight.pop(computation.key, None)
         if state == JobState.FAILED:
             self.telemetry.computation_failed(
                 computation.key, self.telemetry.bus.time
+            )
+        wall = entry.wall_seconds if entry is not None else wall_seconds
+        if state == JobState.DONE and wall is not None and wall > 0:
+            self._recent_wall_seconds = (
+                0.8 * self._recent_wall_seconds + 0.2 * wall
             )
         for job in computation.jobs:
             job.state = state
@@ -631,18 +725,342 @@ class JobScheduler:
             if entry is not None:
                 job.attempts = entry.attempts
                 job.wall_seconds = entry.wall_seconds
+            if attempts is not None:
+                job.attempts = attempts
+            if wall_seconds is not None:
+                job.wall_seconds = wall_seconds
+            if computation.lease_history:
+                job.lease_history = list(computation.lease_history)
             if state == JobState.DONE:
                 self.counters["completed"] += 1
             elif state == JobState.FAILED:
                 self.counters["failed"] += 1
             elif state == JobState.CANCELLED:
                 self.counters["cancelled"] += 1
+            elif state == JobState.DEAD_LETTER:
+                self.counters["failed"] += 1
             self._resolve(job)
 
     def _resolve(self, job: Job) -> None:
         future = self._futures.get(job.job_id)
         if future is not None and not future.done():
             future.set_result(job)
+
+    # ------------------------------------------------------------------
+    # Fleet lease protocol (all coroutines run on the owning loop)
+    # ------------------------------------------------------------------
+    def _shed_reason(self) -> Optional[str]:
+        """Why a new computation must be shed right now, or ``None``."""
+        if self.fleet.draining:
+            return "service is draining for shutdown"
+        minimum = self.fleet.config.min_workers
+        if minimum > 0:
+            live = len(self.fleet.live_workers())
+            if live < minimum:
+                return (
+                    f"fleet unhealthy: {live} live worker(s), "
+                    f"{minimum} required"
+                )
+        return None
+
+    def retry_after_seconds(self) -> int:
+        """Backpressure hint (seconds) derived from queue depth and
+        worker count: backlog × recent seconds-per-job ÷ capacity,
+        clamped to [1, 60].  Served as ``Retry-After`` on 429/503."""
+        running = sum(
+            1
+            for computation in self._inflight.values()
+            if computation.state == JobState.RUNNING
+        )
+        backlog = self._queued + running + 1
+        live = len(self.fleet.live_workers())
+        capacity = live if live > 0 else self.workers
+        hint = math.ceil(
+            backlog * self._recent_wall_seconds / max(1, capacity)
+        )
+        return max(1, min(60, int(hint)))
+
+    async def fleet_claim(self, worker_id: str) -> Dict[str, object]:
+        """A fleet worker asks for work; returns a grant or an idle poll.
+
+        The grant carries the lease (id, key, TTL, attempt) and the full
+        job payload the worker needs to rebuild a
+        :class:`~repro.runner.sharding.TaskSpec`.  With nothing
+        claimable the response's ``lease`` is ``None`` and
+        ``retry_seconds`` suggests a poll interval; ``draining`` tells
+        the worker to finish up and exit.
+        """
+        if not worker_id:
+            raise ConfigurationError("fleet claim needs a worker_id")
+        info = self.fleet.touch_worker(worker_id)
+        idle: Dict[str, object] = {
+            "lease": None,
+            "draining": self.fleet.draining,
+            "retry_seconds": min(
+                1.0, self.fleet.config.effective_supervisor_interval
+            ),
+        }
+        if self.fleet.draining:
+            return idle
+        computation = self._pop_claimable()
+        if computation is None:
+            return idle
+        self._queued -= 1
+        computation.state = JobState.RUNNING
+        for job in computation.jobs:
+            job.state = JobState.RUNNING
+        computation.lease_attempts += 1
+        lease = self.fleet.grant(
+            computation.key, worker_id, computation.lease_attempts
+        )
+        computation.lease_id = lease.lease_id
+        computation.lease_history.append(
+            {
+                "attempt": lease.attempt,
+                "worker_id": worker_id,
+                "lease_id": lease.lease_id,
+                "outcome": "granted",
+            }
+        )
+        info.claims += 1
+        spec = computation.spec
+        return {
+            "lease": {
+                "lease_id": lease.lease_id,
+                "key": computation.key,
+                "ttl": self.fleet.config.lease_ttl,
+                "attempt": lease.attempt,
+            },
+            "draining": False,
+            "job": {
+                "experiment_id": spec.experiment_id,
+                "profile": spec.profile.to_dict(),
+                "seed": spec.seed,
+                "timeout": spec.timeout,
+                "entry_point": spec.entry_point,
+                "scenario": (
+                    None if spec.scenario is None else spec.scenario.to_json()
+                ),
+                "batch_hint": spec.batch_hint,
+            },
+        }
+
+    def _pop_claimable(self) -> Optional[_Computation]:
+        """Highest-priority queued computation, skipping dead entries."""
+        while self._heap:
+            _neg_priority, _seq, computation = heapq.heappop(self._heap)
+            if computation.cancelled or computation.claimed:
+                continue
+            if computation.state != JobState.QUEUED:
+                continue
+            return computation
+        return None
+
+    async def fleet_heartbeat(
+        self, lease_id: str, worker_id: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Renew a lease (raises :class:`LeaseError` on a dead one)."""
+        lease = self.fleet.renew(lease_id, worker_id)
+        return lease.to_dict()
+
+    async def fleet_complete(
+        self,
+        lease_id: str,
+        worker_id: str,
+        result: object,
+        wall_seconds: float = 0.0,
+    ) -> Dict[str, object]:
+        """Upload the result blob for a leased computation.
+
+        A malformed payload is rejected with 400 *without* releasing
+        the lease — a torn upload looks exactly like a worker that died
+        mid-upload, and the supervisor's expiry path re-dispatches it.
+        A dead lease raises :class:`LeaseError` (409) and the upload is
+        dropped: the re-dispatched attempt's bit-identical result is
+        the one that gets stored.
+        """
+        try:
+            lease = self.fleet.checked(lease_id, worker_id)
+        except LeaseError:
+            self.fleet.counters["uploads_rejected"] += 1
+            raise
+        computation = self._inflight.get(lease.key)
+        if computation is None or computation.lease_id != lease_id:
+            self.fleet.counters["uploads_rejected"] += 1
+            self.fleet.release(lease_id)
+            raise LeaseError(
+                f"lease {lease_id!r} no longer maps to a live computation"
+            )
+        from repro.experiments.base import ExperimentResult
+
+        if not isinstance(result, dict):
+            raise ConfigurationError(
+                "fleet upload payload must be a result object"
+            )
+        try:
+            parsed = ExperimentResult.from_dict(result)
+        except Exception as exc:  # noqa: BLE001 - torn/garbage upload
+            # The lease stays live: a malformed blob is indistinguishable
+            # from a worker dying mid-upload, and expiry re-dispatches it.
+            raise ConfigurationError(
+                f"fleet upload payload is not a valid result: {exc!r}"
+            ) from exc
+        self.fleet.release(lease_id)
+        computation.lease_id = None
+        self._lease_outcome(computation, lease_id, "completed")
+        info = self.fleet.touch_worker(worker_id)
+        info.completed += 1
+        self.fleet.counters["fleet_completed"] += 1
+        evicted = self.store.put(computation.key, parsed)
+        self.telemetry.result_stored(computation.key, self.telemetry.bus.time)
+        for victim in evicted:
+            self.telemetry.store_evicted(victim.key, self.telemetry.bus.time)
+        self._finish_computation(
+            computation,
+            state=JobState.DONE,
+            attempts=lease.attempt,
+            wall_seconds=wall_seconds,
+        )
+        return {"stored": True, "key": computation.key}
+
+    async def fleet_fail(
+        self, lease_id: str, worker_id: str, error: str
+    ) -> Dict[str, object]:
+        """Report a *deterministic* failure (the experiment itself
+        raised).  Mirrors the pool's semantics: deterministic failures
+        are not retried — retrying would fail identically."""
+        lease = self.fleet.checked(lease_id, worker_id)
+        computation = self._inflight.get(lease.key)
+        self.fleet.release(lease_id)
+        if computation is None or computation.lease_id != lease_id:
+            raise LeaseError(
+                f"lease {lease_id!r} no longer maps to a live computation"
+            )
+        computation.lease_id = None
+        self._lease_outcome(computation, lease_id, "failed")
+        info = self.fleet.touch_worker(worker_id)
+        info.failed += 1
+        self.fleet.counters["fleet_failed"] += 1
+        self._finish_computation(
+            computation,
+            state=JobState.FAILED,
+            error=error or "fleet worker reported failure",
+            attempts=lease.attempt,
+        )
+        return {"state": JobState.FAILED, "key": computation.key}
+
+    @staticmethod
+    def _lease_outcome(
+        computation: _Computation, lease_id: str, outcome: str
+    ) -> None:
+        for record in reversed(computation.lease_history):
+            if record["lease_id"] == lease_id:
+                record["outcome"] = outcome
+                return
+
+    def begin_drain(self) -> None:
+        """Enter drain mode: shed new submissions, grant no new leases,
+        let in-flight leases finish (SIGTERM handling)."""
+        self.fleet.draining = True
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Drain in-flight leases; ``True`` when everything finished.
+
+        Enters drain mode, then waits for live leases and running
+        computations to complete (the supervisor keeps expiring dead
+        leases; with ``dead_letter_after`` exhausted they dead-letter
+        and the drain still terminates).  Queued-but-never-leased work
+        is cancelled by the subsequent :meth:`stop`.
+        """
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            busy = bool(self.fleet.leases) or any(
+                computation.state == JobState.RUNNING
+                for computation in self._inflight.values()
+            )
+            if not busy:
+                return True
+            if deadline is not None and loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # Supervisor: lease expiry, re-dispatch backoff, dead-lettering
+    # ------------------------------------------------------------------
+    async def _supervisor_loop(self) -> None:
+        interval = self.fleet.config.effective_supervisor_interval
+        while True:
+            await asyncio.sleep(interval)
+            self.supervise_once()
+
+    def supervise_once(self) -> None:
+        """One supervisor tick (synchronous; also driven by tests).
+
+        Expires overdue leases — re-dispatching their computations with
+        capped exponential backoff + deterministic jitter, or
+        quarantining them into dead-letter after ``dead_letter_after``
+        failed leases — and promotes delayed computations whose backoff
+        has elapsed back onto the heap.
+        """
+        for lease in self.fleet.expired_leases():
+            self.fleet.release(lease.lease_id)
+            self.fleet.counters["leases_expired"] += 1
+            computation = self._inflight.get(lease.key)
+            if computation is None or computation.lease_id != lease.lease_id:
+                continue  # completed/failed just before the tick
+            computation.lease_id = None
+            self._lease_outcome(computation, lease.lease_id, "expired")
+            if computation.lease_attempts >= self.fleet.config.dead_letter_after:
+                self.fleet.counters["dead_letter"] += 1
+                self.fleet.dead_letters.append(
+                    {
+                        "key": computation.key,
+                        "experiment_id": computation.spec.experiment_id,
+                        "lease_attempts": computation.lease_attempts,
+                        "lease_history": list(computation.lease_history),
+                    }
+                )
+                self._finish_computation(
+                    computation,
+                    state=JobState.DEAD_LETTER,
+                    error=(
+                        f"dead-lettered after {computation.lease_attempts} "
+                        f"failed lease(s)"
+                    ),
+                    attempts=computation.lease_attempts,
+                )
+                continue
+            delay = lease_backoff_seconds(
+                computation.key,
+                computation.lease_attempts,
+                self.fleet.config.backoff_cap,
+            )
+            computation.state = JobState.QUEUED
+            for job in computation.jobs:
+                job.state = JobState.QUEUED
+            self.fleet.counters["redispatches"] += 1
+            self._queued += 1
+            self._delayed.append((self.fleet.now() + delay, computation))
+        if self._delayed:
+            now = self.fleet.now()
+            still_waiting = []
+            for ready_at, computation in self._delayed:
+                if computation.cancelled or computation.claimed:
+                    continue  # cancel() already settled the accounting
+                if ready_at <= now:
+                    heapq.heappush(
+                        self._heap,
+                        (
+                            -computation.priority,
+                            next(self._sequence),
+                            computation,
+                        ),
+                    )
+                else:
+                    still_waiting.append((ready_at, computation))
+            self._delayed = still_waiting
 
     # ------------------------------------------------------------------
     # Metrics
@@ -659,6 +1077,9 @@ class JobScheduler:
         data["running"] = running
         data["inflight_keys"] = len(self._inflight)
         data["workers"] = self.workers
+        data["delayed"] = len(self._delayed)
+        data["retry_after_seconds"] = self.retry_after_seconds()
+        data["fleet"] = self.fleet.snapshot()
         return data
 
 

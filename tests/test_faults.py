@@ -14,12 +14,14 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import derive_seed
 from repro.faults import (
     DEFAULT_FAULT_SPEC,
+    DEFAULT_FLEET_FAULT_SPEC,
     CoRunnerProgram,
     FaultSpec,
     apply_measurement_faults,
     build_fault_schedule,
     desched_plan,
     emit_fault_events,
+    fleet_fault_decision,
     schedules_equal,
 )
 from repro.faults.chaos import CHAOS_MARKER_ENV, CHAOS_TASK_ENV, _chaos_armed
@@ -81,6 +83,104 @@ class TestFaultSpec:
     def test_to_dict_round_trips(self):
         spec = DEFAULT_FAULT_SPEC.scaled(0.5)
         assert FaultSpec(**spec.to_dict()) == spec
+
+    def test_to_dict_omits_fleet_fields_at_defaults(self):
+        """Key-stability: specs predating the fleet fields must keep
+        producing byte-identical canonical dicts (scenario KEYS.json
+        pins hash this form)."""
+        data = DEFAULT_FAULT_SPEC.to_dict()
+        for name in (
+            "heartbeat_stale_rate",
+            "upload_drop_rate",
+            "store_slow_rate",
+            "store_slow_seconds",
+        ):
+            assert name not in data
+
+    def test_to_dict_keeps_fleet_fields_when_set(self):
+        spec = FaultSpec(upload_drop_rate=0.25, store_slow_seconds=0.1)
+        data = spec.to_dict()
+        assert data["upload_drop_rate"] == 0.25
+        assert data["store_slow_seconds"] == 0.1
+        assert "heartbeat_stale_rate" not in data  # still at default
+        assert FaultSpec(**data) == spec
+
+    def test_fleet_rates_validated_and_scaled(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(heartbeat_stale_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(store_slow_seconds=-0.1)
+        spec = FaultSpec(upload_drop_rate=0.2, store_slow_rate=0.1)
+        doubled = spec.scaled(2.0)
+        assert doubled.upload_drop_rate == pytest.approx(0.4)
+        assert doubled.store_slow_rate == pytest.approx(0.2)
+        # Magnitudes are intensity-invariant; rates clamp at 1.
+        assert doubled.store_slow_seconds == spec.store_slow_seconds
+        assert spec.scaled(100.0).upload_drop_rate == 1.0
+
+
+class TestFleetFaultDecision:
+    def test_pure_function_of_spec_seed_key_attempt(self):
+        spec = DEFAULT_FLEET_FAULT_SPEC
+        for key in ("a" * 64, "b" * 64):
+            for attempt in (1, 2, 3):
+                first = fleet_fault_decision(spec, 7, key, attempt)
+                second = fleet_fault_decision(spec, 7, key, attempt)
+                assert first == second
+
+    def test_decisions_vary_across_attempts_and_keys(self):
+        spec = DEFAULT_FLEET_FAULT_SPEC.scaled(3.0)
+        faults = {
+            fleet_fault_decision(spec, 7, f"{index:064d}", attempt).fault
+            for index in range(40)
+            for attempt in (1, 2)
+        }
+        assert len(faults) > 1  # not everything collapses to one class
+
+    def test_at_most_one_fault_per_attempt(self):
+        spec = DEFAULT_FLEET_FAULT_SPEC.scaled(5.0)
+        for index in range(100):
+            decision = fleet_fault_decision(spec, 3, f"{index:064x}", 1)
+            flags = [
+                decision.crash,
+                decision.hang,
+                decision.stale_heartbeat,
+                decision.drop_upload,
+                decision.slow_store,
+            ]
+            assert sum(flags) <= 1
+            if decision.fault is None:
+                assert not any(flags)
+
+    def test_intensity_zero_is_fault_free(self):
+        spec = DEFAULT_FLEET_FAULT_SPEC.scaled(0.0)
+        for index in range(50):
+            decision = fleet_fault_decision(spec, 11, f"{index:064x}", 1)
+            assert decision.fault is None
+            assert not decision.loses_lease
+
+    def test_loses_lease_classification(self):
+        # Crash/hang/stale-heartbeat/dropped-upload all end in lease
+        # expiry and re-dispatch; a slow store completes normally.
+        lossy = FaultSpec(worker_crash_rate=1.0)
+        decision = fleet_fault_decision(lossy, 0, "k" * 64, 1)
+        assert decision.crash and decision.loses_lease
+        slow = FaultSpec(store_slow_rate=1.0, store_slow_seconds=0.25)
+        decision = fleet_fault_decision(slow, 0, "k" * 64, 1)
+        assert decision.slow_store and not decision.loses_lease
+        assert decision.store_slow_seconds == 0.25
+
+    def test_default_fleet_regime_bites_but_mostly_succeeds(self):
+        """At intensity 1.0 a meaningful minority of attempts misbehave
+        (the chaos campaign exercises every recovery path) without the
+        regime degenerating into all-faults."""
+        spec = DEFAULT_FLEET_FAULT_SPEC
+        faulty = sum(
+            1
+            for index in range(500)
+            if fleet_fault_decision(spec, 1, f"{index:064x}", 1).fault
+        )
+        assert 100 <= faulty <= 300
 
 
 class TestFaultSchedule:

@@ -1,0 +1,247 @@
+"""Fleet chaos suite: the bit-identical-under-faults invariant.
+
+The tentpole guarantee of the worker fleet is that *service-level*
+faults — workers crashing, hanging, losing their heartbeats, dropping
+uploads, stalling on the store — change job latency but never job
+results.  This suite runs a real HTTP service with real
+:class:`~repro.service.worker.FleetWorker` threads whose misbehaviour is
+materialised deterministically from ``(FaultSpec, seed, key, attempt)``
+at **intensity 1.0**, then checks every submitted job completed with a
+blob byte-identical to a fault-free run, nothing was lost or run twice,
+and at least one job traversed the full expiry → re-dispatch → success
+path.  Poison jobs (a worker that crashes on every attempt) must land in
+``dead_letter`` with their lease history recorded, not retry forever.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults.fleet import DEFAULT_FLEET_FAULT_SPEC
+from repro.faults.spec import FaultSpec
+from repro.service.client import ServiceClient
+from repro.service.fleet import FleetConfig
+from repro.service.http import ServiceApp, make_server
+from repro.service.store import ResultStore
+from repro.service.worker import FleetWorker
+from tests.fake_experiments import seed_echo
+
+SEED_ECHO = "tests.fake_experiments:seed_echo"
+CAMPAIGN_JOBS = 50
+FAULT_SEED = 2026
+WAIT = 120.0
+
+
+def serve(tmp_path, fleet):
+    store = ResultStore(tmp_path / "store")
+    app = ServiceApp(store, workers=1, queue_depth=128, fleet=fleet)
+    app.__enter__()
+    server = make_server(app)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+
+    def teardown():
+        server.shutdown()
+        server.server_close()
+        app.__exit__(None, None, None)
+
+    return client, teardown
+
+
+def run_workers(client, count, faults, lease_seen):
+    """Start ``count`` chaos workers; returns (threads, workers)."""
+    workers = [
+        FleetWorker(
+            client.base_url,
+            f"chaos-w{index}",
+            poll_seconds=0.02,
+            faults=faults,
+            fault_seed=FAULT_SEED,
+        )
+        for index in range(count)
+    ]
+    threads = [
+        threading.Thread(target=worker.run, daemon=True)
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + WAIT
+    while client.fleet()["workers_live"] < lease_seen:
+        assert time.monotonic() < deadline, "chaos workers never registered"
+        time.sleep(0.01)
+    return threads, workers
+
+
+class TestChaosCampaign:
+    def test_intensity_one_campaign_is_bit_identical(self, tmp_path):
+        """50 jobs, 3 misbehaving workers, every blob byte-exact."""
+        fleet = FleetConfig(
+            lease_ttl=0.4,
+            dead_letter_after=10,  # poison quarantine stays out of the way
+            backoff_cap=0.5,
+            worker_ttl=30.0,  # chaos workers stay "live" while hung
+        )
+        client, teardown = serve(tmp_path, fleet)
+        faults = DEFAULT_FLEET_FAULT_SPEC.scaled(1.0)
+        threads, workers = run_workers(client, 3, faults, lease_seen=3)
+        try:
+            jobs = [
+                client.submit("echo", entry_point=SEED_ECHO, seed=seed)
+                for seed in range(CAMPAIGN_JOBS)
+            ]
+            records = [
+                client.wait(str(job["job_id"]), timeout=WAIT)
+                for job in jobs
+            ]
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=WAIT)
+            health = client.healthz()
+            fleet_view = client.fleet()
+            teardown()
+
+        # 1. Nothing lost: every job terminal and DONE (the chaos regime
+        # contains no deterministic failures, so nothing may fail or
+        # dead-letter either).
+        states = [record["state"] for record in records]
+        assert states == ["done"] * CAMPAIGN_JOBS
+
+        # 2. Bit-identical to a fault-free run: each stored blob equals
+        # the direct in-process computation's canonical JSON bytes.
+        store = ResultStore(tmp_path / "store")
+        for seed, record in zip(range(CAMPAIGN_JOBS), records):
+            expected = seed_echo(seed=seed).to_json().encode("utf-8")
+            assert store.get_bytes(str(record["result_key"])) == expected
+
+        # 3. Nothing duplicated: 50 distinct keys, one completion per
+        # job, one computation per key even across re-dispatches.
+        keys = {str(record["result_key"]) for record in records}
+        assert len(keys) == CAMPAIGN_JOBS
+        scheduler = health["scheduler"]
+        assert scheduler["completed"] == CAMPAIGN_JOBS
+        assert scheduler["computations"] == CAMPAIGN_JOBS
+        assert scheduler["queued"] == 0
+        assert scheduler["running"] == 0
+
+        # 4. The chaos actually bit: leases expired and were
+        # re-dispatched, and at least one job traversed the full
+        # expiry → re-dispatch → success path.
+        counters = fleet_view["counters"]
+        assert counters["leases_expired"] >= 1
+        assert counters["redispatches"] >= 1
+        assert counters["dead_letter"] == 0
+        recovered = [
+            record
+            for record in records
+            if any(
+                entry["outcome"] == "expired"
+                for entry in record.get("lease_history", [])
+            )
+        ]
+        assert recovered, "no job traversed expiry -> re-dispatch -> success"
+        for record in recovered:
+            assert record["lease_history"][-1]["outcome"] == "completed"
+
+        # 5. The decision function (not luck) drove the misbehaviour.
+        chaos_events = sum(
+            worker.counters["chaos_crash"]
+            + worker.counters["chaos_hang"]
+            + worker.counters["chaos_stale_heartbeat"]
+            + worker.counters["chaos_drop_upload"]
+            + worker.counters["chaos_slow_store"]
+            for worker in workers
+        )
+        assert chaos_events >= 1
+
+
+class TestPoisonJobs:
+    def test_poison_job_dead_letters_with_lease_history(self, tmp_path):
+        """A job whose worker crashes on every attempt is quarantined."""
+        fleet = FleetConfig(
+            lease_ttl=0.2,
+            dead_letter_after=2,
+            backoff_cap=0.3,
+            worker_ttl=30.0,
+        )
+        client, teardown = serve(tmp_path, fleet)
+        poison = FaultSpec(worker_crash_rate=1.0)
+        threads, workers = run_workers(client, 1, poison, lease_seen=1)
+        try:
+            job = client.submit("echo", entry_point=SEED_ECHO, seed=404)
+            record = client.wait(str(job["job_id"]), timeout=WAIT)
+            fleet_view = client.fleet()
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=WAIT)
+            teardown()
+
+        assert record["state"] == "dead_letter"
+        assert "dead-lettered after 2" in str(record["error"])
+        assert record["result_key"] is None
+        history = record["lease_history"]
+        assert len(history) == 2
+        assert [entry["outcome"] for entry in history] == [
+            "expired",
+            "expired",
+        ]
+        assert [entry["attempt"] for entry in history] == [1, 2]
+
+        assert fleet_view["counters"]["dead_letter"] == 1
+        assert len(fleet_view["dead_letters"]) == 1
+        quarantined = fleet_view["dead_letters"][0]
+        assert quarantined["lease_attempts"] == 2
+        assert len(quarantined["lease_history"]) == 2
+
+        # No partial blob for a quarantined job: the store never saw a
+        # write (its directory holds no content-addressed blobs at all).
+        blobs = [
+            path
+            for path in (tmp_path / "store").rglob("*")
+            if path.is_file() and len(path.stem) == 64
+        ]
+        assert blobs == []
+        assert workers[0].counters["chaos_crash"] == 2
+        assert workers[0].counters["completed"] == 0
+
+    def test_poison_quarantine_does_not_block_healthy_jobs(self, tmp_path):
+        """Healthy jobs behind a poison job still complete."""
+        fleet = FleetConfig(
+            lease_ttl=0.2,
+            dead_letter_after=2,
+            backoff_cap=0.3,
+            worker_ttl=30.0,
+        )
+        client, teardown = serve(tmp_path, fleet)
+        # Crash rate below 1 but keyed deterministically: use a spec
+        # that crashes nothing, and poison via a deterministic failure
+        # instead (raises on its only attempt -> FAILED, not retried).
+        threads, workers = run_workers(client, 1, None, lease_seen=1)
+        try:
+            bad = client.submit(
+                "bad", entry_point="tests.fake_experiments:raises_error"
+            )
+            good = client.submit("echo", entry_point=SEED_ECHO, seed=7)
+            bad_record = client.wait(str(bad["job_id"]), timeout=WAIT)
+            good_record = client.wait(str(good["job_id"]), timeout=WAIT)
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=WAIT)
+            teardown()
+
+        assert bad_record["state"] == "failed"
+        assert "ValueError" in str(bad_record["error"])
+        assert bad_record["lease_history"][-1]["outcome"] == "failed"
+        assert good_record["state"] == "done"
+        store = ResultStore(tmp_path / "store")
+        assert store.get_bytes(str(good_record["result_key"])) == (
+            seed_echo(seed=7).to_json().encode("utf-8")
+        )

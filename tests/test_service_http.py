@@ -181,7 +181,15 @@ class TestBackpressureOverHTTP:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 429
-        assert excinfo.value.headers.get("Retry-After") == "1"
+        # The hint is derived from queue depth / worker count, not a
+        # constant: 1 running + 1 queued + the rejected one over a
+        # single worker must wait at least the nominal seconds-per-job.
+        retry_after = excinfo.value.headers.get("Retry-After")
+        assert retry_after is not None
+        hinted = int(retry_after)
+        assert 1 <= hinted <= 60
+        expected = client.healthz()["scheduler"]["retry_after_seconds"]
+        assert hinted == expected
         (tmp_path / "gate").write_text("go")
         assert client.wait(str(queued["job_id"]))["state"] == "done"
 
