@@ -150,6 +150,23 @@ PAPER_CONTEXT = {
         "is periodic and burst-detectable on the sender core, so the "
         "cross-core deployment buys reach, not stealth."
     ),
+    "closed_loop_defense": (
+        "Operational extension beyond the paper: Section 7's stealth "
+        "asymmetry closed into a live detect→fuse→respond loop. Each "
+        "suspect co-runs with a decoding receiver while three "
+        "benign-calibrated detectors stream z-scores into a 2-of-3 "
+        "fleet aggregator; the fused alarm flips the running hierarchy "
+        "to write-through at a pinned stream-event boundary. Measured: "
+        "the continuously-modulating (LRU-style) sender scores "
+        "hundreds of sigma above baseline, trips the fused alarm "
+        "within its first symbols, and loses the channel — post-flip "
+        "capacity collapses by far more than the 10x acceptance bar — "
+        "while the WB sender's one-store-per-bit pattern completes its "
+        "whole payload without the alarm ever firing. The alarm clock, "
+        "flip event id and pre/post capacities are bit-deterministic "
+        "across engines and across stream clients dropping and "
+        "resuming mid-run (tests/test_closed_loop.py)."
+    ),
     "fault_tolerance": (
         "Robustness extension beyond the paper: the same faulted channel "
         "(descheduling slips, co-runner bursts, threshold drift, dropped "
@@ -229,8 +246,8 @@ identical concurrent submissions coalesce into one computation — see
 the README's "Serving experiments" section.
 
 The WB-channel family — ``fig6``, ``fig7``, ``fig8``, ``extension_l2``,
-``cross_core_wb``, ``fault_tolerance``, ``online_detection``,
-``defenses`` — is
+``cross_core_wb``, ``closed_loop_defense``, ``fault_tolerance``,
+``online_detection``, ``defenses`` — is
 **spec-backed**: each experiment's full configuration lives in a
 declarative ``ScenarioSpec`` (``repro.scenario.library``, committed as
 JSON in ``scenarios/``), the module body only shapes results from the

@@ -1,0 +1,86 @@
+"""Closed-loop defense — live fusion turns detection into response.
+
+The online-detection experiment scores suspects after the fact; this one
+closes the loop *while the channel runs*.  Each suspect co-runs with a
+decoding receiver whose chase loads pace three calibrated detectors
+(dual-window :class:`~repro.telemetry.detectors.MissRateMonitor` plus a
+:class:`~repro.telemetry.detectors.WritebackBurstDetector`); their score
+streams feed a :class:`~repro.orchestration.aggregator.FleetAggregator`
+whose k-of-n fused alarm triggers a
+:class:`~repro.orchestration.responder.DefenseResponder`, flipping the
+live hierarchy to a :mod:`repro.defenses` defense at a deterministic
+event boundary.
+
+Expected qualitative result, the §7/§8 asymmetry made operational: the
+continuously-modulating (LRU-style) sender trips the fused alarm and
+loses the channel — post-flip capacity collapses by at least an order
+of magnitude — while the WB sender's one-store-per-bit pattern
+completes its whole payload without the alarm ever firing.
+
+The co-runs, pilot decoder calibration, fusion and response are compiled
+from :func:`repro.scenario.library.closed_loop_defense_spec` and
+executed by :mod:`repro.scenario.closed_loop`; this module keeps only
+the result shaping.  The constants below mirror that spec's defaults.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ProfileLike, resolve_profile
+from repro.scenario.compile import compile_scenario
+from repro.scenario.library import closed_loop_defense_spec
+from repro.scenario.runner import _shape_closed_loop_defense
+
+EXPERIMENT_ID = "closed_loop_defense"
+
+SUSPECT_TID = 0
+RECEIVER_TID = 1
+#: Same bit period as the online-detection comparison — matched Ts.
+PERIOD = 11000
+TARGET_SET = 21
+START_TIME = 2_000_000
+#: The fused decision rule the aggregator applies.
+FUSION_K = 2
+FUSION_WINDOW = 300
+#: Defense the responder arms (see :mod:`repro.orchestration.responder`).
+DEFENSE = "write_through"
+
+
+def run(
+    *, profile: ProfileLike = None, seed: int = 0
+) -> ExperimentResult:
+    """Run the closed-loop defense experiment."""
+    profile = resolve_profile(profile)
+    spec = closed_loop_defense_spec()
+    measurement = compile_scenario(spec, profile, seed).measure()
+    shaped = _shape_closed_loop_defense(spec, measurement, seed)
+
+    asymmetry_holds = bool(measurement.asymmetry_holds)
+    notes_parts: List[str] = []
+    if asymmetry_holds:
+        notes_parts.append(
+            "The modulating sender trips the fused alarm and the defense "
+            "flip collapses its channel (post-flip capacity at least 10x "
+            "below pre-flip), while the WB sender finishes its payload "
+            "with no alarm — the paper's stealth asymmetry, closed into "
+            "a live detect-and-respond loop."
+        )
+    else:
+        notes_parts.append(
+            "CLOSED-LOOP ASYMMETRY NOT REPRODUCED at these settings: "
+            "see outcomes in params."
+        )
+    notes_parts.append(f"Fusion rule: {measurement.fusion_rule}.")
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Closed-loop defense: fused detection flips the hierarchy live",
+        paper_reference="Sections 7-8, closed into a live loop",
+        columns=shaped["columns"],
+        rows=shaped["rows"],
+        params=shaped["params"],
+        series=shaped["series"],
+        notes=" ".join(notes_parts),
+    )

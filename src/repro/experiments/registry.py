@@ -10,6 +10,7 @@ from repro.experiments.profiles import ProfileLike, resolve_profile
 from repro.experiments import (
     ablation_errors,
     ablation_replacement_set,
+    closed_loop,
     cross_core,
     defenses_exp,
     extension_3bit,
@@ -53,6 +54,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "extension_3bit": extension_3bit.run,
     "extension_l2": extension_l2.run,
     "cross_core_wb": cross_core.run,
+    "closed_loop_defense": closed_loop.run,
     "fault_tolerance": fault_tolerance.run,
     "ablation_errors": ablation_errors.run,
     "ablation_replacement_set": ablation_replacement_set.run,

@@ -1,0 +1,213 @@
+"""Fleet-wide detection fusion: k-of-n score sources over a window.
+
+A :class:`FleetAggregator` fuses the live score streams of many detector
+*sources* — one source per (job, core, detector) deployment, e.g. the
+``MissRateMonitor`` and ``WritebackBurstDetector`` watching one suspect,
+or the per-core detector pairs of the cross-core deployment — into a
+single deterministic alarm decision:
+
+    **fire when, within the trailing ``window`` clock units, at least
+    ``k`` of the ``n`` registered sources each produced at least
+    ``min_hits`` over-threshold scores.**
+
+Each source carries its own calibrated threshold (the benign-fitted
+``mean + sigmas*std`` operating point from
+:func:`repro.telemetry.detectors.suggest_threshold`), so the aggregator
+consumes already-normalised z-deviation scores and keeps only windowed
+hit state per source.  Everything is a pure function of the observation
+sequence — no wall clock, no randomness — which is what makes the
+closed-loop experiment bit-replayable.
+
+Wiring: :meth:`FleetAggregator.sink` returns a ``(clock, score)``
+callable bindable to a detector's ``score_sink`` hook, so scores flow
+in the instant a window closes, mid-run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.orchestration.counters import record_alarm, register_live
+
+
+class AlarmEvent(NamedTuple):
+    """One fused alarm decision.
+
+    ``time`` is the fusing clock reading (the observation that completed
+    the k-of-n condition); ``sources`` the contributing source ids in
+    registration order; ``hits`` the per-source over-threshold counts
+    inside the decision window; ``rule`` the human-readable decision
+    rule that fired.
+    """
+
+    time: int
+    sources: Tuple[str, ...]
+    hits: Tuple[int, ...]
+    rule: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view for stream frames and result params."""
+        return {
+            "time": self.time,
+            "sources": list(self.sources),
+            "hits": list(self.hits),
+            "rule": self.rule,
+        }
+
+
+class FleetAggregator:
+    """Windowed per-source score state with a k-of-n fused decision."""
+
+    def __init__(
+        self,
+        k: int = 2,
+        window: int = 1200,
+        min_hits: int = 1,
+        warmup: int = 0,
+        latch: bool = True,
+        publisher: Optional[object] = None,
+        source_label: Optional[str] = None,
+    ) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive, got {window}")
+        if min_hits <= 0:
+            raise ConfigurationError(
+                f"min_hits must be positive, got {min_hits}"
+            )
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        self.k = k
+        self.window = window
+        self.min_hits = min_hits
+        #: Clock readings at or below ``warmup`` are published and
+        #: counted in ``observed`` but never become hits — the windows
+        #: right after a stats reset straddle the startup transient and
+        #: score as spurious outliers even for benign processes.
+        self.warmup = warmup
+        #: With ``latch=True`` (default) the first alarm is final: scores
+        #: keep accumulating for post-hoc series, but no further alarms
+        #: fire — the closed loop flips a defense exactly once.
+        self.latch = latch
+        #: Optional :class:`~repro.telemetry.net.StreamPublisher`:
+        #: ``score`` and ``alarm`` frames go out live when attached.
+        self.publisher = publisher
+        #: Extra payload label stamped on published frames (job id).
+        self.source_label = source_label
+        self.on_alarm: List[Callable[[AlarmEvent], None]] = []
+        self.alarms: List[AlarmEvent] = []
+        self._order: List[str] = []
+        self._thresholds: Dict[str, float] = {}
+        self._hits: Dict[str, Deque[int]] = {}
+        self._observed: Dict[str, int] = {}
+        register_live("aggregators", self)
+
+    # -- sources -------------------------------------------------------
+    def register_source(self, source_id: str, threshold: float) -> None:
+        """Add a score source with its calibrated alarm threshold."""
+        if source_id in self._thresholds:
+            raise ConfigurationError(f"duplicate source {source_id!r}")
+        self._order.append(source_id)
+        self._thresholds[source_id] = threshold
+        self._hits[source_id] = deque()
+        self._observed[source_id] = 0
+
+    def sink(self, source_id: str) -> Callable[[int, float], None]:
+        """A ``(clock, score)`` callable bound to ``source_id``.
+
+        Bind it to a detector's ``score_sink`` hook; the source must be
+        registered first.
+        """
+        if source_id not in self._thresholds:
+            raise ConfigurationError(f"unknown source {source_id!r}")
+
+        def _sink(clock: int, score: float) -> None:
+            self.observe(source_id, clock, score)
+
+        return _sink
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        """Registered source ids, in registration order."""
+        return tuple(self._order)
+
+    @property
+    def fired(self) -> bool:
+        """Whether any alarm has fired."""
+        return bool(self.alarms)
+
+    # -- observation + decision ---------------------------------------
+    def observe(self, source_id: str, clock: int, score: float) -> Optional[AlarmEvent]:
+        """Feed one score; returns the alarm if this observation fused one."""
+        threshold = self._thresholds.get(source_id)
+        if threshold is None:
+            raise ConfigurationError(f"unknown source {source_id!r}")
+        self._observed[source_id] += 1
+        if self.publisher is not None:
+            payload: Dict[str, object] = {
+                "source": source_id,
+                "clock": clock,
+                "score": round(score, 6),
+                "threshold": round(threshold, 6),
+            }
+            if self.source_label is not None:
+                payload["label"] = self.source_label
+            self.publisher.publish("score", payload)
+        if score > threshold and clock > self.warmup:
+            self._hits[source_id].append(clock)
+        if self.latch and self.alarms:
+            return None
+        return self._evaluate(clock)
+
+    def _evaluate(self, clock: int) -> Optional[AlarmEvent]:
+        horizon = clock - self.window
+        over: List[str] = []
+        hit_counts: List[int] = []
+        for source_id in self._order:
+            hits = self._hits[source_id]
+            while hits and hits[0] < horizon:
+                hits.popleft()
+            count = len(hits)
+            if count >= self.min_hits:
+                over.append(source_id)
+                hit_counts.append(count)
+        if len(over) < self.k:
+            return None
+        alarm = AlarmEvent(
+            time=clock,
+            sources=tuple(over),
+            hits=tuple(hit_counts),
+            rule=(
+                f"{self.k}-of-{len(self._order)} sources with >= "
+                f"{self.min_hits} over-threshold scores within {self.window}"
+            ),
+        )
+        self.alarms.append(alarm)
+        record_alarm()
+        if self.publisher is not None:
+            payload = dict(alarm.to_dict())
+            if self.source_label is not None:
+                payload["label"] = self.source_label
+            self.publisher.publish("alarm", payload)
+        for callback in list(self.on_alarm):
+            callback(alarm)
+        return alarm
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """State view for ``/healthz`` and experiment params."""
+        return {
+            "sources": len(self._order),
+            "observed": dict(self._observed),
+            "alarms": len(self.alarms),
+            "rule": (
+                f"{self.k}-of-{len(self._order)}/"
+                f"min_hits={self.min_hits}/window={self.window}"
+            ),
+        }
+
+
+__all__ = ["AlarmEvent", "FleetAggregator"]

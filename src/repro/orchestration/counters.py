@@ -1,0 +1,83 @@
+"""Process-wide orchestration counters surfaced by the service.
+
+Aggregators and responders run deep inside experiment execution —
+worker threads, scenario engines — while ``/metrics`` renders from the
+HTTP layer.  These module-level counters are the bridge: every
+:class:`~repro.orchestration.aggregator.FleetAggregator` alarm and
+:class:`~repro.orchestration.responder.DefenseResponder` flip increments
+here (thread-safe), and the service reads one snapshot.
+
+They are observability only: nothing in any measurement path reads them,
+so they cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, List
+
+_lock = threading.Lock()
+_counters: Dict[str, int] = {"alarms_total": 0, "defense_flips_total": 0}
+
+#: Live orchestration components (weakly held): aggregators and
+#: responders register themselves on construction so ``/healthz`` can
+#: report sources / armed / fired while a closed-loop run is in flight.
+#: Weak references keep registration free of lifecycle coupling — a
+#: finished run's components vanish with their last strong reference.
+_live: Dict[str, "weakref.WeakSet"] = {
+    "aggregators": weakref.WeakSet(),
+    "responders": weakref.WeakSet(),
+}
+
+
+def record_alarm(count: int = 1) -> None:
+    """Count ``count`` fused alarms."""
+    with _lock:
+        _counters["alarms_total"] += count
+
+
+def record_flip(count: int = 1) -> None:
+    """Count ``count`` defense flips."""
+    with _lock:
+        _counters["defense_flips_total"] += count
+
+
+def orchestration_counters() -> Dict[str, int]:
+    """A snapshot copy of the process-wide counters."""
+    with _lock:
+        return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Zero the counters (test isolation)."""
+    with _lock:
+        for key in _counters:
+            _counters[key] = 0
+
+
+def register_live(kind: str, component: object) -> None:
+    """Weakly register a live aggregator/responder for ``/healthz``."""
+    with _lock:
+        _live[kind].add(component)
+
+
+def live_snapshots() -> Dict[str, List[Dict[str, object]]]:
+    """Snapshot every still-alive registered component, per kind.
+
+    Purely observational: a component mutating mid-snapshot (a run in
+    flight on another thread) is skipped rather than propagating a
+    transient iteration error into ``/healthz``.
+    """
+    out: Dict[str, List[Dict[str, object]]] = {}
+    with _lock:
+        live = {kind: list(refs) for kind, refs in _live.items()}
+    for kind, components in live.items():
+        snaps: List[Dict[str, object]] = []
+        for component in components:
+            try:
+                snaps.append(component.snapshot())
+            except RuntimeError:  # dict mutated during concurrent run
+                continue
+        out[kind] = snaps
+    return out

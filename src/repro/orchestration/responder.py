@@ -1,0 +1,132 @@
+"""Closed-loop defense response: flip a live hierarchy when an alarm fires.
+
+The :class:`DefenseResponder` closes the detect→respond loop: bind its
+:meth:`on_alarm` to a :class:`~repro.orchestration.aggregator
+.FleetAggregator` and, the moment the fused alarm fires, it switches the
+victim hierarchy to a defense from :mod:`repro.defenses`:
+
+``write_through``
+    Flip the L1 to ``WRITE_THROUGH`` + ``NO_WRITE_ALLOCATE`` — the
+    policy pair :func:`repro.defenses.write_through
+    .make_write_through_hierarchy` builds statically.  Stores stop
+    dirtying lines, so from the very next store the dirty-state channel
+    has nothing to modulate.
+
+``partition``
+    Install way-partition masks on a
+    :class:`~repro.defenses.partitioned.WayPartitionedCache` L1 (the
+    hierarchy must have been built partition-capable; masks from
+    :func:`repro.defenses.partitioned.split_ways_evenly`).  Fills stop
+    crossing protection domains, so the receiver can no longer evict the
+    suspect's lines.
+
+**Flip-boundary semantics.**  The alarm fires synchronously inside the
+telemetry fan-out of the access that closed the deciding detector
+window, i.e. between two demand accesses of the simulated machine.  The
+flip is applied right there, so its boundary is exactly one point on the
+logical event timeline: every access up to and including the deciding
+one ran under the undefended hierarchy, every later access under the
+defense.  ``flip_time`` records that boundary (the fusing clock
+reading); with a stream publisher attached, the ``flip`` frame's event
+id pins it on the wire too.  No wall clock, no thread races — replaying
+the run reproduces the same boundary bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.cache import AllocationPolicy, WritePolicy
+from repro.common.errors import ConfigurationError
+from repro.defenses.partitioned import split_ways_evenly
+from repro.orchestration.aggregator import AlarmEvent
+from repro.orchestration.counters import record_flip, register_live
+
+#: Defense selections understood by the responder.
+DEFENSES = ("write_through", "partition")
+
+
+class DefenseResponder:
+    """Arms a defense and applies it on the first fused alarm."""
+
+    def __init__(
+        self,
+        hierarchy: object,
+        defense: str = "write_through",
+        num_domains: int = 2,
+        publisher: Optional[object] = None,
+        source_label: Optional[str] = None,
+    ) -> None:
+        if defense not in DEFENSES:
+            raise ConfigurationError(
+                f"defense must be one of {DEFENSES}, got {defense!r}"
+            )
+        if num_domains <= 0:
+            raise ConfigurationError(
+                f"num_domains must be positive, got {num_domains}"
+            )
+        if defense == "partition" and not hasattr(
+            hierarchy.l1, "partitions"
+        ):
+            raise ConfigurationError(
+                "partition response needs a WayPartitionedCache L1 "
+                "(build the hierarchy with make_partitioned_hierarchy)"
+            )
+        self.hierarchy = hierarchy
+        self.defense = defense
+        self.num_domains = num_domains
+        self.publisher = publisher
+        self.source_label = source_label
+        self.armed = False
+        self.fired = False
+        self.flip_time: Optional[int] = None
+        self.flip_event_id: Optional[int] = None
+        register_live("responders", self)
+
+    def arm(self) -> "DefenseResponder":
+        """Enable the response (disarmed responders only observe)."""
+        self.armed = True
+        return self
+
+    def on_alarm(self, alarm: AlarmEvent) -> None:
+        """Aggregator callback: apply the defense once, at the boundary."""
+        if not self.armed or self.fired:
+            return
+        self.fired = True
+        self.flip_time = alarm.time
+        self._apply()
+        record_flip()
+        if self.publisher is not None:
+            payload: Dict[str, object] = {
+                "defense": self.defense,
+                "time": alarm.time,
+            }
+            if self.source_label is not None:
+                payload["label"] = self.source_label
+            frame = self.publisher.publish("flip", payload)
+            self.flip_event_id = frame.event_id
+
+    # -- defense application ------------------------------------------
+    def _apply(self) -> None:
+        l1 = self.hierarchy.l1
+        if self.defense == "write_through":
+            l1.write_policy = WritePolicy.WRITE_THROUGH
+            l1.allocation_policy = AllocationPolicy.NO_WRITE_ALLOCATE
+        else:
+            l1.partitions = split_ways_evenly(
+                l1.associativity, self.num_domains
+            )
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """State view for ``/healthz`` and experiment params."""
+        return {
+            "defense": self.defense,
+            "armed": self.armed,
+            "fired": self.fired,
+            "flip_time": self.flip_time,
+            "flip_event_id": self.flip_event_id,
+        }
+
+
+__all__ = ["DEFENSES", "DefenseResponder"]

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.common.errors import ConfigurationError
 from repro.common.units import cycles_to_kbps
 from repro.experiments.profiles import ProfileLike, RunProfile, resolve_profile
+from repro.telemetry.net import publish_ambient
 from repro.scenario.spec import (
     BerSweepParams,
     ChannelSpec,
@@ -194,6 +195,10 @@ def _measure_wb_ber_sweep(
         )
         curve: Dict[int, float] = {}
         for period in params.periods:
+            publish_ambient(
+                "progress",
+                {"stage": "sweep_point", "d": label, "period": period},
+            )
             bers = [
                 run_wb_channel(
                     _wb_config(
@@ -410,6 +415,12 @@ def _measure_cross_core_wb(spec: ScenarioSpec, profile: RunProfile, seed: int):
     return measure_cross_core(spec, profile, seed)
 
 
+def _measure_closed_loop_defense(spec: ScenarioSpec, profile: RunProfile, seed: int):
+    from repro.scenario.closed_loop import measure_closed_loop
+
+    return measure_closed_loop(spec, profile, seed)
+
+
 def _measure_defense_eval(
     spec: ScenarioSpec, profile: RunProfile, seed: int
 ) -> DefenseEvalMeasurement:
@@ -439,6 +450,7 @@ _RUNNERS: Dict[str, Callable] = {
     "online_detection": _measure_online_detection,
     "defense_eval": _measure_defense_eval,
     "cross_core_wb": _measure_cross_core_wb,
+    "closed_loop_defense": _measure_closed_loop_defense,
 }
 
 

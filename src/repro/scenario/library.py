@@ -16,6 +16,7 @@ from repro.scenario.spec import (
     Axis,
     BerSweepParams,
     ChannelSpec,
+    ClosedLoopParams,
     CodecSpec,
     Counts,
     CrossCoreParams,
@@ -188,6 +189,38 @@ def cross_core_wb_spec() -> ScenarioSpec:
     )
 
 
+def closed_loop_defense_spec() -> ScenarioSpec:
+    """Closed loop: live fusion over detector streams, defense on alarm."""
+    return ScenarioSpec(
+        name="closed_loop_defense",
+        kind="closed_loop_defense",
+        title="Closed-loop defense: fused detection flips the hierarchy live",
+        paper_reference="Sections 7-8, closed into a live loop",
+        description=(
+            "Co-run each suspect with a decoding receiver while detector "
+            "scores stream into a k-of-n fleet aggregator; the fused "
+            "alarm flips the hierarchy to a defense mid-run.  The "
+            "continuously-modulating sender trips the loop and loses the "
+            "channel (capacity collapses at the flip boundary); the WB "
+            "sender completes its payload without the alarm ever firing."
+        ),
+        channel=ChannelSpec(codec=CodecSpec(kind="binary", d_on=1)),
+        params=ClosedLoopParams(
+            period=11000,
+            target_set=21,
+            start_time=2_000_000,
+            num_symbols=Counts(48, 192),
+            # Wider margin than the offline detection experiments: the
+            # live loop latches on the first fused alarm, so a single
+            # chance spike in the WB sender's 192 full-scale windows
+            # would flip the defense.  The modulating sender scores
+            # ~180 sigma; 5 keeps the one-spike false-alarm out without
+            # touching the true alarm.
+            threshold_sigmas=5.0,
+        ),
+    )
+
+
 def defenses_spec() -> ScenarioSpec:
     """Section 8: defense evaluation over a seed range."""
     return ScenarioSpec(
@@ -213,6 +246,7 @@ LIBRARY: Dict[str, Callable[[], ScenarioSpec]] = {
     "online_detection": online_detection_spec,
     "defenses": defenses_spec,
     "cross_core_wb": cross_core_wb_spec,
+    "closed_loop_defense": closed_loop_defense_spec,
 }
 
 

@@ -221,6 +221,76 @@ def _shape_cross_core_wb(spec, measurement, seed):
     }
 
 
+def _shape_closed_loop_defense(spec, measurement, seed):
+    rows = []
+    for suspect in measurement.suspects:
+        outcome = measurement.outcomes[suspect]
+        pre = outcome.pre
+        post = outcome.post
+        rows.append(
+            [
+                suspect,
+                "-" if outcome.alarm_time is None else str(outcome.alarm_time),
+                "-" if outcome.flip_time is None else str(outcome.flip_time),
+                "-" if pre is None else f"{pre.capacity:.3f}",
+                "-" if post is None else f"{post.capacity:.3f}",
+                "-" if pre is None else f"{pre.ber:.1%}",
+                "-" if post is None else f"{post.ber:.1%}",
+            ]
+        )
+    outcomes = {
+        suspect: {
+            "alarm_time": outcome.alarm_time,
+            "alarm_sources": list(outcome.alarm_sources),
+            "flip_time": outcome.flip_time,
+            "flip_event_id": outcome.flip_event_id,
+            "boundary_symbol": outcome.boundary_symbol,
+            "payload_intact": outcome.payload_intact,
+            "stream_events": outcome.stream_events,
+            "stream_dropped": outcome.stream_dropped,
+            "pre": None
+            if outcome.pre is None
+            else {
+                "symbols": outcome.pre.symbols,
+                "errors": outcome.pre.errors,
+                "ber": outcome.pre.ber,
+                "capacity": outcome.pre.capacity,
+            },
+            "post": None
+            if outcome.post is None
+            else {
+                "symbols": outcome.post.symbols,
+                "errors": outcome.post.errors,
+                "ber": outcome.post.ber,
+                "capacity": outcome.post.capacity,
+            },
+        }
+        for suspect, outcome in measurement.outcomes.items()
+    }
+    return {
+        "columns": [
+            "suspect",
+            "alarm clock",
+            "flip clock",
+            "pre capacity",
+            "post capacity",
+            "pre BER",
+            "post BER",
+        ],
+        "rows": rows,
+        "series": measurement.series,
+        "params": {
+            "num_symbols": measurement.num_symbols,
+            "defense": measurement.defense,
+            "fusion_rule": measurement.fusion_rule,
+            "thresholds": measurement.thresholds,
+            "outcomes": outcomes,
+            "asymmetry_holds": measurement.asymmetry_holds,
+            "seed": seed,
+        },
+    }
+
+
 _SHAPERS = {
     "wb_ber_sweep": _shape_wb_ber_sweep,
     "wb_trace": _shape_wb_trace,
@@ -229,6 +299,7 @@ _SHAPERS = {
     "online_detection": _shape_online_detection,
     "defense_eval": _shape_defense_eval,
     "cross_core_wb": _shape_cross_core_wb,
+    "closed_loop_defense": _shape_closed_loop_defense,
 }
 
 

@@ -48,6 +48,7 @@ SCENARIO_KINDS = (
     "online_detection",
     "defense_eval",
     "cross_core_wb",
+    "closed_loop_defense",
 )
 
 
@@ -665,6 +666,151 @@ class CrossCoreParams:
         )
 
 
+@dataclass(frozen=True)
+class ClosedLoopParams:
+    """Live detect→fuse→respond loop around one suspect (Section 7, closed).
+
+    One co-run per suspect: the suspect modulates the dirty-state
+    channel on ``target_set``, a receiver thread decodes it (one
+    replacement-set chase per period, doubling as the detectors' pacing
+    clock), the configured detectors stream z-scores into a
+    :class:`~repro.orchestration.aggregator.FleetAggregator`
+    (``fusion_k``-of-n sources with ``fusion_min_hits`` over-threshold
+    scores within ``fusion_window`` clock units), and on the fused alarm
+    a :class:`~repro.orchestration.responder.DefenseResponder` flips the
+    hierarchy to ``defense``.  Channel capacity and BER are measured
+    before vs. after the flip.
+
+    Detector windows are denominated in receiver L1 accesses (the
+    receiver chases ``replacement_set_size`` lines once per period, so
+    ``window == replacement_set_size`` means one window per period).
+    """
+
+    period: int = 11000
+    target_set: int = 21
+    start_time: int = 2_000_000
+    num_symbols: Counts = field(default_factory=lambda: Counts(48, 192))
+    replacement_set_size: int = 10
+    receiver_phase: float = 0.5
+    detectors: Tuple[DetectorSpec, ...] = field(
+        default_factory=lambda: (
+            DetectorSpec(kind="miss_rate", name="monitor_fast", window=10),
+            DetectorSpec(kind="miss_rate", name="monitor_slow", window=30),
+            DetectorSpec(
+                kind="writeback_burst", name="burst", window=10, segment=12, max_lag=6
+            ),
+        )
+    )
+    suspects: Tuple[str, ...] = ("wb", "lru")
+    threshold_sigmas: float = 3.0
+    calibration_seed_offset: int = 7919
+    decoder_repetitions: Counts = field(default_factory=lambda: Counts(12, 30))
+    fusion_k: int = 2
+    fusion_window: int = 300
+    fusion_min_hits: int = 1
+    #: Clock readings at or below this are published but never count as
+    #: hits: the first windows after the stats reset straddle the
+    #: suspects' startup transient and score as spurious outliers for
+    #: benign and channel processes alike.
+    fusion_warmup: int = 40
+    defense: str = "write_through"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if not self.detectors:
+            raise ConfigurationError(
+                "closed_loop_defense needs at least one detector"
+            )
+        for suspect in self.suspects:
+            if suspect not in ("benign", "wb", "lru"):
+                raise ConfigurationError(
+                    f"unknown suspect {suspect!r}; valid: benign, wb, lru"
+                )
+        if self.fusion_k <= 0 or self.fusion_k > len(self.detectors):
+            raise ConfigurationError(
+                f"fusion_k must be in 1..{len(self.detectors)} "
+                f"(the source count), got {self.fusion_k}"
+            )
+        if self.fusion_window <= 0:
+            raise ConfigurationError(
+                f"fusion_window must be positive, got {self.fusion_window}"
+            )
+        if self.fusion_min_hits <= 0:
+            raise ConfigurationError(
+                f"fusion_min_hits must be positive, got {self.fusion_min_hits}"
+            )
+        if self.fusion_warmup < 0:
+            raise ConfigurationError(
+                f"fusion_warmup must be >= 0, got {self.fusion_warmup}"
+            )
+        if self.defense not in ("write_through", "partition"):
+            raise ConfigurationError(
+                f"defense must be write_through or partition, got {self.defense!r}"
+            )
+        if not 0.0 <= self.receiver_phase < 1.0:
+            raise ConfigurationError(
+                f"receiver_phase must be in [0, 1), got {self.receiver_phase}"
+            )
+        if self.replacement_set_size <= 0:
+            raise ConfigurationError(
+                f"replacement_set_size must be positive, "
+                f"got {self.replacement_set_size}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "period": self.period,
+            "target_set": self.target_set,
+            "start_time": self.start_time,
+            "num_symbols": self.num_symbols.to_dict(),
+            "replacement_set_size": self.replacement_set_size,
+            "receiver_phase": self.receiver_phase,
+            "detectors": [d.to_dict() for d in self.detectors],
+            "suspects": list(self.suspects),
+            "threshold_sigmas": self.threshold_sigmas,
+            "calibration_seed_offset": self.calibration_seed_offset,
+            "decoder_repetitions": self.decoder_repetitions.to_dict(),
+            "fusion_k": self.fusion_k,
+            "fusion_window": self.fusion_window,
+            "fusion_min_hits": self.fusion_min_hits,
+            "fusion_warmup": self.fusion_warmup,
+            "defense": self.defense,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "ClosedLoopParams":
+        _check_fields(cls, data, "closed_loop_defense params")
+        defaults = cls()
+        detectors = data.get("detectors")
+        return cls(
+            period=int(data.get("period", 11000)),
+            target_set=int(data.get("target_set", 21)),
+            start_time=int(data.get("start_time", 2_000_000)),
+            num_symbols=Counts.from_dict(
+                data.get("num_symbols", {"quick": 48, "full": 192})
+            ),
+            replacement_set_size=int(data.get("replacement_set_size", 10)),
+            receiver_phase=float(data.get("receiver_phase", 0.5)),
+            detectors=(
+                defaults.detectors
+                if detectors is None
+                else tuple(DetectorSpec.from_dict(d) for d in detectors)
+            ),
+            suspects=tuple(data.get("suspects", ("wb", "lru"))),
+            threshold_sigmas=float(data.get("threshold_sigmas", 3.0)),
+            calibration_seed_offset=int(data.get("calibration_seed_offset", 7919)),
+            decoder_repetitions=Counts.from_dict(
+                data.get("decoder_repetitions", {"quick": 12, "full": 30})
+            ),
+            fusion_k=int(data.get("fusion_k", 2)),
+            fusion_window=int(data.get("fusion_window", 300)),
+            fusion_min_hits=int(data.get("fusion_min_hits", 1)),
+            fusion_warmup=int(data.get("fusion_warmup", 40)),
+            defense=str(data.get("defense", "write_through")),
+        )
+
+
 _PARAMS_TYPES: Dict[str, Type] = {
     "wb_ber_sweep": BerSweepParams,
     "wb_trace": TraceParams,
@@ -673,6 +819,7 @@ _PARAMS_TYPES: Dict[str, Type] = {
     "online_detection": OnlineDetectionParams,
     "defense_eval": DefenseEvalParams,
     "cross_core_wb": CrossCoreParams,
+    "closed_loop_defense": ClosedLoopParams,
 }
 
 

@@ -21,6 +21,13 @@ behind traffic (the ROADMAP's north star):
   :class:`~repro.telemetry.subscribers.WindowedCounters` /
   :class:`~repro.telemetry.subscribers.BusProfiler` machinery
   (:mod:`repro.service.metrics`).
+* :mod:`repro.service.stream` + :mod:`repro.service.progress` — **live
+  event streaming**: a hub :class:`~repro.telemetry.net.StreamPublisher`
+  carrying scheduler ``job`` transitions plus per-job mirrored run
+  telemetry (closed-loop scores/alarms/flips, sweep progress marks),
+  served as SSE/NDJSON over ``GET /events`` and
+  ``GET /jobs/{id}/events`` with ``Last-Event-ID`` resume and bounded
+  per-client queues — a slow consumer drops frames, never stalls a run.
 * :mod:`repro.service.fleet` + :mod:`repro.service.worker` — a
   **crash-safe distributed worker fleet**: external worker processes
   claim jobs through a TTL lease protocol (``POST /fleet/claim``),
@@ -64,6 +71,7 @@ from repro.service.scheduler import (
     UnknownJobError,
 )
 from repro.service.store import ResultStore, StoreStats
+from repro.service.stream import ServiceStream
 from repro.service.worker import FleetWorker
 
 __all__ = [
@@ -77,6 +85,7 @@ __all__ = [
     "LeaseError",
     "QueueFullError",
     "ResultStore",
+    "ServiceStream",
     "ServiceTelemetry",
     "StoreStats",
     "UnknownJobError",

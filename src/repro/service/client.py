@@ -10,11 +10,13 @@ Used by the load-test script and the test suite; handy interactively::
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.common.errors import ReproError
 from repro.experiments.base import ExperimentResult
@@ -270,7 +272,84 @@ class ServiceClient:
         )
 
     def healthz(self) -> Dict[str, object]:
-        return self._json("GET", "/healthz")
+        """``GET /healthz``; a draining service answers 503 with the
+        same body shape (``status: "draining"``), which is still a
+        successful health read — not an error."""
+        return self._json("GET", "/healthz", ok=(200, 503))
+
+    # ------------------------------------------------------------------
+    # Live event streaming
+    # ------------------------------------------------------------------
+    def stream_events(
+        self,
+        job_id: Optional[str] = None,
+        last_event_id: Optional[int] = None,
+        max_events: Optional[int] = None,
+        reconnect: bool = True,
+        max_reconnects: int = 5,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """Yield decoded frames from the NDJSON event stream.
+
+        ``job_id=None`` follows the server-wide ``GET /events``;
+        otherwise ``GET /jobs/{id}/events``.  Each yielded dict carries
+        ``id`` and ``type`` plus the frame payload.  On a broken
+        connection the generator transparently reconnects (up to
+        ``max_reconnects`` times) with ``Last-Event-ID`` set to the
+        last frame it delivered, so the server replays what its ring
+        still holds past that cursor — a clean end-of-stream (the
+        server honoured ``max_events``, or closed the finite response)
+        ends the iteration instead.
+        """
+        path = "/events" if job_id is None else f"/jobs/{job_id}/events"
+        cursor = last_event_id
+        delivered = 0
+        attempts = 0
+        while max_events is None or delivered < max_events:
+            query: Dict[str, str] = {"format": "ndjson"}
+            if max_events is not None:
+                query["max_events"] = str(max_events - delivered)
+            url = (
+                self.base_url + path + "?"
+                + urllib.parse.urlencode(query)
+            )
+            headers = {"Accept": "application/x-ndjson"}
+            if cursor is not None:
+                headers["Last-Event-ID"] = str(cursor)
+            request = urllib.request.Request(url, headers=headers)
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=timeout or self.timeout
+                ) as response:
+                    if response.status != 200:
+                        raise ServiceError(
+                            response.status, "event stream refused"
+                        )
+                    for raw in response:
+                        line = raw.decode("utf-8").strip()
+                        if not line or line.startswith(":"):
+                            continue
+                        frame = json.loads(raw.decode("utf-8"))
+                        cursor = frame.get("id", cursor)
+                        attempts = 0  # progress resets the retry budget
+                        delivered += 1
+                        yield frame
+                        if max_events is not None and delivered >= max_events:
+                            return
+                # Clean EOF: the server ended the chunked body.
+                return
+            except (
+                urllib.error.URLError,
+                ConnectionError,
+                TimeoutError,
+                http.client.HTTPException,
+            ) as exc:
+                if not reconnect or attempts >= max_reconnects:
+                    raise ServiceError(
+                        503, f"event stream lost: {exc}"
+                    ) from exc
+                attempts += 1
+                time.sleep(min(0.1 * attempts, 1.0))
 
     def metrics_text(self) -> str:
         status, raw = self._request("GET", "/metrics")

@@ -16,10 +16,23 @@ Routes
                                     ``429`` + ``Retry-After`` queue full,
                                     ``503`` + ``Retry-After`` draining or
                                     unhealthy fleet shedding load
-``GET /jobs/{id}``                  job record; ``404`` unknown id
+``GET /jobs/{id}``                  job record; ``404`` unknown id; with
+                                    ``?stream=1`` or an SSE ``Accept``,
+                                    a live stream of the job's state
+                                    transitions instead
+``GET /jobs/{id}/events``           live SSE/NDJSON stream of every hub
+                                    frame stamped with this job id
+                                    (state transitions, mirrored run
+                                    telemetry, progress marks)
+``GET /events``                     the server-wide live event stream;
+                                    ``Last-Event-ID`` (header or query)
+                                    resumes, ``?max_events=N`` bounds,
+                                    ``?format=sse|ndjson`` selects
+                                    framing
 ``GET /results/{key}``              the stored result blob, verbatim bytes
 ``GET /experiments``                registered experiment ids
-``GET /healthz``                    liveness + queue/store/fleet summary
+``GET /healthz``                    liveness + queue/store/fleet/stream
+                                    summary; ``503`` while draining
 ``GET /metrics``                    Prometheus text exposition
 ``GET /fleet``                      fleet view: workers, leases, dead letters
 ``POST /fleet/claim``               fleet worker asks for a leased job
@@ -69,6 +82,7 @@ import json
 import pathlib
 import signal
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 
@@ -84,6 +98,11 @@ from repro.service.scheduler import (
     UnknownJobError,
 )
 from repro.service.store import ResultStore
+from repro.service.stream import (
+    ServiceStream,
+    negotiate_framing,
+    write_stream,
+)
 
 #: Cross-thread bridge timeout for calls that do not run experiments.
 _CONTROL_TIMEOUT = 30.0
@@ -110,9 +129,11 @@ class ServiceApp:
         isolate: bool = False,
         telemetry: Optional[ServiceTelemetry] = None,
         fleet: Optional[FleetConfig] = None,
+        stream: Optional[ServiceStream] = None,
     ) -> None:
         self.store = store
         self.telemetry = telemetry or ServiceTelemetry()
+        self.stream = stream or ServiceStream()
         self.scheduler = JobScheduler(
             store,
             workers=workers,
@@ -120,6 +141,7 @@ class ServiceApp:
             isolate=isolate,
             telemetry=self.telemetry,
             fleet=fleet,
+            stream=self.stream,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -228,24 +250,39 @@ class ServiceApp:
         return 200, {"experiments": available_experiments()}
 
     def healthz(self) -> Tuple[int, Dict[str, object]]:
+        from repro.orchestration import live_snapshots, orchestration_counters
+
         async def snapshot():
-            return {
-                "status": "ok",
+            # A draining service is deliberately not-ready: report 503 so
+            # load balancers stop routing while in-flight work finishes.
+            draining = bool(self.scheduler.fleet.draining)
+            body = {
+                "status": "draining" if draining else "ok",
                 "uptime_seconds": round(now() - (self.started_at or now()), 3),
                 "scheduler": self.scheduler.snapshot(),
                 "store": self.store.stats.to_dict(),
                 "telemetry": self.telemetry.summary(),
+                "orchestration": {
+                    "stream": self.stream.snapshot(),
+                    "counters": orchestration_counters(),
+                    "live": live_snapshots(),
+                },
             }
+            return (503 if draining else 200), body
 
-        return 200, self._call(snapshot())
+        return self._call(snapshot())
 
     def metrics_text(self) -> str:
+        from repro.orchestration import orchestration_counters
+
         async def render():
             return render_prometheus(
                 self.scheduler.snapshot(),
                 self.store.stats.to_dict(),
                 telemetry=self.telemetry,
                 uptime_seconds=now() - (self.started_at or now()),
+                stream=self.stream.snapshot(),
+                orchestration=orchestration_counters(),
             )
 
         return self._call(render())
@@ -477,11 +514,85 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_error_json(500, str(exc))
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    # -- live event streaming ------------------------------------------
+    def _wants_stream(self, params: Dict[str, list]) -> bool:
+        """``?stream=1`` or an SSE ``Accept`` upgrades a job GET."""
+        flag = (params.get("stream") or ["0"])[0]
+        if flag not in ("", "0", "false", "no"):
+            return True
+        return "text/event-stream" in (self.headers.get("Accept") or "")
+
+    def _stream_events(
+        self,
+        params: Dict[str, list],
+        accepts=None,
+        default_replay: bool = False,
+    ) -> None:
+        """Serve one chunked SSE/NDJSON stream off the hub publisher.
+
+        ``Last-Event-ID`` (header or ``?last_event_id=``) resumes past
+        frames the replay ring still holds; ``default_replay`` starts
+        per-job streams from the beginning of the ring so a late
+        subscriber still sees the job's earlier transitions.
+        ``?max_events=N`` terminates the chunked body after N frames —
+        the finite-response mode tests and one-shot consumers use.
+        The handler thread blocks here; a slow consumer overflows its
+        own bounded queue and can never back-pressure the scheduler.
+        """
+        last_raw = self.headers.get("Last-Event-ID")
+        if last_raw is None:
+            last_raw = (params.get("last_event_id") or [None])[0]
+        if last_raw is not None:
+            try:
+                last_event_id: Optional[int] = int(last_raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"Last-Event-ID must be an integer, got {last_raw!r}"
+                )
+        else:
+            last_event_id = 0 if default_replay else None
+        max_raw = (params.get("max_events") or [None])[0]
+        max_events: Optional[int] = None
+        if max_raw is not None:
+            try:
+                max_events = int(max_raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"max_events must be an integer, got {max_raw!r}"
+                )
+            if max_events <= 0:
+                raise ConfigurationError(
+                    f"max_events must be positive, got {max_events}"
+                )
+        sse, content_type = negotiate_framing(
+            self.headers.get("Accept") or "", params
+        )
+        client = self.app.stream.attach(
+            last_event_id=last_event_id, accepts=accepts
+        )
         try:
-            if self.path == "/healthz":
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            write_stream(
+                self.wfile, client, sse, max_events=max_events
+            )
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # consumer went away; detach below
+        finally:
+            self.app.stream.detach(client)
+            self.close_connection = True
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        params = urllib.parse.parse_qs(parsed.query)
+        try:
+            if path == "/healthz":
                 self._send_json(*self.app.healthz())
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 text = self.app.metrics_text().encode("utf-8")
                 self.send_response(200)
                 self.send_header(
@@ -490,14 +601,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self.send_header("Content-Length", str(len(text)))
                 self.end_headers()
                 self.wfile.write(text)
-            elif self.path == "/experiments":
+            elif path == "/experiments":
                 self._send_json(*self.app.experiments())
-            elif self.path == "/fleet":
+            elif path == "/fleet":
                 self._send_json(*self.app.fleet_view())
-            elif self.path.startswith("/jobs/"):
-                self._send_json(*self.app.job(self.path[len("/jobs/"):]))
-            elif self.path.startswith("/results/"):
-                key = self.path[len("/results/"):]
+            elif path == "/events":
+                self._stream_events(params)
+            elif path.startswith("/jobs/") and path.endswith("/events"):
+                job_id = path[len("/jobs/"):-len("/events")]
+                self.app.job(job_id)  # 404 before committing to a stream
+                self._stream_events(
+                    params,
+                    accepts=ServiceStream.job_filter(job_id),
+                    default_replay=True,
+                )
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                if self._wants_stream(params):
+                    self.app.job(job_id)
+                    self._stream_events(
+                        params,
+                        accepts=ServiceStream.job_state_filter(job_id),
+                        default_replay=True,
+                    )
+                else:
+                    self._send_json(*self.app.job(job_id))
+            elif path.startswith("/results/"):
+                key = path[len("/results/"):]
                 blob = self.app.result_bytes(key)
                 if blob is None:
                     self._send_error_json(
@@ -512,7 +642,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self.end_headers()
                     self.wfile.write(blob)
             else:
-                self._send_error_json(404, f"no GET route {self.path!r}")
+                self._send_error_json(404, f"no GET route {path!r}")
         except UnknownJobError as exc:
             self._send_error_json(404, str(exc))
         except ConfigurationError as exc:

@@ -124,6 +124,8 @@ def render_prometheus(
     store_counters: Dict[str, int],
     telemetry: Optional[ServiceTelemetry] = None,
     uptime_seconds: Optional[float] = None,
+    stream: Optional[Dict[str, object]] = None,
+    orchestration: Optional[Dict[str, int]] = None,
 ) -> str:
     """Render all service metrics in Prometheus text exposition format."""
     lines: List[str] = []
@@ -320,6 +322,40 @@ def render_prometheus(
             "gauge",
             "Observed bus throughput (BusProfiler).",
             [({}, round(telemetry.profiler.events_per_second, 3))],
+        )
+
+    # Live event stream (the hub publisher) and closed-loop orchestration.
+    if stream is not None:
+        metric(
+            "repro_stream_clients",
+            "gauge",
+            "Stream clients currently attached to the hub publisher.",
+            [({}, float(stream.get("clients", 0)))],
+        )
+        metric(
+            "repro_stream_dropped_total",
+            "counter",
+            "Frames dropped across all stream clients (bounded queues).",
+            [({}, float(stream.get("dropped_total", 0)))],
+        )
+        metric(
+            "repro_stream_last_event_id",
+            "gauge",
+            "Highest event id the hub publisher has assigned.",
+            [({}, float(stream.get("last_event_id", 0)))],
+        )
+    if orchestration is not None:
+        metric(
+            "repro_alarms_total",
+            "counter",
+            "Fused k-of-n alarms fired by fleet aggregators.",
+            [({}, float(orchestration.get("alarms_total", 0)))],
+        )
+        metric(
+            "repro_defense_flips_total",
+            "counter",
+            "Defense flips applied by closed-loop responders.",
+            [({}, float(orchestration.get("defense_flips_total", 0)))],
         )
 
     if uptime_seconds is not None:

@@ -327,6 +327,7 @@ class JobScheduler:
         isolate: bool = False,
         telemetry: Optional[ServiceTelemetry] = None,
         fleet: Optional[FleetConfig] = None,
+        stream: Optional[object] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -339,6 +340,10 @@ class JobScheduler:
         self.queue_depth = queue_depth
         self.isolate = isolate
         self.telemetry = telemetry or ServiceTelemetry()
+        #: Optional :class:`repro.service.stream.ServiceStream`: every
+        #: job-state transition publishes one ``job`` frame, and job
+        #: execution binds the hub so run telemetry mirrors out live.
+        self.stream = stream
         self.fleet = FleetState(config=fleet or FleetConfig())
         self._jobs: Dict[str, Job] = {}
         self._futures: Dict[str, asyncio.Future] = {}
@@ -480,6 +485,7 @@ class JobScheduler:
             self.counters["store_served"] += 1
             self.counters["completed"] += 1
             self.telemetry.store_hit(key, tick)
+            self._publish_job(job)
             self._resolve(job)
             return job
 
@@ -490,6 +496,7 @@ class JobScheduler:
             computation.jobs.append(job)
             self.counters["deduplicated"] += 1
             self.telemetry.coalesced(key, tick)
+            self._publish_job(job)
             return job
 
         # 3. New computation: first the fleet's degradation ladder (a
@@ -517,6 +524,7 @@ class JobScheduler:
         self._queued += 1
         self.counters["computations"] += 1
         self.telemetry.computation_enqueued(key, tick)
+        self._publish_job(job)
         assert self._wakeup is not None
         async with self._wakeup:
             self._wakeup.notify()
@@ -588,6 +596,7 @@ class JobScheduler:
         job.state = JobState.CANCELLED
         self.counters["cancelled"] += 1
         self.telemetry.cancelled(job.key, self.telemetry.bus.time)
+        self._publish_job(job)
         self._resolve(job)
         if not computation.jobs:
             # Last rider gone: the computation itself is abandoned (the
@@ -660,13 +669,15 @@ class JobScheduler:
                 member.state = JobState.RUNNING
                 for job in member.jobs:
                     job.state = JobState.RUNNING
+                    self._publish_job(job)
+            lead_job_id = group[0].jobs[0].job_id if group[0].jobs else ""
             loop = asyncio.get_running_loop()
             try:
                 entries = await loop.run_in_executor(
                     None,
-                    compute_group,
+                    self._compute_group_bound,
                     [member.spec for member in group],
-                    self.isolate,
+                    lead_job_id,
                 )
             except Exception as exc:  # noqa: BLE001 - fan failure out
                 for member in group:
@@ -739,12 +750,37 @@ class JobScheduler:
                 self.counters["cancelled"] += 1
             elif state == JobState.DEAD_LETTER:
                 self.counters["failed"] += 1
+            self._publish_job(job)
             self._resolve(job)
 
     def _resolve(self, job: Job) -> None:
         future = self._futures.get(job.job_id)
         if future is not None and not future.done():
             future.set_result(job)
+
+    def _publish_job(self, job: Job) -> None:
+        """One ``job`` frame per state transition (loop thread only).
+
+        Publishing is lock-plus-append per attached stream client — a
+        slow consumer overflows its own bounded queue, never this loop.
+        """
+        if self.stream is not None:
+            self.stream.publish_job(job)
+
+    def _compute_group_bound(self, specs: List[JobSpec], lead_job_id: str):
+        """Executor-thread entry: run the group with the hub bound.
+
+        Binding the job-stamped hub view around :func:`compute_group`
+        lets in-process runs mirror their telemetry frames (closed-loop
+        scores/alarms/flips, sweep progress marks) onto the service
+        stream.  Isolate-mode groups run in the process pool where the
+        binding cannot follow; they still stream their ``job`` frames.
+        """
+        from repro.service.progress import job_publisher_scope
+
+        hub = self.stream.publisher if self.stream is not None else None
+        with job_publisher_scope(hub, lead_job_id):
+            return compute_group(specs, self.isolate)
 
     # ------------------------------------------------------------------
     # Fleet lease protocol (all coroutines run on the owning loop)
@@ -809,6 +845,7 @@ class JobScheduler:
         computation.state = JobState.RUNNING
         for job in computation.jobs:
             job.state = JobState.RUNNING
+            self._publish_job(job)
         computation.lease_attempts += 1
         lease = self.fleet.grant(
             computation.key, worker_id, computation.lease_attempts
@@ -1040,6 +1077,7 @@ class JobScheduler:
             computation.state = JobState.QUEUED
             for job in computation.jobs:
                 job.state = JobState.QUEUED
+                self._publish_job(job)
             self.fleet.counters["redispatches"] += 1
             self._queued += 1
             self._delayed.append((self.fleet.now() + delay, computation))

@@ -15,7 +15,22 @@ Import discipline: this package never imports from :mod:`repro.cache`
 package initialises first).
 """
 
-from repro.telemetry.bus import Subscriber, TelemetryBus
+from repro.telemetry.bus import (
+    OVERFLOW_POLICIES,
+    BufferedSubscriber,
+    Subscriber,
+    TelemetryBus,
+)
+from repro.telemetry.net import (
+    StreamClient,
+    StreamFrame,
+    StreamPublisher,
+    active_publisher,
+    bind_publisher,
+    ndjson_line,
+    publish_ambient,
+    sse_block,
+)
 from repro.telemetry.detectors import (
     Baseline,
     MissRateMonitor,
@@ -45,10 +60,15 @@ from repro.telemetry.subscribers import (
 __all__ = [
     "AGGREGATE_OWNER",
     "Baseline",
+    "BufferedSubscriber",
     "BusProfiler",
     "CacheEvent",
     "EventKind",
     "MissRateMonitor",
+    "OVERFLOW_POLICIES",
+    "StreamClient",
+    "StreamFrame",
+    "StreamPublisher",
     "Subscriber",
     "TelemetryBus",
     "TelemetryConfig",
@@ -57,12 +77,17 @@ __all__ = [
     "WindowCounts",
     "WindowedCounters",
     "WritebackBurstDetector",
+    "active_publisher",
     "active_session",
     "autocorrelation",
+    "bind_publisher",
     "configure",
     "default_config",
     "detection_rate",
+    "ndjson_line",
+    "publish_ambient",
     "session_bus",
+    "sse_block",
     "suggest_threshold",
     "telemetry_session",
     "threshold_sweep",

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.bus import Subscriber
 from repro.telemetry.events import CacheEvent, EventKind
@@ -164,6 +164,13 @@ class _WindowedDetector(Subscriber):
         self.window = window
         self.owner = owner
         self.clock_owner = clock_owner
+        #: Optional live tap: called as ``score_sink(clock, score)`` the
+        #: moment a calibrated detector appends a score.  ``clock`` is
+        #: the detector's window clock (pacing-thread L1 events when
+        #: ``clock_owner`` is set, logical window offset otherwise), so
+        #: detectors sharing one pacing thread report on one timeline —
+        #: what the fleet aggregator fuses across sources.
+        self.score_sink: Optional[Callable[[int, float], None]] = None
         self._origin: Optional[int] = None
         self._clock = 0
         self._current_id = 0
@@ -250,6 +257,17 @@ class _WindowedDetector(Subscriber):
     def _reset_measurement(self) -> None:
         raise NotImplementedError
 
+    def _score_clock(self) -> int:
+        """Current window-clock reading stamped onto emitted scores."""
+        if self.clock_owner is not None:
+            return self._clock
+        return self._current_id * self.window
+
+    def _emit_score(self, score: float) -> None:
+        sink = self.score_sink
+        if sink is not None:
+            sink(self._score_clock(), score)
+
 
 class MissRateMonitor(_WindowedDetector):
     """CloudRadar-style windowed counter monitor.
@@ -287,7 +305,9 @@ class MissRateMonitor(_WindowedDetector):
         ) + (float(wb[1]),)
         self.features.append(feature)
         if self.baseline is not None:
-            self.scores.append(self.baseline.deviation(feature))
+            score = self.baseline.deviation(feature)
+            self.scores.append(score)
+            self._emit_score(score)
 
     def _reset_measurement(self) -> None:
         self.features = []
@@ -341,7 +361,9 @@ class WritebackBurstDetector(_WindowedDetector):
             self._train = []
             self.features.append(feature)
             if self.baseline is not None:
-                self.scores.append(self.baseline.deviation(feature))
+                score = self.baseline.deviation(feature)
+                self.scores.append(score)
+                self._emit_score(score)
 
     def _reset_measurement(self) -> None:
         self._train = []

@@ -1,0 +1,295 @@
+"""Network-facing telemetry: stream frames, publisher, bounded clients.
+
+This module turns the in-process :class:`~repro.telemetry.bus.TelemetryBus`
+into something a network service can expose (the squid cache-channels
+idiom: publish cache events out-of-band to whoever is listening):
+
+* :class:`StreamFrame` — one published item: a monotonically increasing
+  ``event_id``, a frame ``type`` (``cache_event``, ``fault``, ``score``,
+  ``alarm``, ``flip``, ``job``, ``mark``, …) and a JSON-friendly payload.
+* :func:`ndjson_line` / :func:`sse_block` — the two wire framings served
+  by the HTTP endpoints (``application/x-ndjson`` and
+  ``text/event-stream``).
+* :class:`StreamPublisher` — a bus subscriber that assigns event ids,
+  keeps a bounded replay ring (``Last-Event-ID`` resume), and fans
+  frames out to any number of :class:`StreamClient` queues.
+* :class:`StreamClient` — one consumer's bounded queue.  A slow or dead
+  client overflows *its own* queue (drop-oldest, counted); it can never
+  stall the publisher, the scheduler, or the engine hot loop.
+
+Determinism: event ids are assigned in publish order under one lock.
+During a simulation run all publishing happens from the single engine
+thread, so the id sequence is a pure function of the event stream —
+attaching, detaching, or losing clients cannot perturb it (the golden
+closed-loop test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.telemetry.bus import Subscriber
+from repro.telemetry.events import CacheEvent, EventKind
+
+
+class StreamFrame(NamedTuple):
+    """One item on a telemetry stream."""
+
+    event_id: int
+    type: str
+    payload: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSON view (``id`` and ``type`` first, payload merged)."""
+        body: Dict[str, object] = {"id": self.event_id, "type": self.type}
+        body.update(self.payload)
+        return body
+
+
+def ndjson_line(frame: StreamFrame) -> bytes:
+    """The frame as one ``application/x-ndjson`` line."""
+    return (json.dumps(frame.to_dict(), sort_keys=True) + "\n").encode("utf-8")
+
+
+def sse_block(frame: StreamFrame) -> bytes:
+    """The frame as one ``text/event-stream`` block.
+
+    ``id:`` carries the resume cursor (the client echoes it back as
+    ``Last-Event-ID``), ``event:`` the frame type, ``data:`` the payload
+    as a single JSON line.
+    """
+    data = json.dumps(frame.to_dict(), sort_keys=True)
+    return (
+        f"id: {frame.event_id}\nevent: {frame.type}\ndata: {data}\n\n"
+    ).encode("utf-8")
+
+
+class StreamClient:
+    """One consumer's bounded frame queue (drop-oldest on overflow)."""
+
+    def __init__(
+        self,
+        capacity: int,
+        accepts: Optional[Callable[[StreamFrame], bool]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"client capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.accepts = accepts
+        self.dropped = 0
+        self.closed = False
+        self._queue: Deque[StreamFrame] = deque()
+        self._cond = threading.Condition()
+
+    def _offer(self, frame: StreamFrame) -> int:
+        """Enqueue ``frame`` (publisher side); returns frames dropped."""
+        if self.accepts is not None and not self.accepts(frame):
+            return 0
+        dropped = 0
+        with self._cond:
+            if self.closed:
+                return 0
+            if len(self._queue) >= self.capacity:
+                self._queue.popleft()
+                self.dropped += 1
+                dropped = 1
+            self._queue.append(frame)
+            self._cond.notify()
+        return dropped
+
+    def get(self, timeout: Optional[float] = None) -> Optional[StreamFrame]:
+        """Next frame, or ``None`` on timeout / after :meth:`close`."""
+        with self._cond:
+            if not self._queue:
+                self._cond.wait(timeout)
+            if not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def close(self) -> None:
+        """Stop accepting frames and wake any blocked :meth:`get`."""
+        with self._cond:
+            self.closed = True
+            self._queue.clear()
+            self._cond.notify_all()
+
+
+class StreamPublisher(Subscriber):
+    """Serialises telemetry into an id-stamped frame stream with resume.
+
+    Subscribe it to a :class:`~repro.telemetry.bus.TelemetryBus` to
+    publish ``cache_event``/``fault`` frames, and/or call
+    :meth:`publish` directly for application frames (detector scores,
+    alarms, defense flips, job transitions).  Frames land in a bounded
+    replay ring — :meth:`attach` with ``last_event_id`` replays what the
+    ring still holds past that cursor, which is how an SSE client
+    resumes after a reconnect — and are offered to every attached
+    :class:`StreamClient`.
+    """
+
+    def __init__(
+        self,
+        ring_capacity: int = 4096,
+        client_capacity: int = 1024,
+        profiler: Optional[object] = None,
+        mirror: Optional["StreamPublisher"] = None,
+    ) -> None:
+        if ring_capacity <= 0:
+            raise ConfigurationError(
+                f"ring_capacity must be positive, got {ring_capacity}"
+            )
+        self.ring_capacity = ring_capacity
+        self.client_capacity = client_capacity
+        self.profiler = profiler
+        #: Optional upstream publisher every frame is forwarded to (the
+        #: service hub).  The mirror assigns its *own* event ids, so a
+        #: run-local id sequence stays a pure function of the run.
+        self.mirror = mirror
+        self.dropped_total = 0
+        self.last_event_id = 0
+        self._ring: Deque[StreamFrame] = deque(maxlen=ring_capacity)
+        self._clients: List[StreamClient] = []
+        self._lock = threading.Lock()
+
+    # -- Subscriber surface -------------------------------------------
+    def on_event(self, event: CacheEvent) -> None:
+        kind = "fault" if event.kind == EventKind.FAULT else "cache_event"
+        self.publish(kind, event.to_dict())
+
+    def on_mark(self, label: str) -> None:
+        self.publish("mark", {"label": label})
+
+    def finish(self) -> None:
+        """End of the producing run: a ``finish`` frame closes the story.
+
+        Clients stay attached — a service-wide stream outlives any one
+        run; per-run consumers treat the frame as end-of-stream.
+        """
+        self.publish("finish", {})
+
+    # -- publishing ----------------------------------------------------
+    def publish(self, type: str, payload: Dict[str, object]) -> StreamFrame:
+        """Assign the next event id and fan the frame out; returns it."""
+        with self._lock:
+            self.last_event_id += 1
+            frame = StreamFrame(self.last_event_id, type, dict(payload))
+            self._ring.append(frame)
+            clients = list(self._clients)
+        dropped = 0
+        for client in clients:
+            dropped += client._offer(frame)
+        if dropped:
+            with self._lock:
+                self.dropped_total += dropped
+            record = getattr(self.profiler, "record_dropped", None)
+            if record is not None:
+                record(dropped)
+        if self.mirror is not None:
+            self.mirror.publish(type, payload)
+        return frame
+
+    # -- client management --------------------------------------------
+    def attach(
+        self,
+        last_event_id: Optional[int] = None,
+        capacity: Optional[int] = None,
+        accepts: Optional[Callable[[StreamFrame], bool]] = None,
+    ) -> StreamClient:
+        """Register a client; replay ring frames past ``last_event_id``.
+
+        When the ring has already evicted frames the client asked for,
+        the replay starts at the oldest retained frame — the gap is
+        visible to the consumer as non-contiguous ids.
+        """
+        client = StreamClient(
+            capacity=capacity or self.client_capacity, accepts=accepts
+        )
+        with self._lock:
+            if last_event_id is not None:
+                for frame in self._ring:
+                    if frame.event_id > last_event_id:
+                        client._offer(frame)
+            self._clients.append(client)
+        return client
+
+    def detach(self, client: StreamClient) -> None:
+        """Unregister ``client`` (idempotent) and close its queue."""
+        with self._lock:
+            try:
+                self._clients.remove(client)
+            except ValueError:
+                pass
+        client.close()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def client_count(self) -> int:
+        """Currently attached clients."""
+        with self._lock:
+            return len(self._clients)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Gauge/counter view for ``/healthz`` and ``/metrics``."""
+        with self._lock:
+            return {
+                "clients": len(self._clients),
+                "last_event_id": self.last_event_id,
+                "dropped_total": self.dropped_total,
+                "ring_size": len(self._ring),
+            }
+
+
+# -- ambient publisher binding ----------------------------------------
+#
+# The service binds its hub publisher around job execution; deep layers
+# (the closed-loop scenario engine) mirror their run-local frames into
+# whatever is bound, without the scenario layer importing the service.
+_ambient = threading.local()
+
+
+def bind_publisher(
+    publisher: Optional[StreamPublisher],
+) -> Optional[StreamPublisher]:
+    """Bind ``publisher`` as this thread's ambient stream target.
+
+    Returns the previous binding so callers can restore it (bind ``None``
+    to clear).  Thread-local: worker threads each bind their own job's
+    publisher.
+    """
+    previous = getattr(_ambient, "publisher", None)
+    _ambient.publisher = publisher
+    return previous
+
+
+def active_publisher() -> Optional[StreamPublisher]:
+    """The ambient publisher bound to this thread, if any."""
+    return getattr(_ambient, "publisher", None)
+
+
+def publish_ambient(type: str, payload: Dict[str, object]) -> None:
+    """Publish one frame to the ambient publisher; no-op when unbound.
+
+    The hook deep measurement loops use for coarse progress frames
+    (one per sweep point / suspect) without importing the service layer.
+    """
+    publisher = active_publisher()
+    if publisher is not None:
+        publisher.publish(type, dict(payload))
+
+
+__all__ = [
+    "StreamClient",
+    "StreamFrame",
+    "StreamPublisher",
+    "active_publisher",
+    "bind_publisher",
+    "ndjson_line",
+    "publish_ambient",
+    "sse_block",
+]

@@ -256,10 +256,19 @@ class BusProfiler(Subscriber):
 
     def __init__(self) -> None:
         self.total_events = 0
+        #: Events lost to bounded buffering anywhere on this bus —
+        #: :class:`~repro.telemetry.bus.BufferedSubscriber` wrappers and
+        #: stream publishers report their overflow here so one counter
+        #: in the run summary answers "did observability lose data?".
+        self.dropped_events = 0
         self._first: Optional[float] = None
         self._last: Optional[float] = None
         self.phases: Dict[str, Dict[str, float]] = {}
         self._active_phase: Optional[str] = None
+
+    def record_dropped(self, count: int = 1) -> None:
+        """Account ``count`` events lost to a bounded buffer."""
+        self.dropped_events += count
 
     def on_event(self, event: CacheEvent) -> None:
         del event
@@ -304,6 +313,7 @@ class BusProfiler(Subscriber):
         """JSON-friendly profile for run manifests."""
         return {
             "events": self.total_events,
+            "dropped_events": self.dropped_events,
             "wall_seconds": round(self.wall_seconds, 6),
             "events_per_second": round(self.events_per_second),
             "phases": {

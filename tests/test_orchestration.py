@@ -1,0 +1,308 @@
+"""Fleet-wide fusion and closed-loop response: aggregator + responder.
+
+The :class:`FleetAggregator` k-of-n decision and the
+:class:`DefenseResponder` flip are pure functions of the observation
+sequence — these tests pin the decision rule (window expiry, min_hits,
+warmup suppression, latching), the flip semantics on a live hierarchy
+(write-through and partition), and the observability plumbing
+(stream frames, process counters, the /healthz live registry).
+"""
+
+import gc
+import random
+
+import pytest
+
+from repro.cache.cache import AllocationPolicy, WritePolicy
+from repro.cache.configs import make_xeon_hierarchy
+from repro.common.errors import ConfigurationError
+from repro.defenses.partitioned import (
+    make_partitioned_hierarchy,
+    split_ways_evenly,
+)
+from repro.orchestration.aggregator import AlarmEvent, FleetAggregator
+from repro.orchestration.counters import (
+    live_snapshots,
+    orchestration_counters,
+    reset_counters,
+)
+from repro.orchestration.responder import DEFENSES, DefenseResponder
+from repro.telemetry.net import StreamPublisher
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    reset_counters()
+    yield
+    reset_counters()
+
+
+def _alarm(time=42):
+    return AlarmEvent(
+        time=time, sources=("a", "b"), hits=(1, 1), rule="2-of-2"
+    )
+
+
+def _pair_aggregator(**kwargs):
+    aggregator = FleetAggregator(k=2, **kwargs)
+    aggregator.register_source("a", threshold=1.0)
+    aggregator.register_source("b", threshold=1.0)
+    return aggregator
+
+
+class TestAlarmEvent:
+    def test_to_dict(self):
+        assert _alarm().to_dict() == {
+            "time": 42,
+            "sources": ["a", "b"],
+            "hits": [1, 1],
+            "rule": "2-of-2",
+        }
+
+
+class TestFleetAggregatorValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"window": 0},
+            {"min_hits": 0},
+            {"warmup": -1},
+        ],
+    )
+    def test_constructor_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FleetAggregator(**kwargs)
+
+    def test_duplicate_source_rejected(self):
+        aggregator = FleetAggregator()
+        aggregator.register_source("a", threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            aggregator.register_source("a", threshold=2.0)
+
+    def test_unknown_source_rejected(self):
+        aggregator = FleetAggregator()
+        with pytest.raises(ConfigurationError):
+            aggregator.observe("ghost", 1, 5.0)
+        with pytest.raises(ConfigurationError):
+            aggregator.sink("ghost")
+
+
+class TestFusionRule:
+    def test_k_of_n_fires_on_the_completing_observation(self):
+        aggregator = _pair_aggregator(window=100)
+        assert aggregator.observe("a", 10, 2.0) is None  # 1 of 2
+        alarm = aggregator.observe("b", 20, 2.0)
+        assert alarm is not None
+        assert alarm.time == 20
+        assert alarm.sources == ("a", "b")
+        assert alarm.hits == (1, 1)
+        assert aggregator.fired
+        assert aggregator.alarms == [alarm]
+
+    def test_under_threshold_scores_never_hit(self):
+        aggregator = _pair_aggregator(window=100)
+        for clock in range(10, 100, 10):
+            assert aggregator.observe("a", clock, 0.5) is None
+            assert aggregator.observe("b", clock, 0.5) is None
+        assert not aggregator.fired
+
+    def test_window_expires_stale_hits(self):
+        aggregator = _pair_aggregator(window=10)
+        aggregator.observe("a", 10, 2.0)
+        # b's hit arrives after a's fell out of the trailing window.
+        assert aggregator.observe("b", 25, 2.0) is None
+        assert not aggregator.fired
+
+    def test_min_hits_requires_repeated_evidence(self):
+        aggregator = _pair_aggregator(window=100, min_hits=2)
+        aggregator.observe("a", 1, 2.0)
+        assert aggregator.observe("b", 2, 2.0) is None  # 1 hit each
+        aggregator.observe("a", 3, 2.0)
+        alarm = aggregator.observe("b", 4, 2.0)  # now 2 hits each
+        assert alarm is not None
+        assert alarm.hits == (2, 2)
+
+    def test_warmup_suppresses_startup_transient_scores(self):
+        aggregator = _pair_aggregator(window=100, warmup=50)
+        aggregator.observe("a", 10, 99.0)
+        assert aggregator.observe("b", 10, 99.0) is None
+        aggregator.observe("a", 60, 2.0)
+        alarm = aggregator.observe("b", 60, 2.0)
+        assert alarm is not None
+        assert alarm.hits == (1, 1)  # the warmup outliers never counted
+
+    def test_latch_makes_the_first_alarm_final(self):
+        aggregator = _pair_aggregator(window=100)
+        aggregator.observe("a", 10, 2.0)
+        assert aggregator.observe("b", 10, 2.0) is not None
+        assert aggregator.observe("a", 20, 2.0) is None
+        assert aggregator.observe("b", 20, 2.0) is None
+        assert len(aggregator.alarms) == 1
+
+    def test_unlatched_aggregator_keeps_firing(self):
+        aggregator = _pair_aggregator(window=100, latch=False)
+        aggregator.observe("a", 10, 2.0)
+        aggregator.observe("b", 10, 2.0)
+        aggregator.observe("a", 20, 2.0)
+        aggregator.observe("b", 20, 2.0)
+        assert len(aggregator.alarms) > 1
+
+    def test_sink_binds_a_source_to_the_score_hook_shape(self):
+        aggregator = _pair_aggregator(window=100)
+        sink_a = aggregator.sink("a")
+        sink_b = aggregator.sink("b")
+        sink_a(10, 2.0)
+        sink_b(11, 2.0)
+        assert aggregator.fired
+
+    def test_on_alarm_callbacks_see_the_alarm(self):
+        seen = []
+        aggregator = _pair_aggregator(window=100)
+        aggregator.on_alarm.append(seen.append)
+        aggregator.observe("a", 10, 2.0)
+        alarm = aggregator.observe("b", 10, 2.0)
+        assert seen == [alarm]
+
+    def test_alarms_increment_the_process_counter(self):
+        aggregator = _pair_aggregator(window=100)
+        aggregator.observe("a", 10, 2.0)
+        aggregator.observe("b", 10, 2.0)
+        assert orchestration_counters()["alarms_total"] == 1
+
+
+class TestAggregatorStreaming:
+    def test_score_and_alarm_frames_carry_the_label(self):
+        publisher = StreamPublisher()
+        client = publisher.attach()
+        aggregator = FleetAggregator(
+            k=2, window=100, publisher=publisher, source_label="lru"
+        )
+        aggregator.register_source("a", threshold=1.0)
+        aggregator.register_source("b", threshold=1.0)
+        aggregator.observe("a", 10, 2.0)
+        aggregator.observe("b", 10, 2.5)
+        frames = []
+        while True:
+            frame = client.get(timeout=0.0)
+            if frame is None:
+                break
+            frames.append(frame)
+        assert [frame.type for frame in frames] == ["score", "score", "alarm"]
+        score = frames[0].payload
+        assert score == {
+            "source": "a",
+            "clock": 10,
+            "score": 2.0,
+            "threshold": 1.0,
+            "label": "lru",
+        }
+        alarm = frames[2].payload
+        assert alarm["sources"] == ["a", "b"]
+        assert alarm["label"] == "lru"
+
+    def test_snapshot_reports_rule_and_observations(self):
+        aggregator = _pair_aggregator(window=100, min_hits=1)
+        aggregator.observe("a", 1, 0.0)
+        snapshot = aggregator.snapshot()
+        assert snapshot["sources"] == 2
+        assert snapshot["observed"] == {"a": 1, "b": 0}
+        assert snapshot["alarms"] == 0
+        assert snapshot["rule"] == "2-of-2/min_hits=1/window=100"
+
+
+class TestDefenseResponderValidation:
+    def test_defense_must_be_known(self, xeon):
+        with pytest.raises(ConfigurationError):
+            DefenseResponder(xeon, defense="unplug")
+        assert DEFENSES == ("write_through", "partition")
+
+    def test_num_domains_must_be_positive(self, xeon):
+        with pytest.raises(ConfigurationError):
+            DefenseResponder(xeon, num_domains=0)
+
+    def test_partition_needs_a_partition_capable_l1(self, xeon):
+        with pytest.raises(ConfigurationError):
+            DefenseResponder(xeon, defense="partition")
+
+
+class TestDefenseResponderFlip:
+    def test_write_through_flip_stops_stores_dirtying(self):
+        hierarchy = make_xeon_hierarchy(rng=random.Random(0))
+        responder = DefenseResponder(hierarchy, defense="write_through").arm()
+        address = 0x4000
+        hierarchy.access(address, True, 0)
+        assert hierarchy.l1.is_dirty(address)  # write-back before the flip
+        responder.on_alarm(_alarm(time=42))
+        assert hierarchy.l1.write_policy is WritePolicy.WRITE_THROUGH
+        assert (
+            hierarchy.l1.allocation_policy is AllocationPolicy.NO_WRITE_ALLOCATE
+        )
+        other = 0x8000
+        hierarchy.access(other, True, 0)
+        assert not hierarchy.l1.is_dirty(other)  # nothing left to modulate
+        assert responder.fired
+        assert responder.flip_time == 42
+        assert orchestration_counters()["defense_flips_total"] == 1
+
+    def test_partition_flip_installs_even_way_masks(self):
+        hierarchy = make_partitioned_hierarchy(rng=random.Random(0))
+        hierarchy.l1.partitions = {}  # start unpartitioned, flip installs
+        responder = DefenseResponder(hierarchy, defense="partition").arm()
+        responder.on_alarm(_alarm())
+        assert hierarchy.l1.partitions == split_ways_evenly(
+            hierarchy.l1.associativity, 2
+        )
+
+    def test_disarmed_responder_only_observes(self, xeon):
+        responder = DefenseResponder(xeon)
+        responder.on_alarm(_alarm())
+        assert not responder.fired
+        assert responder.flip_time is None
+        assert xeon.l1.write_policy is WritePolicy.WRITE_BACK
+        assert orchestration_counters()["defense_flips_total"] == 0
+
+    def test_responder_fires_exactly_once(self, xeon):
+        responder = DefenseResponder(xeon).arm()
+        responder.on_alarm(_alarm(time=42))
+        responder.on_alarm(_alarm(time=99))
+        assert responder.flip_time == 42
+        assert orchestration_counters()["defense_flips_total"] == 1
+
+    def test_flip_frame_pins_the_boundary_on_the_wire(self, xeon):
+        publisher = StreamPublisher()
+        client = publisher.attach()
+        responder = DefenseResponder(
+            xeon, publisher=publisher, source_label="lru"
+        ).arm()
+        responder.on_alarm(_alarm(time=60))
+        frame = client.get(timeout=0.0)
+        assert frame.type == "flip"
+        assert frame.payload == {
+            "defense": "write_through", "time": 60, "label": "lru"
+        }
+        assert responder.flip_event_id == frame.event_id
+
+    def test_snapshot_shape(self, xeon):
+        responder = DefenseResponder(xeon).arm()
+        responder.on_alarm(_alarm(time=7))
+        assert responder.snapshot() == {
+            "defense": "write_through",
+            "armed": True,
+            "fired": True,
+            "flip_time": 7,
+            "flip_event_id": None,
+        }
+
+
+class TestLiveRegistry:
+    def test_components_register_weakly_for_healthz(self, xeon):
+        aggregator = _pair_aggregator(window=100)
+        responder = DefenseResponder(xeon).arm()
+        live = live_snapshots()
+        assert aggregator.snapshot() in live["aggregators"]
+        assert responder.snapshot() in live["responders"]
+        marker = responder.snapshot()
+        del aggregator, responder
+        gc.collect()
+        assert marker not in live_snapshots()["responders"]

@@ -29,6 +29,9 @@ SPEC_BACKED = (
     # Added with the coherence layer (no pre-refactor ancestor; the
     # golden pins cross-engine/cross-version determinism from day one).
     "cross_core_wb",
+    # Added with the orchestration layer; the golden pins alarm times,
+    # the flip event id, and pre/post-flip capacities from day one.
+    "closed_loop_defense",
 )
 
 
